@@ -1,0 +1,49 @@
+// Extension E9 — sampling suppression (paper §8 future work): how much ADC
+// energy the Holt-predictor gate saves, and what it costs in accuracy.
+//
+// Sweeps the prediction margin (as a fraction of theta) on the standard
+// 20 000-epoch workload at theta = 5 %, 40 % relevant nodes.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dirq;
+  bench::print_header("Extension — sampling suppression (paper Section 8)",
+                      "the paper's stated future work, implemented");
+
+  core::ExperimentConfig base =
+      bench::with_fixed_theta(bench::paper_config(), 5.0, 0.4);
+  base.keep_records = false;
+  const core::ExperimentResults off = core::Experiment(base).run();
+
+  metrics::Table table({"margin_frac", "samples", "sampling_saved_%",
+                        "updates", "coverage_%", "overshoot_%",
+                        "radio_ratio_vs_flood"});
+  table.add_row({"off", std::to_string(off.samples_taken), "0.00",
+                 std::to_string(off.updates_transmitted),
+                 metrics::fmt(off.coverage_pct.mean()),
+                 metrics::fmt(off.overshoot_pct.mean()),
+                 metrics::fmt(off.cost_ratio(), 3)});
+
+  for (double margin : {0.25, 0.5, 1.0, 2.0}) {
+    core::ExperimentConfig cfg = base;
+    cfg.network.sampling.enabled = true;
+    cfg.network.sampling.margin_frac = margin;
+    const core::ExperimentResults res = core::Experiment(cfg).run();
+    const double saved =
+        100.0 * (1.0 - static_cast<double>(res.samples_taken) /
+                           static_cast<double>(off.samples_taken));
+    table.add_row({metrics::fmt(margin), std::to_string(res.samples_taken),
+                   metrics::fmt(saved),
+                   std::to_string(res.updates_transmitted),
+                   metrics::fmt(res.coverage_pct.mean()),
+                   metrics::fmt(res.overshoot_pct.mean()),
+                   metrics::fmt(res.cost_ratio(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe predictor trades ADC energy against detection fidelity: "
+               "small margins keep\ncoverage at the always-sample level while "
+               "already skipping most samples on the\nslow-moving sensor "
+               "types; aggressive margins save more but delay threshold-\n"
+               "crossing detection (coverage/overshoot drift).\n";
+  return 0;
+}

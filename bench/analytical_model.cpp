@@ -1,0 +1,65 @@
+// E5 — Section 5 analytical model: CFTotal, CQDmax, CUDmax and fMax over a
+// (k, d) grid, the paper's worked example (k=2, d=4 -> fMax ~ 0.76), and a
+// cross-check of the closed forms against the simulated flooding baseline.
+#include "analysis/cost_model.hpp"
+#include "bench_util.hpp"
+#include "core/flooding.hpp"
+#include "net/placement.hpp"
+#include "net/spanning_tree.hpp"
+#include "sim/rng.hpp"
+
+int main() {
+  using namespace dirq;
+  bench::print_header("Section 5 — analytical cost model",
+                      "ICPPW'06 DirQ paper, Eqs. (3)-(8), Section 5");
+
+  metrics::Table table({"k", "d", "nodes", "CFTotal", "CQDmax", "CUDmax",
+                        "fMax", "sim_flood"});
+  for (std::int64_t k : {2, 3, 4, 8}) {
+    for (std::int64_t d : {1, 2, 3, 4}) {
+      if (analysis::tree_nodes(k, d) > 5000) continue;
+      net::Topology topo = net::knary_tree(static_cast<std::size_t>(k),
+                                           static_cast<std::size_t>(d));
+      const core::FloodOutcome flood = core::FloodingScheme(topo).flood_from(0);
+      table.add_row({std::to_string(k), std::to_string(d),
+                     std::to_string(analysis::tree_nodes(k, d)),
+                     std::to_string(analysis::flooding_cost(k, d)),
+                     std::to_string(analysis::cqd_max(k, d)),
+                     std::to_string(analysis::cud_max(k, d)),
+                     metrics::fmt(analysis::f_max(k, d), 4),
+                     std::to_string(flood.cost())});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper worked example (Section 5.3): k=2, d=4 -> fMax = "
+            << metrics::fmt(analysis::f_max(2, 4), 4)
+            << "  (paper reports ~0.76)\n\n";
+
+  // The runtime bound for the actual evaluation topology (50 random nodes).
+  sim::Rng rng(42);
+  net::Topology topo = net::random_connected(net::RandomPlacementConfig{}, rng);
+  net::SpanningTree tree(topo, 0);
+  std::int64_t internal = 0;
+  for (NodeId u : tree.bfs_order()) {
+    if (!tree.children(u).empty()) ++internal;
+  }
+  const auto n = static_cast<std::int64_t>(topo.alive_count());
+  const auto links = static_cast<std::int64_t>(topo.link_count());
+  metrics::Table g({"metric", "value"});
+  g.add_row({"nodes", std::to_string(n)});
+  g.add_row({"links", std::to_string(links)});
+  g.add_row({"tree max branching (k)", std::to_string(tree.max_branching())});
+  g.add_row({"tree depth (d)", std::to_string(tree.max_depth())});
+  g.add_row({"CFTotal (graph)",
+             std::to_string(analysis::flooding_cost_graph(n, links))});
+  g.add_row({"CQDmax (graph)",
+             std::to_string(analysis::cqd_max_graph(n, internal))});
+  g.add_row({"CUDmax (graph)", std::to_string(analysis::cud_max_graph(n))});
+  g.add_row({"fMax (graph)",
+             metrics::fmt(analysis::f_max_graph(n, links, internal), 4)});
+  std::cout << "Runtime bound for the paper's 50-node random topology "
+               "(seed 42):\n";
+  g.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Extension E11 — three-way comparison: DirQ (ATC) vs the SRT-style static
+// index (paper ref [5]) vs flooding, on the paper's §7 workload.
+//
+// Quantifies the related-work argument of §2: SRT's one-time static index
+// beats flooding through type/region pruning but cannot prune on current
+// sensor values, so selective queries sweep every capable subtree; DirQ
+// pays continuous update traffic to prune by value and wins overall when
+// queries are frequent.
+#include "bench_util.hpp"
+#include "core/srt.hpp"
+#include "net/placement.hpp"
+#include "query/workload.hpp"
+#include "sim/rng.hpp"
+
+int main() {
+  using namespace dirq;
+  bench::print_header("Baseline — DirQ vs SRT static index vs flooding",
+                      "paper Section 2 related-work comparison");
+
+  metrics::Table table({"relevant_%", "scheme", "per_query_cost",
+                        "maintenance_total", "total_cost", "vs_flooding"});
+
+  for (double fraction : {0.2, 0.4, 0.6}) {
+    // DirQ with ATC: full 20k-epoch experiment.
+    core::ExperimentConfig cfg = bench::with_atc(bench::paper_config(), fraction);
+    cfg.keep_records = false;
+    const core::ExperimentResults dirq = core::Experiment(cfg).run();
+    const double queries = static_cast<double>(dirq.queries);
+
+    // SRT on the identical world: replay the same query stream against the
+    // static index (same seed -> same topology, environment, workload).
+    sim::Rng rng(cfg.seed);
+    net::Topology topo = net::random_connected(cfg.placement, rng);
+    data::Environment env(topo, 4, rng.substream("environment"));
+    net::SpanningTree tree(topo, 0);
+    core::SrtScheme srt(topo, tree);
+    query::WorkloadGenerator workload(topo, tree, env,
+                                      query::WorkloadConfig{fraction, 0.02},
+                                      rng.substream("workload"));
+    CostUnits srt_query_cost = 0;
+    CostUnits flood_total = 0;
+    const core::FloodingScheme flooding(topo);
+    for (std::int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+      env.advance_to(epoch);
+      if (epoch % cfg.query_period == 0 && epoch > 0) {
+        const query::RangeQuery q = workload.next(epoch);
+        srt_query_cost += srt.disseminate(q).cost;
+        flood_total += flooding.analytical_cost();
+      }
+    }
+
+    const auto pct = metrics::fmt(fraction * 100.0, 0);
+    const CostUnits dirq_total = dirq.ledger.total();
+    const CostUnits srt_total = srt_query_cost + srt.build_cost();
+    table.add_row({pct, "DirQ (ATC)",
+                   metrics::fmt(static_cast<double>(dirq.ledger.query_cost()) / queries),
+                   std::to_string(dirq.ledger.update_cost() +
+                                  dirq.ledger.control_cost()),
+                   std::to_string(dirq_total),
+                   metrics::fmt(static_cast<double>(dirq_total) /
+                                    static_cast<double>(flood_total),
+                                3)});
+    table.add_row({pct, "SRT (static index)",
+                   metrics::fmt(static_cast<double>(srt_query_cost) / queries),
+                   std::to_string(srt.build_cost()),
+                   std::to_string(srt_total),
+                   metrics::fmt(static_cast<double>(srt_total) /
+                                    static_cast<double>(flood_total),
+                                3)});
+    table.add_row({pct, "flooding",
+                   metrics::fmt(static_cast<double>(flood_total) / queries),
+                   "0", std::to_string(flood_total), "1.000"});
+  }
+  table.print(std::cout);
+  std::cout << "\nSRT pays almost nothing in maintenance but sweeps every "
+               "type-capable subtree per\nquery; DirQ's update traffic buys "
+               "value-based pruning. The paper's §2 positioning\n(SRT for "
+               "constant attributes, DirQ for varying ones) is the gap "
+               "between the two\nper-query columns.\n";
+  return 0;
+}

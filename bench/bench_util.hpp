@@ -1,0 +1,44 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "metrics/report.hpp"
+
+namespace dirq::bench {
+
+/// The paper's §7 configuration: 50 nodes, 20 000 epochs, one query per
+/// 20 epochs. Callers override the theta mode and relevant fraction.
+inline core::ExperimentConfig paper_config(std::uint64_t seed = 42) {
+  core::ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.epochs = 20000;
+  cfg.query_period = 20;
+  return cfg;
+}
+
+inline core::ExperimentConfig with_fixed_theta(core::ExperimentConfig cfg,
+                                               double pct, double fraction) {
+  cfg.network.mode = core::NetworkConfig::ThetaMode::Fixed;
+  cfg.network.fixed_pct = pct;
+  cfg.relevant_fraction = fraction;
+  return cfg;
+}
+
+inline core::ExperimentConfig with_atc(core::ExperimentConfig cfg,
+                                       double fraction) {
+  cfg.network.mode = core::NetworkConfig::ThetaMode::Atc;
+  cfg.relevant_fraction = fraction;
+  return cfg;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref << ")\n"
+            << "==============================================================\n\n";
+}
+
+}  // namespace dirq::bench

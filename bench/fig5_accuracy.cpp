@@ -1,0 +1,51 @@
+// E1/E2 — Fig. 5(a),(b): effect of the threshold theta on dissemination
+// accuracy, for 20/40/60 % relevant-node targets.
+//
+// For each (relevant %, theta) cell this prints the paper's four series as
+// run averages over 20 000 epochs (999 queries):
+//   should   — % of nodes that SHOULD receive the query (sources +
+//              forwarders, ground truth)
+//   receive  — % of nodes that RECEIVE the query under DirQ
+//   source   — % of nodes whose reading actually matches
+//   wrong    — % of nodes that SHOULD NOT receive it yet did
+//
+// Paper shape: `receive` - `should` widens as theta grows; the effect is
+// strongest at small relevant percentages.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dirq;
+  bench::print_header("Fig. 5 — effect of theta on accuracy",
+                      "ICPPW'06 DirQ paper, Figure 5(a)/(b), Section 7.1");
+
+  for (double fraction : {0.2, 0.4, 0.6}) {
+    metrics::Table table({"theta_pct", "should_%", "receive_%", "source_%",
+                          "should_not_%", "overshoot_%"});
+    metrics::TsvBlock tsv(
+        "fig5 relevant=" + metrics::fmt(fraction * 100.0, 0) + "%",
+        {"theta_pct", "should_pct", "receive_pct", "source_pct", "wrong_pct",
+         "overshoot_pct"});
+    for (int theta = 1; theta <= 9; ++theta) {
+      core::ExperimentConfig cfg = bench::with_fixed_theta(
+          bench::paper_config(), static_cast<double>(theta), fraction);
+      cfg.keep_records = false;
+      const core::ExperimentResults res = core::Experiment(cfg).run();
+      table.add_row({metrics::fmt(theta, 0), metrics::fmt(res.should_pct.mean()),
+                     metrics::fmt(res.receive_pct.mean()),
+                     metrics::fmt(res.source_pct.mean()),
+                     metrics::fmt(res.wrong_pct.mean()),
+                     metrics::fmt(res.overshoot_pct.mean())});
+      tsv.add_row({metrics::fmt(theta, 0), metrics::fmt(res.should_pct.mean(), 4),
+                   metrics::fmt(res.receive_pct.mean(), 4),
+                   metrics::fmt(res.source_pct.mean(), 4),
+                   metrics::fmt(res.wrong_pct.mean(), 4),
+                   metrics::fmt(res.overshoot_pct.mean(), 4)});
+    }
+    std::cout << "Percentage of relevant nodes = "
+              << metrics::fmt(fraction * 100.0, 0) << "%\n";
+    table.print(std::cout);
+    std::cout << '\n';
+    tsv.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E4/E7 — Fig. 7: per-query overshoot over time for fixed theta = 3/5/9 %
+// and ATC at the 20 % relevant-nodes setting, plus the paper's headline
+// "average overshoot of only 3.6 %" for ATC.
+//
+// Paper shape: overshoot ordering 9% > 5% > 3% ~ ATC; ATC's average stays
+// in the low single digits despite its update throttling.
+#include <map>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dirq;
+  bench::print_header("Fig. 7 — overshoot: fixed theta vs ATC",
+                      "ICPPW'06 DirQ paper, Figure 7, Section 7.2");
+
+  constexpr double kFraction = 0.2;
+  const std::vector<std::string> labels{"delta=3%", "delta=5%", "delta=9%",
+                                        "delta=ATC"};
+  std::map<std::string, core::ExperimentResults> results;
+  results.emplace(labels[0],
+                  core::Experiment(bench::with_fixed_theta(
+                                       bench::paper_config(), 3.0, kFraction))
+                      .run());
+  results.emplace(labels[1],
+                  core::Experiment(bench::with_fixed_theta(
+                                       bench::paper_config(), 5.0, kFraction))
+                      .run());
+  results.emplace(labels[2],
+                  core::Experiment(bench::with_fixed_theta(
+                                       bench::paper_config(), 9.0, kFraction))
+                      .run());
+  results.emplace(labels[3],
+                  core::Experiment(
+                      bench::with_atc(bench::paper_config(), kFraction))
+                      .run());
+
+  std::cout << "Percentage of relevant nodes = 20%\n\n";
+  metrics::Table summary({"series", "delivery_overshoot_%", "wrong_of_pop_%",
+                          "src_overshoot_%", "delivery_coverage_%",
+                          "src_coverage_%"});
+  for (const std::string& label : labels) {
+    const core::ExperimentResults& r = results.at(label);
+    summary.add_row({label, metrics::fmt(r.overshoot_pct.mean()),
+                     metrics::fmt(r.wrong_pct.mean()),
+                     metrics::fmt(r.source_overshoot_pct.mean()),
+                     metrics::fmt(r.coverage_pct.mean()),
+                     metrics::fmt(r.source_coverage_pct.mean())});
+  }
+  summary.print(std::cout);
+  std::cout
+      << "\nPaper headline: ATC average overshoot ~3.6%. Overshoot metric "
+         "definitions are\ndiscussed in EXPERIMENTS.md (the paper's exact "
+         "formula lives in its unavailable\nref [13]); the reproduced shape "
+         "is the ordering delta=9% > 5% > ATC ~ 3% and the\npopulation-"
+         "normalised column staying in single digits for small theta.\n\n";
+
+  // Time series: mean overshoot per 500-epoch window (25 queries each).
+  metrics::TsvBlock tsv("fig7 overshoot %, relevant=20%",
+                        {"epoch", "delta3", "delta5", "delta9", "atc"});
+  constexpr std::int64_t kWindow = 500;
+  std::map<std::string, std::vector<double>> series;
+  std::map<std::string, std::vector<int>> counts;
+  for (const std::string& label : labels) {
+    series[label].assign(20000 / kWindow, 0.0);
+    counts[label].assign(20000 / kWindow, 0);
+    for (const core::QueryRecord& rec : results.at(label).records) {
+      const auto w = static_cast<std::size_t>(rec.epoch / kWindow);
+      series[label][w] += rec.audit.overshoot_pct();
+      counts[label][w] += 1;
+    }
+  }
+  for (std::size_t w = 0; w < 20000 / kWindow; ++w) {
+    std::vector<std::string> row{std::to_string(w * kWindow)};
+    for (const std::string& label : labels) {
+      const int n = counts[label][w];
+      row.push_back(metrics::fmt(n ? series[label][w] / n : 0.0, 3));
+    }
+    tsv.add_row(std::move(row));
+  }
+  tsv.print(std::cout);
+  return 0;
+}

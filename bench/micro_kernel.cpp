@@ -1,0 +1,136 @@
+// E8 — microbenchmarks (google-benchmark): throughput of the substrate
+// primitives the figure runs lean on. Not a paper figure; engineering due
+// diligence for the simulation kernel.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "core/range_table.hpp"
+#include "data/field_model.hpp"
+#include "net/placement.hpp"
+#include "query/workload.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace dirq;
+
+void BM_SchedulerScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    for (int i = 0; i < 1000; ++i) {
+      s.schedule_at(i, [] {});
+    }
+    benchmark::DoNotOptimize(s.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleDispatch);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(1000);
+    for (int i = 0; i < 1000; ++i) handles.push_back(s.schedule_at(i, [] {}));
+    for (std::size_t i = 0; i < handles.size(); i += 2) s.cancel(handles[i]);
+    benchmark::DoNotOptimize(s.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerCancelHeavy);
+
+void BM_RngNormal(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal(0.0, 1.0));
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_RangeTableObserve(benchmark::State& state) {
+  core::RangeTable t;
+  sim::Rng rng(2);
+  double reading = 20.0;
+  for (auto _ : state) {
+    reading += rng.uniform(-0.5, 0.5);
+    benchmark::DoNotOptimize(t.observe(reading, 1.1));
+  }
+}
+BENCHMARK(BM_RangeTableObserve);
+
+void BM_RangeTableAggregate(benchmark::State& state) {
+  core::RangeTable t;
+  t.observe(20.0, 1.0);
+  for (NodeId c = 1; c <= static_cast<NodeId>(state.range(0)); ++c) {
+    t.set_child(c, {10.0 + c, 30.0 + c});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.aggregate());
+  }
+}
+BENCHMARK(BM_RangeTableAggregate)->Arg(2)->Arg(8);
+
+void BM_FieldEpochAdvance(benchmark::State& state) {
+  sim::Rng rng(42);
+  net::Topology topo = net::random_connected(net::RandomPlacementConfig{}, rng);
+  data::Environment env(topo, 4, rng.substream("env"));
+  std::int64_t epoch = 0;
+  for (auto _ : state) {
+    env.advance_to(++epoch);
+    benchmark::DoNotOptimize(env.reading(1, kSensorTemperature));
+  }
+}
+BENCHMARK(BM_FieldEpochAdvance);
+
+void BM_QueryInject(benchmark::State& state) {
+  sim::Rng rng(42);
+  net::Topology topo = net::random_connected(net::RandomPlacementConfig{}, rng);
+  data::Environment env(topo, 4, rng.substream("env"));
+  core::NetworkConfig ncfg;
+  core::DirqNetwork net(topo, 0, ncfg);
+  env.advance_to(0);
+  net.process_epoch(env, 0);
+  query::WorkloadGenerator gen(topo, net.tree(), env,
+                               query::WorkloadConfig{0.4, 0.02},
+                               rng.substream("wl"));
+  std::int64_t epoch = 0;
+  for (auto _ : state) {
+    ++epoch;
+    const query::RangeQuery q = gen.next(epoch);
+    benchmark::DoNotOptimize(net.inject(q, epoch));
+  }
+}
+BENCHMARK(BM_QueryInject);
+
+void BM_FullEpochLoop(benchmark::State& state) {
+  // One sensing epoch of the whole 50-node network (sampling + update
+  // propagation) — the inner loop of every figure run.
+  sim::Rng rng(42);
+  net::Topology topo = net::random_connected(net::RandomPlacementConfig{}, rng);
+  data::Environment env(topo, 4, rng.substream("env"));
+  core::NetworkConfig ncfg;
+  core::DirqNetwork net(topo, 0, ncfg);
+  std::int64_t epoch = -1;
+  for (auto _ : state) {
+    ++epoch;
+    env.advance_to(epoch);
+    net.process_epoch(env, epoch);
+  }
+}
+BENCHMARK(BM_FullEpochLoop);
+
+void BM_Flooding50Nodes(benchmark::State& state) {
+  sim::Rng rng(42);
+  net::Topology topo = net::random_connected(net::RandomPlacementConfig{}, rng);
+  core::FloodingScheme flood(topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flood.flood_from(0));
+  }
+}
+BENCHMARK(BM_Flooding50Nodes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

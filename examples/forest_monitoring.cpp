@@ -1,0 +1,103 @@
+// Forest-monitoring scenario — the paper's Section 3 application.
+//
+// A 50-node environmental network serves a mixed user population
+// (researchers, students, the public) whose query load varies over the
+// day. The gateway predicts the hourly query count (EHr) from history and
+// DirQ's ATC adapts every node's threshold autonomously: busy hours buy
+// accuracy with more updates, quiet hours conserve energy.
+//
+//   $ ./forest_monitoring
+#include <iostream>
+
+#include "dirq/dirq.hpp"
+
+int main() {
+  using namespace dirq;
+
+  sim::Rng rng(7);
+  net::Topology topo = net::random_connected(net::RandomPlacementConfig{}, rng);
+  data::Environment env(topo, 4, rng.substream("environment"));
+
+  core::NetworkConfig cfg;
+  cfg.mode = core::NetworkConfig::ThetaMode::Atc;
+  core::DirqNetwork network(topo, 0, cfg);
+  core::FloodingScheme flooding(topo);
+  query::QueryRatePredictor predictor(0.4, kEpochsPerHour);
+  query::WorkloadGenerator workload(topo, network.tree(), env,
+                                    query::WorkloadConfig{0.4, 0.02},
+                                    rng.substream("workload"));
+  sim::Rng arrivals = rng.substream("arrivals");
+
+  // Diurnal user demand: queries arrive with a period that swings between
+  // one per 10 epochs (daytime peak) and one per 80 epochs (night).
+  const auto query_period = [](std::int64_t epoch) {
+    const double day = static_cast<double>(epoch % (2 * kEpochsPerHour)) /
+                       static_cast<double>(2 * kEpochsPerHour);
+    return static_cast<std::int64_t>(10.0 + 70.0 * (0.5 + 0.5 * std::cos(
+                                                        6.283185 * day)));
+  };
+
+  metrics::Table table({"hour", "EHr_predicted", "queries_actual",
+                        "updates_sent", "mean_theta_%", "dirq_cost",
+                        "flood_equiv", "ratio"});
+
+  std::int64_t next_query = 20;
+  std::int64_t queries_this_hour = 0;
+  std::int64_t updates_at_hour_start = 0;
+  CostUnits cost_at_hour_start = 0;
+  CostUnits flood_equiv = 0;
+  const std::int64_t total_epochs = 6 * kEpochsPerHour;  // six hours
+
+  for (std::int64_t epoch = 0; epoch < total_epochs; ++epoch) {
+    env.advance_to(epoch);
+    if (epoch % kEpochsPerHour == 0) {
+      const double ehr = predictor.completed_hours() > 0
+                             ? predictor.predict_next_hour()
+                             : 180.0;
+      network.broadcast_ehr(ehr, epoch);
+      queries_this_hour = 0;
+      updates_at_hour_start = network.updates_transmitted();
+      cost_at_hour_start = network.costs().total();
+      flood_equiv = 0;
+    }
+    network.process_epoch(env, epoch);
+    if (epoch == next_query) {
+      const query::RangeQuery q = workload.next(epoch);
+      predictor.record_query(epoch);
+      (void)network.inject(q, epoch);
+      ++queries_this_hour;
+      flood_equiv += flooding.analytical_cost();
+      next_query = epoch + query_period(epoch) +
+                   arrivals.uniform_int(-3, 3);  // jittered arrivals
+    }
+    if ((epoch + 1) % kEpochsPerHour == 0) {
+      double theta_sum = 0.0;
+      std::size_t n = 0;
+      for (NodeId u : network.tree().bfs_order()) {
+        if (u == network.root()) continue;
+        theta_sum += network.node(u).controller().theta_pct(kSensorTemperature);
+        ++n;
+      }
+      const CostUnits dirq_cost = network.costs().total() - cost_at_hour_start;
+      table.add_row(
+          {std::to_string(epoch / kEpochsPerHour),
+           metrics::fmt(predictor.predict_next_hour(), 0),
+           std::to_string(queries_this_hour),
+           std::to_string(network.updates_transmitted() - updates_at_hour_start),
+           metrics::fmt(theta_sum / static_cast<double>(n)),
+           std::to_string(dirq_cost), std::to_string(flood_equiv),
+           flood_equiv > 0
+               ? metrics::fmt(static_cast<double>(dirq_cost) /
+                                  static_cast<double>(flood_equiv),
+                              2)
+               : "-"});
+    }
+  }
+
+  std::cout << "Six simulated hours of forest monitoring under diurnal user "
+               "demand\n(ATC adapts thresholds to the predicted load):\n\n";
+  table.print(std::cout);
+  std::cout << "\nNote how update spend tracks the query load while the "
+               "hourly cost ratio stays\nwell under 1.0 (flooding).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "analysis/cost_model.hpp"
+
+#include <limits>
+
+namespace dirq::analysis {
+
+std::int64_t ipow(std::int64_t k, std::int64_t e) {
+  if (k < 0 || e < 0) throw std::invalid_argument("ipow: negative input");
+  std::int64_t r = 1;
+  for (std::int64_t i = 0; i < e; ++i) {
+    if (k != 0 && r > std::numeric_limits<std::int64_t>::max() / k) {
+      throw std::overflow_error("ipow: overflow");
+    }
+    r *= k;
+  }
+  return r;
+}
+
+namespace {
+void require_tree(std::int64_t k, std::int64_t d) {
+  if (k < 2) throw std::invalid_argument("cost model requires k >= 2");
+  if (d < 0) throw std::invalid_argument("cost model requires d >= 0");
+}
+}  // namespace
+
+std::int64_t tree_nodes(std::int64_t k, std::int64_t d) {
+  require_tree(k, d);
+  return (ipow(k, d + 1) - 1) / (k - 1);
+}
+
+std::int64_t tree_leaves(std::int64_t k, std::int64_t d) {
+  require_tree(k, d);
+  return ipow(k, d);
+}
+
+std::int64_t flooding_cost_graph(std::int64_t nodes, std::int64_t links) {
+  return nodes + 2 * links;  // Eq. (3)
+}
+
+std::int64_t flooding_cost(std::int64_t k, std::int64_t d) {
+  require_tree(k, d);
+  // Eq. (4): (3 k^{d+1} - 2k - 1)/(k - 1). Equivalent to N + 2(N - 1).
+  return (3 * ipow(k, d + 1) - 2 * k - 1) / (k - 1);
+}
+
+std::int64_t cqd_max(std::int64_t k, std::int64_t d) {
+  require_tree(k, d);
+  // Eq. (6): (k^d + k^{d+1} - k - 1)/(k - 1).
+  // Derivation: every edge carries the query once (N - 1 receptions); the
+  // senders are the non-leaf nodes, each transmitting k unicasts
+  // (N - 1 transmissions shared among non-leaves). Total 2(N - 1) minus
+  // nothing — but leaves transmit nothing, which the closed form already
+  // accounts for: 2(N-1) = (k^d + k^{d+1} - ... ) identity checked in tests.
+  return (ipow(k, d) + ipow(k, d + 1) - k - 1) / (k - 1);
+}
+
+std::int64_t cud_max(std::int64_t k, std::int64_t d) {
+  require_tree(k, d);
+  // Eq. (7): 2 (k^{d+1} - k)/(k - 1) = 2 * (N - 1) ... one update message
+  // up every tree edge, each costing tx + rx.
+  return 2 * (ipow(k, d + 1) - k) / (k - 1);
+}
+
+double f_max(std::int64_t k, std::int64_t d) {
+  require_tree(k, d);
+  // Eq. (8): largest f with CQDmax + f * CUDmax <= CFTotal.
+  return static_cast<double>(flooding_cost(k, d) - cqd_max(k, d)) /
+         static_cast<double>(cud_max(k, d));
+}
+
+double ctd_max(std::int64_t k, std::int64_t d, double f) {
+  require_tree(k, d);
+  return static_cast<double>(cqd_max(k, d)) +
+         f * static_cast<double>(cud_max(k, d));
+}
+
+std::int64_t cqd_max_graph(std::int64_t nodes, std::int64_t internal_nodes) {
+  if (nodes < 1 || internal_nodes < 0 || internal_nodes >= nodes) {
+    throw std::invalid_argument("cqd_max_graph: bad node counts");
+  }
+  return internal_nodes + (nodes - 1);
+}
+
+std::int64_t cud_max_graph(std::int64_t nodes) {
+  if (nodes < 1) throw std::invalid_argument("cud_max_graph: bad node count");
+  return 2 * (nodes - 1);
+}
+
+double f_max_graph(std::int64_t nodes, std::int64_t links,
+                   std::int64_t internal_nodes) {
+  if (nodes < 2) throw std::invalid_argument("f_max_graph: need >= 2 nodes");
+  return static_cast<double>(flooding_cost_graph(nodes, links) -
+                             cqd_max_graph(nodes, internal_nodes)) /
+         static_cast<double>(cud_max_graph(nodes));
+}
+
+}  // namespace dirq::analysis

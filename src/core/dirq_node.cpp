@@ -1,0 +1,241 @@
+#include "core/dirq_node.hpp"
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+
+namespace dirq::core {
+
+DirqNode::DirqNode(NodeId id, std::vector<SensorType> sensors,
+                   std::unique_ptr<ThetaController> controller)
+    : id_(id),
+      sensors_(sensors.begin(), sensors.end()),
+      controller_(std::move(controller)) {}
+
+void DirqNode::set_children(std::vector<NodeId> children) {
+  std::sort(children.begin(), children.end());
+  children_ = std::move(children);
+}
+
+RangeTable& DirqNode::table_mut(SensorType type) { return tables_[type]; }
+
+const RangeTable* DirqNode::table(SensorType type) const {
+  auto it = tables_.find(type);
+  if (it == tables_.end() || !it->second.has_any()) return nullptr;
+  return &it->second;
+}
+
+void DirqNode::sample(SensorType type, double reading, std::int64_t epoch) {
+  if (!sensors_.contains(type)) return;  // not our sensor: ignore
+  controller_->on_reading(type, reading);
+  RangeTable& t = table_mut(type);
+  if (t.observe(reading, controller_->theta(type))) {
+    maybe_send_update(type, epoch);
+  }
+}
+
+void DirqNode::end_epoch(std::int64_t epoch) { controller_->on_epoch(epoch); }
+
+void DirqNode::maybe_send_update(SensorType type, std::int64_t epoch) {
+  RangeTable& t = table_mut(type);
+  if (!t.needs_update(controller_->theta(type))) return;
+  const RangeAggregate agg = t.aggregate();
+  t.mark_sent();
+  if (parent_ == kNoNode) return;  // root: aggregates stop here
+  UpdateMessage u;
+  u.from = id_;
+  u.type = type;
+  if (agg.has_value()) {
+    u.min = agg->min;
+    u.max = agg->max;
+    u.has_range = true;
+  } else {
+    u.has_range = false;  // retraction: type left this subtree
+  }
+  ++updates_sent_;
+  controller_->on_update_sent(type, epoch);
+  if (send_) send_(id_, parent_, Message{u});
+}
+
+void DirqNode::handle(const Message& msg, NodeId from, std::int64_t epoch) {
+  if (const auto* u = std::get_if<UpdateMessage>(&msg)) {
+    handle_update(*u, from, epoch);
+  } else if (const auto* q = std::get_if<QueryMessage>(&msg)) {
+    handle_query(*q, epoch);
+  } else if (const auto* mq = std::get_if<MultiQueryMessage>(&msg)) {
+    handle_multi_query(*mq, epoch);
+  } else if (const auto* e = std::get_if<EhrMessage>(&msg)) {
+    handle_ehr(*e, from, epoch);
+  } else if (const auto* l = std::get_if<LocationAnnounce>(&msg)) {
+    handle_location(*l, from, epoch);
+  }
+}
+
+void DirqNode::handle_update(const UpdateMessage& u, NodeId from,
+                             std::int64_t epoch) {
+  // Updates are only meaningful from tree children; stale senders (e.g. a
+  // message in flight across a re-parenting) are ignored.
+  if (!std::binary_search(children_.begin(), children_.end(), from)) return;
+  RangeTable& t = table_mut(u.type);
+  if (u.has_range) {
+    t.set_child(from, RangeEntry{u.min, u.max});
+  } else {
+    t.remove_child(from);
+  }
+  maybe_send_update(u.type, epoch);
+}
+
+void DirqNode::handle_query(const QueryMessage& qm, std::int64_t /*epoch*/) {
+  // Delivery itself is recorded by the network (audit). Here the node
+  // directs the query onward: one transmission addressed to every child
+  // whose announced range overlaps the query window (§4.1, Eq. 6 cost
+  // accounting). Answering (data extraction) is out of the paper's scope.
+  const std::vector<NodeId> targets = forwarding_set(qm.q);
+  if (!targets.empty() && multicast_) multicast_(id_, targets, Message{qm});
+}
+
+void DirqNode::handle_multi_query(const MultiQueryMessage& qm,
+                                  std::int64_t /*epoch*/) {
+  const std::vector<NodeId> targets = forwarding_set(qm.q);
+  if (!targets.empty() && multicast_) multicast_(id_, targets, Message{qm});
+}
+
+net::BBox DirqNode::subtree_box() const {
+  net::BBox box = has_position_ ? net::BBox::point(x_, y_) : net::BBox::empty();
+  for (const auto& [child, b] : child_boxes_) box = box.join(b);
+  return box;
+}
+
+void DirqNode::announce_location(std::int64_t /*epoch*/) {
+  const net::BBox box = subtree_box();
+  if (box.is_empty()) return;  // nothing located in this subtree
+  if (box_sent_ && box == sent_box_) return;
+  sent_box_ = box;
+  box_sent_ = true;
+  if (parent_ != kNoNode && send_) {
+    send_(id_, parent_, Message{LocationAnnounce{id_, box}});
+  }
+}
+
+void DirqNode::handle_location(const LocationAnnounce& l, NodeId from,
+                               std::int64_t epoch) {
+  if (!std::binary_search(children_.begin(), children_.end(), from)) return;
+  child_boxes_[from] = l.box;
+  announce_location(epoch);  // propagate growth toward the root
+}
+
+void DirqNode::handle_ehr(const EhrMessage& e, NodeId /*from*/,
+                          std::int64_t epoch) {
+  if (e.round <= last_ehr_round_) return;  // duplicate of this flood round
+  last_ehr_round_ = e.round;
+  controller_->on_ehr(e, epoch);
+  if (broadcast_) broadcast_(id_, Message{e});  // re-flood once
+}
+
+bool DirqNode::child_may_be_in_region(
+    NodeId child, const std::optional<net::BBox>& region) const {
+  if (!region.has_value()) return true;
+  auto it = child_boxes_.find(child);
+  if (it == child_boxes_.end()) return true;  // unknown box: never prune
+  return region->intersects(it->second);
+}
+
+std::vector<NodeId> DirqNode::forwarding_set(const query::RangeQuery& q) const {
+  std::vector<NodeId> out;
+  auto it = tables_.find(q.type);
+  if (it == tables_.end()) return out;
+  for (const auto& [child, range] : it->second.children()) {
+    if (q.overlaps(range.min, range.max) &&
+        child_may_be_in_region(child, q.region)) {
+      out.push_back(child);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> DirqNode::forwarding_set(const query::MultiQuery& q) const {
+  // Conjunctive pruning: a child survives only if EVERY predicate's
+  // subtree range overlaps (and the region test passes). A child that
+  // never announced some predicate's type provably has no node carrying
+  // all types in its subtree — prune it.
+  std::vector<NodeId> out;
+  if (q.predicates.empty()) return out;
+  for (NodeId child : children_) {
+    bool all = child_may_be_in_region(child, q.region);
+    for (const query::AttributePredicate& p : q.predicates) {
+      if (!all) break;
+      auto it = tables_.find(p.type);
+      const std::optional<RangeEntry> range =
+          it == tables_.end() ? std::nullopt : it->second.child(child);
+      all = range.has_value() && p.overlaps(range->min, range->max);
+    }
+    if (all) out.push_back(child);
+  }
+  return out;
+}
+
+bool DirqNode::believes_relevant(const query::RangeQuery& q) const {
+  if (q.region && has_position_ && !q.region->contains(x_, y_)) return false;
+  auto it = tables_.find(q.type);
+  if (it == tables_.end() || !it->second.own().has_value()) return false;
+  const RangeEntry& own = *it->second.own();
+  return q.overlaps(own.min, own.max);
+}
+
+bool DirqNode::believes_relevant(const query::MultiQuery& q) const {
+  if (q.predicates.empty()) return false;
+  if (q.region && has_position_ && !q.region->contains(x_, y_)) return false;
+  for (const query::AttributePredicate& p : q.predicates) {
+    if (!sensors_.contains(p.type)) return false;
+    auto it = tables_.find(p.type);
+    if (it == tables_.end() || !it->second.own().has_value()) return false;
+    const RangeEntry& own = *it->second.own();
+    if (!p.overlaps(own.min, own.max)) return false;
+  }
+  return true;
+}
+
+void DirqNode::on_child_lost(NodeId child, std::int64_t epoch) {
+  for (auto& [type, t] : tables_) {
+    if (t.remove_child(child)) {
+      sim::log(sim::LogLevel::Debug, "dirq", "node ", id_,
+               " dropped child ", child, " from table ", type);
+      maybe_send_update(type, epoch);
+    }
+  }
+  if (child_boxes_.erase(child) > 0) announce_location(epoch);
+  std::erase(children_, child);
+}
+
+void DirqNode::force_reannounce(std::int64_t epoch) {
+  for (auto& [type, t] : tables_) {
+    if (!t.has_any()) continue;
+    const RangeAggregate agg = t.aggregate();
+    t.mark_sent();
+    if (parent_ == kNoNode) continue;
+    UpdateMessage u;
+    u.from = id_;
+    u.type = type;
+    u.min = agg->min;
+    u.max = agg->max;
+    u.has_range = true;
+    ++updates_sent_;
+    controller_->on_update_sent(type, epoch);
+    if (send_) send_(id_, parent_, Message{u});
+  }
+  // The new parent also needs our subtree bounding box.
+  box_sent_ = false;
+  announce_location(epoch);
+}
+
+void DirqNode::attach_sensor(SensorType type) { sensors_.insert(type); }
+
+void DirqNode::detach_sensor(SensorType type, std::int64_t epoch) {
+  if (sensors_.erase(type) == 0) return;
+  auto it = tables_.find(type);
+  if (it == tables_.end()) return;
+  it->second.clear_own();
+  maybe_send_update(type, epoch);
+}
+
+}  // namespace dirq::core

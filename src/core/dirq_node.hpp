@@ -1,0 +1,166 @@
+// One DirQ protocol instance — the state machine running on every sensor
+// node (paper §4).
+//
+// The node is transport-agnostic and clock-agnostic: the surrounding
+// DirqNetwork feeds it readings, delivered messages and tree-maintenance
+// events, and it emits messages through a send callback. All decisions use
+// only locally available information (own readings, one-hop child tuples,
+// the hourly EHr broadcast) — the paper's core autonomy claim.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/atc.hpp"
+#include "core/messages.hpp"
+#include "core/range_table.hpp"
+#include "sim/types.hpp"
+
+namespace dirq::core {
+
+class DirqNode {
+ public:
+  /// Sends a message to a one-hop neighbour (wired to the transport).
+  using SendFn = std::function<void(NodeId from, NodeId to, const Message&)>;
+  /// One transmission addressed to several children (query forwarding).
+  using MulticastFn = std::function<void(NodeId from, const std::vector<NodeId>&,
+                                         const Message&)>;
+  /// Link-layer broadcast (used to re-flood the EHr estimate).
+  using BroadcastFn = std::function<void(NodeId from, const Message&)>;
+
+  DirqNode(NodeId id, std::vector<SensorType> sensors,
+           std::unique_ptr<ThetaController> controller);
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+  // --- wiring -------------------------------------------------------------
+
+  void set_send(SendFn fn) { send_ = std::move(fn); }
+  void set_multicast(MulticastFn fn) { multicast_ = std::move(fn); }
+  void set_broadcast(BroadcastFn fn) { broadcast_ = std::move(fn); }
+
+  /// Tree position maintenance (driven by DirqNetwork on build/churn).
+  void set_parent(NodeId parent) noexcept { parent_ = parent; }
+  [[nodiscard]] NodeId parent() const noexcept { return parent_; }
+  void set_children(std::vector<NodeId> children);
+  [[nodiscard]] const std::vector<NodeId>& children() const noexcept {
+    return children_;
+  }
+
+  /// Physical position — the optional static location attribute (§2).
+  /// DirQ works without it; with it, regional queries prune on subtree
+  /// bounding boxes.
+  void set_position(double x, double y) noexcept {
+    x_ = x;
+    y_ = y;
+    has_position_ = true;
+  }
+  [[nodiscard]] bool has_position() const noexcept { return has_position_; }
+
+  // --- sensing (paper §4.1, Fig. 1) ----------------------------------------
+
+  /// Feeds one epoch's reading for an attached sensor. May emit an Update
+  /// Message toward the parent if an aggregate moved beyond theta.
+  void sample(SensorType type, double reading, std::int64_t epoch);
+
+  /// End-of-epoch hook: drives the threshold controller's window/steps.
+  void end_epoch(std::int64_t epoch);
+
+  // --- message handling ----------------------------------------------------
+
+  /// Delivered message from a one-hop neighbour.
+  void handle(const Message& msg, NodeId from, std::int64_t epoch);
+
+  // --- topology dynamics (paper §4.2) ---------------------------------------
+
+  /// A one-hop child vanished (cross-layer notification routed through the
+  /// network): drop its tuples from every table, propagate any resulting
+  /// aggregate changes.
+  void on_child_lost(NodeId child, std::int64_t epoch);
+
+  /// Node re-parented after tree repair: every table (and the subtree
+  /// bounding box) must be re-announced to the new parent regardless of
+  /// theta (it knows nothing of us).
+  void force_reannounce(std::int64_t epoch);
+
+  /// Announces the subtree bounding box to the parent if it changed since
+  /// the last announcement (bootstrap, churn, child box growth).
+  void announce_location(std::int64_t epoch);
+
+  /// This node's current subtree bounding box (own point + child boxes);
+  /// empty when the node has no position and no located descendants.
+  [[nodiscard]] net::BBox subtree_box() const;
+
+  /// Post-deployment sensor change on this node (§4.2 scalability).
+  void attach_sensor(SensorType type);
+  void detach_sensor(SensorType type, std::int64_t epoch);
+  [[nodiscard]] const std::set<SensorType>& sensors() const noexcept {
+    return sensors_;
+  }
+
+  // --- inspection ------------------------------------------------------------
+
+  /// Range table for a type, or nullptr if the type is absent from this
+  /// node's subtree (tables exist lazily, Fig. 4).
+  [[nodiscard]] const RangeTable* table(SensorType type) const;
+
+  /// True if this node believes its own reading may satisfy the query
+  /// (its own stored tuple overlaps the query window, and it lies inside
+  /// the region when one is given). This is DirQ's local relevance test;
+  /// it can err toward extra deliveries (overshoot) because the tuple is
+  /// theta-wide.
+  [[nodiscard]] bool believes_relevant(const query::RangeQuery& q) const;
+  [[nodiscard]] bool believes_relevant(const query::MultiQuery& q) const;
+
+  /// Children this node would forward the query to right now.
+  [[nodiscard]] std::vector<NodeId> forwarding_set(const query::RangeQuery& q) const;
+  [[nodiscard]] std::vector<NodeId> forwarding_set(const query::MultiQuery& q) const;
+
+  [[nodiscard]] ThetaController& controller() noexcept { return *controller_; }
+  [[nodiscard]] const ThetaController& controller() const noexcept {
+    return *controller_;
+  }
+
+  /// Update Messages this node transmitted (origin + relay).
+  [[nodiscard]] std::int64_t updates_sent() const noexcept { return updates_sent_; }
+
+  /// EHr rounds seen (flood dedup state), exposed for tests.
+  [[nodiscard]] std::int64_t last_ehr_round() const noexcept { return last_ehr_round_; }
+
+ private:
+  RangeTable& table_mut(SensorType type);
+  /// Emits an update/retraction for `type` if the table demands one.
+  void maybe_send_update(SensorType type, std::int64_t epoch);
+  void handle_update(const UpdateMessage& u, NodeId from, std::int64_t epoch);
+  void handle_query(const QueryMessage& qm, std::int64_t epoch);
+  void handle_multi_query(const MultiQueryMessage& qm, std::int64_t epoch);
+  void handle_ehr(const EhrMessage& e, NodeId from, std::int64_t epoch);
+  void handle_location(const LocationAnnounce& l, NodeId from,
+                       std::int64_t epoch);
+  /// Region pruning for a child: false only when the child's box is known
+  /// and provably outside the region (unknown boxes are never pruned).
+  [[nodiscard]] bool child_may_be_in_region(
+      NodeId child, const std::optional<net::BBox>& region) const;
+
+  NodeId id_;
+  NodeId parent_ = kNoNode;
+  std::vector<NodeId> children_;
+  std::set<SensorType> sensors_;
+  std::map<SensorType, RangeTable> tables_;
+  double x_ = 0.0, y_ = 0.0;
+  bool has_position_ = false;
+  std::map<NodeId, net::BBox> child_boxes_;
+  net::BBox sent_box_ = net::BBox::empty();
+  bool box_sent_ = false;
+  std::unique_ptr<ThetaController> controller_;
+  SendFn send_;
+  MulticastFn multicast_;
+  BroadcastFn broadcast_;
+  std::int64_t updates_sent_ = 0;
+  std::int64_t last_ehr_round_ = -1;
+};
+
+}  // namespace dirq::core

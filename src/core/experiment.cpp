@@ -1,0 +1,123 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "analysis/cost_model.hpp"
+#include "data/field_model.hpp"
+#include "query/rate_predictor.hpp"
+#include "query/workload.hpp"
+#include "sim/rng.hpp"
+
+namespace dirq::core {
+
+ExperimentResults Experiment::run() {
+  sim::Rng rng(cfg_.seed);
+  net::Topology topo = net::random_connected(cfg_.placement, rng);
+  data::Environment env(topo, cfg_.placement.sensor_type_count,
+                        rng.substream("environment"));
+  DirqNetwork network(topo, /*root=*/0, cfg_.network);
+  query::WorkloadGenerator workload(
+      topo, network.tree(), env,
+      query::WorkloadConfig{cfg_.relevant_fraction, 0.02},
+      rng.substream("workload"));
+  query::QueryRatePredictor predictor(0.4, cfg_.epochs_per_hour);
+  FloodingScheme flooding(topo);
+
+  ExperimentResults res;
+  res.updates_per_bin = sim::TimeSeries(cfg_.series_bin);
+  network.set_update_hook(
+      [&res](std::int64_t epoch) { res.updates_per_bin.record(epoch); });
+
+  // The operator's prior for hour 0: the advertised query interface rate.
+  const double prior_ehr = static_cast<double>(cfg_.epochs_per_hour) /
+                           static_cast<double>(cfg_.query_period);
+
+  for (std::int64_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    env.advance_to(epoch);
+
+    if (epoch % cfg_.epochs_per_hour == 0) {
+      const double ehr = predictor.completed_hours() > 0
+                             ? predictor.predict_next_hour()
+                             : prior_ehr;
+      network.broadcast_ehr(ehr, epoch);
+      res.ehr_per_hour.push_back(ehr);
+      // Record the same Umax/Hr the root just derived (Fig. 6 lines).
+      const auto nodes = static_cast<std::int64_t>(network.tree().size());
+      const auto links = static_cast<std::int64_t>(topo.link_count());
+      std::int64_t internal = 0;
+      for (NodeId u : network.tree().bfs_order()) {
+        if (!network.tree().children(u).empty()) ++internal;
+      }
+      res.umax_per_hour.push_back(
+          nodes >= 2
+              ? std::max(0.0, analysis::f_max_graph(nodes, links, internal)) *
+                    ehr * static_cast<double>(nodes - 1)
+              : 0.0);
+    }
+
+    network.process_epoch(env, epoch);
+
+    if (epoch % cfg_.query_period == 0 && epoch > 0) {
+      query::RangeQuery q = workload.next(epoch);
+      predictor.record_query(epoch);
+      const query::Involvement truth =
+          query::compute_involvement(q, topo, network.tree(), env);
+      const QueryOutcome outcome = network.inject(q, epoch);
+      const metrics::QueryAudit audit =
+          metrics::audit_query(truth.involved, outcome.received);
+      const metrics::QueryAudit source_audit =
+          metrics::audit_query(truth.sources, outcome.believed_sources);
+
+      const std::size_t population =
+          network.tree().size() > 0 ? network.tree().size() - 1 : 0;
+      const auto pct = [population](std::size_t n) {
+        return population == 0 ? 0.0
+                               : 100.0 * static_cast<double>(n) /
+                                     static_cast<double>(population);
+      };
+      res.overshoot_pct.push(audit.overshoot_pct());
+      res.should_pct.push(pct(audit.should_count));
+      res.receive_pct.push(pct(audit.received_count));
+      res.source_pct.push(pct(truth.sources.size()));
+      res.wrong_pct.push(pct(audit.wrong));
+      res.coverage_pct.push(audit.coverage_pct());
+      res.source_overshoot_pct.push(source_audit.overshoot_pct());
+      res.source_coverage_pct.push(source_audit.coverage_pct());
+      res.flooding_total += flooding.analytical_cost();
+      ++res.queries;
+
+      if (cfg_.keep_records) {
+        QueryRecord rec;
+        rec.epoch = epoch;
+        rec.type = q.type;
+        rec.audit = audit;
+        rec.source_audit = source_audit;
+        rec.dirq_query_cost = outcome.cost;
+        rec.flooding_cost = flooding.analytical_cost();
+        rec.sources = truth.sources.size();
+        rec.population = population;
+        res.records.push_back(rec);
+      }
+    }
+
+    if (epoch % cfg_.series_bin == 0) {
+      // Mean temperature-theta across alive non-root nodes: ATC trace.
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (NodeId u : network.tree().bfs_order()) {
+        if (u == network.root()) continue;
+        sum += network.node(u).controller().theta_pct(kSensorTemperature);
+        ++n;
+      }
+      res.theta_pct_series.push_back(n ? sum / static_cast<double>(n) : 0.0);
+    }
+  }
+
+  res.ledger = network.costs();
+  res.updates_transmitted = network.updates_transmitted();
+  res.samples_taken = network.samples_taken();
+  res.samples_skipped = network.samples_skipped();
+  return res;
+}
+
+}  // namespace dirq::core

@@ -1,0 +1,38 @@
+#include "core/flooding.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace dirq::core {
+
+FloodOutcome FloodingScheme::flood_from(NodeId origin) const {
+  FloodOutcome out;
+  if (origin >= topo_.size() || !topo_.is_alive(origin)) return out;
+
+  // BFS over "first reception triggers the node's single rebroadcast".
+  std::vector<bool> broadcasted(topo_.size(), false);
+  std::deque<NodeId> pending{origin};
+  broadcasted[origin] = true;
+  while (!pending.empty()) {
+    const NodeId u = pending.front();
+    pending.pop_front();
+    out.tx += 1;  // one MAC broadcast, no matter how many neighbours
+    for (NodeId v : topo_.neighbors(u)) {
+      out.rx += 1;  // every neighbour hears it (duplicates included)
+      if (!broadcasted[v]) {
+        broadcasted[v] = true;
+        out.received.push_back(v);
+        pending.push_back(v);
+      }
+    }
+  }
+  std::sort(out.received.begin(), out.received.end());
+  return out;
+}
+
+CostUnits FloodingScheme::analytical_cost() const {
+  return static_cast<CostUnits>(topo_.alive_count()) +
+         2 * static_cast<CostUnits>(topo_.link_count());
+}
+
+}  // namespace dirq::core

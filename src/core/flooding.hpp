@@ -1,0 +1,40 @@
+// Flooding baseline (paper §5.1): every node rebroadcasts an incoming
+// query exactly once, regardless of its neighbourhood — "even if a node
+// does not have any other neighbor apart from the node it has received a
+// message from, it still carries out a broadcast operation."
+//
+// Cost: N transmissions (one MAC broadcast per node) + 2*links receptions
+// (each link delivers the broadcast in both directions over the run of the
+// flood) = Eq. (3). The simulated flood reproduces that number exactly;
+// tests assert simulation == closed form.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/types.hpp"
+
+namespace dirq::core {
+
+struct FloodOutcome {
+  std::vector<NodeId> received;  // every node the flood reached (origin excluded)
+  CostUnits tx = 0;
+  CostUnits rx = 0;
+  [[nodiscard]] CostUnits cost() const noexcept { return tx + rx; }
+};
+
+class FloodingScheme {
+ public:
+  explicit FloodingScheme(const net::Topology& topo) : topo_(topo) {}
+
+  /// Simulates one flood from `origin` over the alive subgraph.
+  [[nodiscard]] FloodOutcome flood_from(NodeId origin) const;
+
+  /// Eq. (3) closed form for the current topology: N + 2 * links.
+  [[nodiscard]] CostUnits analytical_cost() const;
+
+ private:
+  const net::Topology& topo_;
+};
+
+}  // namespace dirq::core

@@ -1,0 +1,48 @@
+// Failure injection: a MessageSink decorator that drops deliveries with a
+// configurable probability, simulating CRC-failed receptions on a noisy
+// wireless channel.
+//
+// Semantics deliberately match radio reality: the *transmitter* always
+// pays its cost, and the receiver's radio also spends the reception energy
+// (the transport charges rx before the drop decision) — the frame simply
+// never reaches the protocol. Used by robustness tests to show DirQ keeps
+// functioning (stale ranges heal on the next threshold crossing; queries
+// lose coverage gracefully, never crash) and by users who want a quick
+// sensitivity estimate before a real-channel study.
+#pragma once
+
+#include <cstdint>
+
+#include "core/transport.hpp"
+#include "sim/rng.hpp"
+
+namespace dirq::core {
+
+class LossySink final : public MessageSink {
+ public:
+  /// Drops each delivery independently with `drop_probability`.
+  LossySink(MessageSink& inner, double drop_probability, sim::Rng rng)
+      : inner_(inner), drop_(drop_probability), rng_(rng) {}
+
+  void deliver(NodeId to, NodeId from, const Message& msg) override {
+    ++offered_;
+    if (rng_.bernoulli(drop_)) {
+      ++dropped_;
+      return;
+    }
+    inner_.deliver(to, from, msg);
+  }
+
+  [[nodiscard]] std::int64_t offered() const noexcept { return offered_; }
+  [[nodiscard]] std::int64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] double drop_probability() const noexcept { return drop_; }
+
+ private:
+  MessageSink& inner_;
+  double drop_;
+  sim::Rng rng_;
+  std::int64_t offered_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace dirq::core

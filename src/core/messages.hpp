@@ -1,0 +1,57 @@
+// DirQ protocol messages.
+//
+// Three message kinds cross the tree (paper §4):
+//   UpdateMessage — child -> parent; new aggregate (min(THmin), max(THmax))
+//                   for one sensor type, or a retraction when the subtree
+//                   no longer carries the type (§4.2).
+//   QueryMessage  — parent -> child; a range query being directed down the
+//                   tree toward relevant nodes.
+//   EhrMessage    — root -> everyone, hourly; the expected query count for
+//                   the next hour plus the derived network-wide update
+//                   budget Umax/Hr that parameterises ATC (§6, Fig. 6).
+#pragma once
+
+#include <variant>
+
+#include "query/query.hpp"
+#include "sim/types.hpp"
+
+namespace dirq::core {
+
+struct UpdateMessage {
+  NodeId from = kNoNode;
+  SensorType type = 0;
+  double min = 0.0;
+  double max = 0.0;
+  /// False = retraction: the sender's subtree no longer has this type.
+  bool has_range = true;
+};
+
+struct QueryMessage {
+  query::RangeQuery q;
+};
+
+/// Conjunctive multi-attribute query in flight (paper §2 capability).
+struct MultiQueryMessage {
+  query::MultiQuery q;
+};
+
+/// Static-attribute announcement: the sender's subtree bounding box
+/// (paper §2's optional location attribute). Sent once at bootstrap and on
+/// churn; parents fold child boxes into their own subtree box.
+struct LocationAnnounce {
+  NodeId from = kNoNode;
+  net::BBox box;
+};
+
+struct EhrMessage {
+  double expected_queries_per_hour = 0.0;  // EHr
+  double umax_per_hour = 0.0;              // fMax(k,d) * EHr (DESIGN.md §1.7)
+  std::uint32_t alive_nodes = 0;           // for fair per-node budget shares
+  std::int64_t round = 0;                  // flood round (duplicate suppression)
+};
+
+using Message = std::variant<UpdateMessage, QueryMessage, MultiQueryMessage,
+                             EhrMessage, LocationAnnounce>;
+
+}  // namespace dirq::core

@@ -1,0 +1,287 @@
+#include "core/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/cost_model.hpp"
+#include "sim/logging.hpp"
+
+namespace dirq::core {
+
+std::unique_ptr<ThetaController> make_controller(const NetworkConfig& cfg) {
+  if (cfg.mode == NetworkConfig::ThetaMode::Fixed) {
+    return std::make_unique<FixedTheta>(cfg.fixed_pct);
+  }
+  return std::make_unique<AtcController>(cfg.atc);
+}
+
+DirqNetwork::DirqNetwork(net::Topology& topo, NodeId root, NetworkConfig cfg)
+    : topo_(topo), root_(root), cfg_(cfg), tree_(topo, root) {
+  nodes_.reserve(topo.size());
+  for (const net::Node& n : topo.nodes()) {
+    nodes_.emplace_back(n.id,
+                        std::vector<SensorType>(n.sensors.begin(), n.sensors.end()),
+                        make_controller(cfg_));
+    samplers_.emplace_back(cfg_.sampling);
+  }
+  node_tx_.assign(topo.size(), 0);
+  node_rx_.assign(topo.size(), 0);
+  instant_ = std::make_unique<InstantTransport>(topo_, *this);
+  transport_ = instant_.get();
+  prev_parent_.assign(topo.size(), kNoNode);
+  for (NodeId u = 0; u < topo.size(); ++u) {
+    nodes_[u].set_position(topo.node(u).x, topo.node(u).y);
+    if (!tree_.in_tree(u)) continue;
+    nodes_[u].set_parent(tree_.parent(u));
+    const auto ch = tree_.children(u);
+    nodes_[u].set_children(std::vector<NodeId>(ch.begin(), ch.end()));
+    prev_parent_[u] = tree_.parent(u);
+  }
+  for (DirqNode& n : nodes_) wire_node(n);
+  // Bootstrap the static location attribute: leaves-first announcement so
+  // subtree bounding boxes aggregate toward the root in a single wave.
+  const std::vector<NodeId> order = tree_.bfs_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    nodes_[*it].announce_location(0);
+  }
+}
+
+void DirqNetwork::wire_node(DirqNode& n) {
+  n.set_send([this](NodeId from, NodeId to, const Message& msg) {
+    if (std::holds_alternative<UpdateMessage>(msg)) {
+      ++updates_transmitted_;
+      if (update_hook_) update_hook_(current_epoch_);
+    }
+    node_tx_.at(from) += 1;
+    transport_->unicast(from, to, msg);
+  });
+  n.set_multicast([this](NodeId from, const std::vector<NodeId>& targets,
+                         const Message& msg) {
+    node_tx_.at(from) += 1;  // one transmission regardless of target count
+    transport_->multicast(from, targets, msg);
+  });
+  n.set_broadcast([this](NodeId from, const Message& msg) {
+    node_tx_.at(from) += 1;
+    transport_->broadcast(from, msg);
+  });
+}
+
+void DirqNetwork::deliver(NodeId to, NodeId from, const Message& msg) {
+  if (to >= nodes_.size()) return;
+  node_rx_[to] += 1;
+  if (audit_active_) {
+    if (const auto* qm = std::get_if<QueryMessage>(&msg);
+        qm != nullptr && qm->q.id == audit_query_) {
+      audit_received_.push_back(to);
+      if (nodes_[to].believes_relevant(qm->q)) audit_believed_.push_back(to);
+    } else if (const auto* mq = std::get_if<MultiQueryMessage>(&msg);
+               mq != nullptr && mq->q.id == audit_query_) {
+      audit_received_.push_back(to);
+      if (nodes_[to].believes_relevant(mq->q)) audit_believed_.push_back(to);
+    }
+  }
+  nodes_[to].handle(msg, from, current_epoch_);
+}
+
+void DirqNetwork::process_epoch(const data::ReadingSource& env,
+                                std::int64_t epoch) {
+  current_epoch_ = epoch;
+  // Leaves-first (reverse BFS) ordering makes the within-epoch update
+  // cascade settle in a single pass with the instant transport; any order
+  // is correct since parents re-check on every child update.
+  const std::vector<NodeId> order = tree_.bfs_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    if (!topo_.is_alive(u)) continue;
+    const net::Node& info = topo_.node(u);
+    for (SensorType t : info.sensors) {
+      SamplingController& gate = samplers_[u];
+      if (!gate.should_sample(t, epoch)) {
+        gate.on_skip(t);  // predictor confident: save the ADC energy (§8)
+        continue;
+      }
+      const double reading = env.reading(u, t);
+      nodes_[u].sample(t, reading, epoch);
+      gate.on_sample(t, reading, nodes_[u].controller().theta(t), epoch);
+    }
+  }
+  for (NodeId u : order) {
+    if (topo_.is_alive(u)) nodes_[u].end_epoch(epoch);
+  }
+}
+
+std::int64_t DirqNetwork::internal_node_count() const {
+  std::int64_t internal = 0;
+  for (NodeId u : tree_.bfs_order()) {
+    if (!tree_.children(u).empty()) ++internal;
+  }
+  return internal;
+}
+
+void DirqNetwork::broadcast_ehr(double expected_queries_per_hour,
+                                std::int64_t epoch) {
+  current_epoch_ = epoch;
+  const auto nodes = static_cast<std::int64_t>(tree_.size());
+  if (nodes < 2) return;
+  const auto links = static_cast<std::int64_t>(topo_.link_count());
+  const double fmax =
+      analysis::f_max_graph(nodes, links, internal_node_count());
+  EhrMessage msg;
+  msg.expected_queries_per_hour = expected_queries_per_hour;
+  // Umax/Hr in update *messages* per hour (Fig. 6's unit): fMax is in
+  // network-wide update waves per query; one wave is N-1 messages.
+  msg.umax_per_hour = std::max(0.0, fmax) * expected_queries_per_hour *
+                      static_cast<double>(nodes - 1);
+  msg.alive_nodes = static_cast<std::uint32_t>(topo_.alive_count());
+  msg.round = ++ehr_round_;
+  // The gateway hands the estimate to the root node, which floods it.
+  nodes_[root_].handle(Message{msg}, kNoNode, epoch);
+}
+
+void DirqNetwork::begin_audit(QueryId id, std::int64_t epoch) {
+  if (audit_active_) {
+    throw std::logic_error("DirqNetwork: previous query audit still open");
+  }
+  current_epoch_ = epoch;
+  audit_active_ = true;
+  audit_query_ = id;
+  audit_received_.clear();
+  audit_believed_.clear();
+  audit_cost_start_ = transport_->costs().query_cost();
+}
+
+void DirqNetwork::inject_async(const query::RangeQuery& q, std::int64_t epoch) {
+  begin_audit(q.id, epoch);
+  // The gateway delivers the query to the root (no radio cost: the root is
+  // wired to the server, paper §3). The root then directs it down-tree.
+  nodes_[root_].handle(Message{QueryMessage{q}}, kNoNode, epoch);
+}
+
+void DirqNetwork::inject_async(const query::MultiQuery& q, std::int64_t epoch) {
+  begin_audit(q.id, epoch);
+  nodes_[root_].handle(Message{MultiQueryMessage{q}}, kNoNode, epoch);
+}
+
+QueryOutcome DirqNetwork::collect_outcome() {
+  if (!audit_active_) {
+    throw std::logic_error("DirqNetwork: no query audit open");
+  }
+  QueryOutcome out;
+  out.id = audit_query_;
+  out.received = audit_received_;
+  std::sort(out.received.begin(), out.received.end());
+  out.received.erase(std::unique(out.received.begin(), out.received.end()),
+                     out.received.end());
+  out.believed_sources = audit_believed_;
+  std::sort(out.believed_sources.begin(), out.believed_sources.end());
+  out.believed_sources.erase(
+      std::unique(out.believed_sources.begin(), out.believed_sources.end()),
+      out.believed_sources.end());
+  out.cost = transport_->costs().query_cost() - audit_cost_start_;
+  audit_active_ = false;
+  return out;
+}
+
+QueryOutcome DirqNetwork::inject(const query::RangeQuery& q,
+                                 std::int64_t epoch) {
+  inject_async(q, epoch);  // instant transport: completes synchronously
+  return collect_outcome();
+}
+
+QueryOutcome DirqNetwork::inject(const query::MultiQuery& q,
+                                 std::int64_t epoch) {
+  inject_async(q, epoch);
+  return collect_outcome();
+}
+
+void DirqNetwork::retarget_tree(std::int64_t epoch) {
+  tree_.rebuild(topo_);
+  if (nodes_.size() < topo_.size()) {
+    // Brand-new node slots appended by Topology::add_node.
+    for (NodeId u = static_cast<NodeId>(nodes_.size()); u < topo_.size(); ++u) {
+      const net::Node& info = topo_.node(u);
+      nodes_.emplace_back(
+          u, std::vector<SensorType>(info.sensors.begin(), info.sensors.end()),
+          make_controller(cfg_));
+      nodes_.back().set_position(info.x, info.y);
+      wire_node(nodes_.back());
+      samplers_.emplace_back(cfg_.sampling);
+      node_tx_.push_back(0);
+      node_rx_.push_back(0);
+      prev_parent_.push_back(kNoNode);
+    }
+  }
+
+  // Pass 1: install the new structure everywhere.
+  std::vector<NodeId> new_parent(nodes_.size(), kNoNode);
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    if (topo_.is_alive(u)) {
+      // Revived nodes may have been redeployed at a new position.
+      nodes_[u].set_position(topo_.node(u).x, topo_.node(u).y);
+    }
+    if (tree_.in_tree(u)) {
+      new_parent[u] = tree_.parent(u);
+      const auto ch = tree_.children(u);
+      nodes_[u].set_children(std::vector<NodeId>(ch.begin(), ch.end()));
+      nodes_[u].set_parent(tree_.parent(u));
+    } else {
+      nodes_[u].set_children({});
+      nodes_[u].set_parent(kNoNode);
+    }
+  }
+
+  // Pass 2: reconcile tables. A node whose parent changed must (a) be
+  // dropped from its old parent's tables and (b) announce its subtree
+  // ranges to its new parent.
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    if (new_parent[u] == prev_parent_[u]) continue;
+    const NodeId old_p = prev_parent_[u];
+    if (old_p != kNoNode && old_p < nodes_.size() && topo_.is_alive(old_p)) {
+      nodes_[old_p].on_child_lost(u, epoch);
+    }
+    if (new_parent[u] != kNoNode && topo_.is_alive(u)) {
+      nodes_[u].force_reannounce(epoch);
+    }
+  }
+  prev_parent_ = new_parent;
+}
+
+void DirqNetwork::handle_node_death(NodeId dead, std::int64_t epoch) {
+  current_epoch_ = epoch;
+  sim::log(sim::LogLevel::Info, "dirq", "node ", dead, " died; repairing tree");
+  retarget_tree(epoch);
+}
+
+void DirqNetwork::handle_node_addition(NodeId added, std::int64_t epoch) {
+  current_epoch_ = epoch;
+  sim::log(sim::LogLevel::Info, "dirq", "node ", added, " joined; repairing tree");
+  retarget_tree(epoch);
+}
+
+void DirqNetwork::handle_sensor_added(NodeId id, SensorType type,
+                                      std::int64_t epoch) {
+  current_epoch_ = epoch;
+  nodes_.at(id).attach_sensor(type);
+  // The new sensor announces itself with the node's next sample; nothing
+  // to push yet (there is no reading).
+}
+
+void DirqNetwork::handle_sensor_removed(NodeId id, SensorType type,
+                                        std::int64_t epoch) {
+  current_epoch_ = epoch;
+  nodes_.at(id).detach_sensor(type, epoch);
+}
+
+std::int64_t DirqNetwork::samples_taken() const {
+  std::int64_t total = 0;
+  for (const SamplingController& s : samplers_) total += s.samples_taken();
+  return total;
+}
+
+std::int64_t DirqNetwork::samples_skipped() const {
+  std::int64_t total = 0;
+  for (const SamplingController& s : samplers_) total += s.samples_skipped();
+  return total;
+}
+
+}  // namespace dirq::core

@@ -1,0 +1,184 @@
+// DirqNetwork: the whole-network DirQ instance.
+//
+// Owns one DirqNode per topology node, wires them to a transport, runs the
+// epoch loop (sampling -> update propagation), injects queries at the root
+// and audits which nodes the dissemination reaches, floods the hourly EHr
+// estimate, and repairs the communication tree on node death/addition
+// (paper §4.2).
+//
+// The per-query audit records the exact set of nodes the query message was
+// delivered to — this is the "nodes that RECEIVE a query" series of
+// Fig. 5, compared by the metrics layer against the ground-truth
+// involvement from query::compute_involvement.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/dirq_node.hpp"
+#include "core/messages.hpp"
+#include "core/sampling.hpp"
+#include "core/transport.hpp"
+#include "data/field_model.hpp"
+#include "net/spanning_tree.hpp"
+#include "net/topology.hpp"
+#include "query/query.hpp"
+#include "sim/types.hpp"
+
+namespace dirq::core {
+
+/// Result of injecting one query.
+struct QueryOutcome {
+  QueryId id = 0;
+  std::vector<NodeId> received;          // nodes the query was delivered to
+  std::vector<NodeId> believed_sources;  // received && own tuple overlaps
+  CostUnits cost = 0;                    // tx+rx spent on this dissemination
+};
+
+struct NetworkConfig {
+  enum class ThetaMode { Fixed, Atc };
+  ThetaMode mode = ThetaMode::Fixed;
+  double fixed_pct = 5.0;  // theta as % of each type's nominal span
+  AtcConfig atc;
+  /// Optional sampling suppression (paper §8 future work); off by default
+  /// to match the paper's evaluated configuration.
+  SamplingConfig sampling;
+};
+
+class DirqNetwork final : public MessageSink {
+ public:
+  /// Builds the node set and the BFS communication tree rooted at `root`.
+  /// The topology must outlive the network.
+  DirqNetwork(net::Topology& topo, NodeId root, NetworkConfig cfg);
+
+  DirqNetwork(const DirqNetwork&) = delete;
+  DirqNetwork& operator=(const DirqNetwork&) = delete;
+
+  // --- wiring ---------------------------------------------------------------
+
+  /// Default transport: the built-in InstantTransport. Replaceable (the
+  /// LMAC transport installs itself here); the transport must outlive the
+  /// network's use of it.
+  void use_transport(Transport& t) { transport_ = &t; }
+  [[nodiscard]] Transport& transport() noexcept { return *transport_; }
+  [[nodiscard]] const CostLedger& costs() const { return transport_->costs(); }
+
+  [[nodiscard]] const net::SpanningTree& tree() const noexcept { return tree_; }
+  [[nodiscard]] NodeId root() const noexcept { return root_; }
+  [[nodiscard]] DirqNode& node(NodeId id) { return nodes_.at(id); }
+  [[nodiscard]] const DirqNode& node(NodeId id) const { return nodes_.at(id); }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  // --- protocol operation ----------------------------------------------------
+
+  /// One sensing epoch: every alive tree member samples each of its
+  /// sensors; threshold crossings emit Update Messages that propagate
+  /// toward the root (instant transport: synchronously).
+  void process_epoch(const data::ReadingSource& env, std::int64_t epoch);
+
+  /// Hourly root broadcast (paper §4): EHr plus the derived network-wide
+  /// update budget Umax/Hr = fMax(graph) * EHr, flooded to every node.
+  void broadcast_ehr(double expected_queries_per_hour, std::int64_t epoch);
+
+  /// Injects a query at the root and returns the audited outcome. With the
+  /// instant transport the dissemination completes synchronously; with an
+  /// event-driven transport use inject_async + collect_outcome instead.
+  QueryOutcome inject(const query::RangeQuery& q, std::int64_t epoch);
+  QueryOutcome inject(const query::MultiQuery& q, std::int64_t epoch);
+
+  /// Starts an asynchronous dissemination (event-driven transports). The
+  /// audit keeps accumulating until collect_outcome is called.
+  void inject_async(const query::RangeQuery& q, std::int64_t epoch);
+  void inject_async(const query::MultiQuery& q, std::int64_t epoch);
+
+  /// Finishes the audit started by the last inject_async.
+  QueryOutcome collect_outcome();
+
+  // --- topology dynamics (paper §4.2) -----------------------------------------
+
+  /// Call after Topology::kill_node: repairs the tree, drops the dead
+  /// child's tuples (triggering upward updates), re-announces re-parented
+  /// subtrees.
+  void handle_node_death(NodeId dead, std::int64_t epoch);
+
+  /// Call after Topology::add_node: attaches the newcomer to the tree and
+  /// integrates any re-parented neighbours.
+  void handle_node_addition(NodeId added, std::int64_t epoch);
+
+  /// Post-deployment sensor change on a node (propagates up, §4.2).
+  void handle_sensor_added(NodeId id, SensorType type, std::int64_t epoch);
+  void handle_sensor_removed(NodeId id, SensorType type, std::int64_t epoch);
+
+  // --- statistics ---------------------------------------------------------------
+
+  /// Total Update Message transmissions network-wide (origins + relays).
+  [[nodiscard]] std::int64_t updates_transmitted() const noexcept {
+    return updates_transmitted_;
+  }
+
+  /// Physical sensor samples taken / suppressed network-wide (paper §8
+  /// sampling suppression; skipped == 0 when the feature is disabled).
+  [[nodiscard]] std::int64_t samples_taken() const;
+  [[nodiscard]] std::int64_t samples_skipped() const;
+
+  /// The per-node sampling gate (tests and diagnostics).
+  [[nodiscard]] const SamplingController& sampler(NodeId id) const {
+    return samplers_.at(id);
+  }
+
+  /// Per-node radio energy (tx + rx units attributed to each node). The
+  /// network's lifetime is governed by its hottest node, so the
+  /// *distribution* matters as much as the total (bench/energy_hotspots).
+  [[nodiscard]] CostUnits node_tx(NodeId id) const { return node_tx_.at(id); }
+  [[nodiscard]] CostUnits node_rx(NodeId id) const { return node_rx_.at(id); }
+  [[nodiscard]] CostUnits node_energy(NodeId id) const {
+    return node_tx_.at(id) + node_rx_.at(id);
+  }
+
+  /// Hook invoked once per Update Message transmission with the epoch —
+  /// the driver records the Fig. 6 time series through this.
+  using UpdateHook = std::function<void(std::int64_t epoch)>;
+  void set_update_hook(UpdateHook hook) { update_hook_ = std::move(hook); }
+
+  // --- MessageSink -----------------------------------------------------------------
+
+  void deliver(NodeId to, NodeId from, const Message& msg) override;
+
+ private:
+  void wire_node(DirqNode& n);
+  void begin_audit(QueryId id, std::int64_t epoch);
+  /// Re-runs BFS and reconciles every node's parent/children pointers,
+  /// removing stale child tuples and re-announcing moved subtrees.
+  void retarget_tree(std::int64_t epoch);
+  [[nodiscard]] std::int64_t internal_node_count() const;
+
+  net::Topology& topo_;
+  NodeId root_;
+  NetworkConfig cfg_;
+  net::SpanningTree tree_;
+  std::vector<DirqNode> nodes_;
+  std::vector<SamplingController> samplers_;  // one per node
+  std::vector<CostUnits> node_tx_, node_rx_;  // per-node radio energy
+  std::vector<NodeId> prev_parent_;  // snapshot for churn reconciliation
+
+  std::unique_ptr<InstantTransport> instant_;
+  Transport* transport_ = nullptr;
+
+  std::int64_t current_epoch_ = 0;
+  std::int64_t updates_transmitted_ = 0;
+  UpdateHook update_hook_;
+
+  // Per-query audit state.
+  bool audit_active_ = false;
+  QueryId audit_query_ = 0;
+  CostUnits audit_cost_start_ = 0;
+  std::vector<NodeId> audit_received_;
+  std::vector<NodeId> audit_believed_;
+
+  std::int64_t ehr_round_ = 0;
+};
+
+std::unique_ptr<ThetaController> make_controller(const NetworkConfig& cfg);
+
+}  // namespace dirq::core

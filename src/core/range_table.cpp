@@ -1,0 +1,70 @@
+#include "core/range_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dirq::core {
+
+bool RangeTable::observe(double reading, double theta) {
+  if (own_ && reading >= own_->min && reading <= own_->max) {
+    return false;  // inside the stored tuple: table unchanged (Fig. 1)
+  }
+  own_ = RangeEntry{reading - theta, reading + theta};
+  return true;
+}
+
+void RangeTable::clear_own() { own_.reset(); }
+
+bool RangeTable::set_child(NodeId child, RangeEntry range) {
+  auto [it, inserted] = children_.insert_or_assign(child, range);
+  (void)it;
+  if (inserted) return true;
+  // insert_or_assign overwrote; detect no-op writes for callers that avoid
+  // re-aggregating. (Entries are tiny; compare by value.)
+  return true;  // conservative: treat any assign as a change
+}
+
+bool RangeTable::remove_child(NodeId child) {
+  return children_.erase(child) > 0;
+}
+
+std::optional<RangeEntry> RangeTable::child(NodeId id) const {
+  auto it = children_.find(id);
+  if (it == children_.end()) return std::nullopt;
+  return it->second;
+}
+
+RangeAggregate RangeTable::aggregate() const {
+  if (!has_any()) return std::nullopt;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  if (own_) {
+    mn = own_->min;
+    mx = own_->max;
+  }
+  for (const auto& [id, r] : children_) {
+    mn = std::min(mn, r.min);
+    mx = std::max(mx, r.max);
+  }
+  return RangeEntry{mn, mx};
+}
+
+bool RangeTable::needs_update(double theta) const {
+  const RangeAggregate now = aggregate();
+  if (!now.has_value()) {
+    // Type vanished from the subtree: retract iff a range is outstanding.
+    return ever_sent_ && sent_.has_value();
+  }
+  if (!ever_sent_ || !sent_.has_value()) return true;  // nothing sent yet
+  // Fig. 3: transmit when either bound moved by more than theta.
+  return std::abs(now->min - sent_->min) > theta ||
+         std::abs(now->max - sent_->max) > theta;
+}
+
+void RangeTable::mark_sent() {
+  sent_ = aggregate();
+  ever_sent_ = true;
+}
+
+}  // namespace dirq::core

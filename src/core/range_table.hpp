@@ -1,0 +1,99 @@
+// The Range Table: DirQ's per-sensor-type routing state (paper §4.1,
+// Figs. 1-3).
+//
+// A node's table for sensor type T holds
+//   * its own threshold tuple (THmin, THmax) = (R - theta, R + theta),
+//     re-centred whenever a new reading R falls outside the stored tuple
+//     (Fig. 1), and
+//   * one tuple per one-hop child, holding that child's last *transmitted*
+//     subtree aggregate (Fig. 2) — n+1 tuples for n children.
+//
+// The table aggregates min over THmin / max over THmax, and signals an
+// Update Message when either aggregate has moved by more than theta since
+// the last transmission (Fig. 3's shaded regions).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "sim/types.hpp"
+
+namespace dirq::core {
+
+/// A [min, max] tuple as stored in a range table.
+struct RangeEntry {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Aggregate over a table: min of mins, max of maxes.
+using RangeAggregate = std::optional<RangeEntry>;
+
+class RangeTable {
+ public:
+  // --- own tuple (Fig. 1) -------------------------------------------------
+
+  /// Feeds a new sensor reading. If the reading escapes the stored own
+  /// tuple (or none exists yet), the tuple is re-centred to
+  /// [reading - theta, reading + theta] and true is returned; otherwise the
+  /// table is untouched and false is returned ("only major changes are
+  /// reflected", §4.1).
+  bool observe(double reading, double theta);
+
+  /// Drops the own tuple (the node lost this sensor, §4.2).
+  void clear_own();
+
+  [[nodiscard]] const std::optional<RangeEntry>& own() const noexcept {
+    return own_;
+  }
+
+  // --- child tuples (Fig. 2) ----------------------------------------------
+
+  /// Installs/overwrites the tuple for a one-hop child. Returns true if the
+  /// stored value changed.
+  bool set_child(NodeId child, RangeEntry range);
+
+  /// Removes a child's tuple (child died or retracted the type, §4.2).
+  /// Returns true if a tuple was present.
+  bool remove_child(NodeId child);
+
+  [[nodiscard]] std::optional<RangeEntry> child(NodeId id) const;
+  [[nodiscard]] const std::map<NodeId, RangeEntry>& children() const noexcept {
+    return children_;
+  }
+
+  // --- aggregation & update decision (Fig. 3) ------------------------------
+
+  /// True if the table has any tuple at all (own or child). A table with
+  /// no tuples means the type vanished from the subtree.
+  [[nodiscard]] bool has_any() const noexcept {
+    return own_.has_value() || !children_.empty();
+  }
+
+  /// min(THmin) / max(THmax) over all tuples; nullopt when empty.
+  [[nodiscard]] RangeAggregate aggregate() const;
+
+  /// Decides whether an Update Message must be sent (Fig. 3): true when no
+  /// aggregate was ever transmitted, when the type vanished while a
+  /// transmitted range is still outstanding (retraction), or when either
+  /// aggregate bound moved by more than theta.
+  [[nodiscard]] bool needs_update(double theta) const;
+
+  /// Marks the current aggregate as transmitted; next needs_update()
+  /// compares against it. Call after actually sending.
+  void mark_sent();
+
+  /// Last transmitted aggregate (nullopt if none or retracted).
+  [[nodiscard]] const RangeAggregate& last_sent() const noexcept {
+    return sent_;
+  }
+
+ private:
+  std::optional<RangeEntry> own_;
+  std::map<NodeId, RangeEntry> children_;
+  RangeAggregate sent_;
+  bool ever_sent_ = false;
+};
+
+}  // namespace dirq::core

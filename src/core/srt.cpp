@@ -1,0 +1,66 @@
+#include "core/srt.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace dirq::core {
+
+SrtScheme::SrtScheme(const net::Topology& topo, const net::SpanningTree& tree)
+    : topo_(&topo), tree_(&tree) {
+  rebuild(topo, tree);
+}
+
+void SrtScheme::rebuild(const net::Topology& topo,
+                        const net::SpanningTree& tree) {
+  topo_ = &topo;
+  tree_ = &tree;
+  subtree_types_.assign(topo.size(), {});
+  subtree_boxes_.assign(topo.size(), net::BBox::empty());
+
+  // Leaves-first aggregation: each node folds its own statics and its
+  // children's indexes, then announces upward (1 tx + 1 rx per non-root
+  // node — the one-time SRT build the paper's ref [5] describes).
+  const std::vector<NodeId> order = tree.bfs_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    const net::Node& info = topo.node(u);
+    auto& types = subtree_types_[u];
+    types.insert(info.sensors.begin(), info.sensors.end());
+    net::BBox box = net::BBox::point(info.x, info.y);
+    for (NodeId c : tree.children(u)) {
+      types.insert(subtree_types_[c].begin(), subtree_types_[c].end());
+      box = box.join(subtree_boxes_[c]);
+    }
+    subtree_boxes_[u] = box;
+    if (u != tree.root()) build_cost_ += 2;  // announcement tx + rx
+  }
+}
+
+SrtScheme::Outcome SrtScheme::disseminate(const query::RangeQuery& q) const {
+  Outcome out;
+  // BFS down the tree; each forwarding node pays one multicast tx, each
+  // addressed child one rx (same accounting as DirQ's dissemination).
+  std::deque<NodeId> frontier{tree_->root()};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    std::vector<NodeId> targets;
+    for (NodeId c : tree_->children(u)) {
+      if (!topo_->is_alive(c)) continue;
+      if (!subtree_types_[c].contains(q.type)) continue;  // static prune
+      if (q.region && !q.region->intersects(subtree_boxes_[c])) continue;
+      targets.push_back(c);
+    }
+    if (targets.empty()) continue;
+    out.cost += 1;  // one forwarding transmission
+    for (NodeId c : targets) {
+      out.cost += 1;  // reception
+      out.received.push_back(c);
+      frontier.push_back(c);
+    }
+  }
+  std::sort(out.received.begin(), out.received.end());
+  return out;
+}
+
+}  // namespace dirq::core

@@ -1,0 +1,76 @@
+// Semantic Routing Tree baseline (Madden et al., the paper's ref [5]).
+//
+// The paper positions DirQ against SRT (§2): "SRT however, only considers
+// single attributes where as DirQ can use multiple attributes. Also, SRT
+// is more suited for constant attributes such as location, where as DirQ
+// is capable of working with varying attributes."
+//
+// This implementation captures exactly that contrast. An SRT over the same
+// communication tree indexes the *constant* attributes once at build time:
+//   * the set of sensor types present in each child's subtree, and
+//   * each child subtree's location bounding box.
+// Queries route on those static indexes only. A range predicate over a
+// *dynamic* attribute (the sensor value) cannot be pruned — SRT must
+// deliver the query to every type-capable node (in the region, if one is
+// given) and let nodes evaluate locally. In exchange, SRT sends no update
+// traffic at all: its index is built once (one announcement per node) and
+// only changes on topology/sensor churn.
+//
+// The baseline_srt bench quantifies the resulting trade: SRT beats
+// flooding (type/region pruning is real) but pays for every value query
+// with a full capable-subtree sweep, while DirQ's range tables pay update
+// traffic to prune by current values.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/bbox.hpp"
+#include "net/spanning_tree.hpp"
+#include "net/topology.hpp"
+#include "query/query.hpp"
+#include "sim/types.hpp"
+
+namespace dirq::core {
+
+class SrtScheme {
+ public:
+  /// Builds the static index over the given tree. Costs one announcement
+  /// (1 tx + 1 rx) per non-root node, recorded in build_cost().
+  SrtScheme(const net::Topology& topo, const net::SpanningTree& tree);
+
+  struct Outcome {
+    std::vector<NodeId> received;  // nodes the query reached (root excluded)
+    CostUnits cost = 0;            // 1 per forwarding tx + 1 per reception
+  };
+
+  /// Routes a query using the static index only: children pruned when
+  /// their subtree lacks the sensor type or (for regional queries) lies
+  /// outside the region. The value window is NOT used for pruning — SRT
+  /// has no dynamic-attribute state.
+  [[nodiscard]] Outcome disseminate(const query::RangeQuery& q) const;
+
+  /// One-time index construction cost (tx + rx units).
+  [[nodiscard]] CostUnits build_cost() const noexcept { return build_cost_; }
+
+  /// Rebuild after topology churn (new announcements charged).
+  void rebuild(const net::Topology& topo, const net::SpanningTree& tree);
+
+  /// Static index inspection (tests).
+  [[nodiscard]] const std::set<SensorType>& subtree_types(NodeId id) const {
+    return subtree_types_.at(id);
+  }
+  [[nodiscard]] const net::BBox& subtree_box(NodeId id) const {
+    return subtree_boxes_.at(id);
+  }
+
+ private:
+  const net::Topology* topo_;
+  const net::SpanningTree* tree_;
+  std::vector<std::set<SensorType>> subtree_types_;
+  std::vector<net::BBox> subtree_boxes_;
+  CostUnits build_cost_ = 0;
+};
+
+}  // namespace dirq::core

@@ -1,0 +1,31 @@
+// Abstraction over "where sensor readings come from": the synthetic
+// Environment (src/data/field_model.hpp) or a recorded trace being
+// replayed (src/data/trace.hpp). The protocol layers only ever see this
+// interface, so a user can swap the paper's synthetic dataset for real
+// deployment data without touching DirQ.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace dirq::data {
+
+class ReadingSource {
+ public:
+  virtual ~ReadingSource() = default;
+
+  /// Advances to the given epoch (monotonic).
+  virtual void advance_to(std::int64_t epoch) = 0;
+
+  /// Reading of `node` for `type` at the current epoch.
+  [[nodiscard]] virtual double reading(NodeId node, SensorType type) const = 0;
+
+  /// Number of sensor types this source provides (types are 0..n-1).
+  [[nodiscard]] virtual std::size_t type_count() const = 0;
+
+  /// Current epoch.
+  [[nodiscard]] virtual std::int64_t epoch() const = 0;
+};
+
+}  // namespace dirq::data

@@ -1,0 +1,117 @@
+#include "data/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dirq::data {
+
+void Trace::record_epoch(const ReadingSource& source) {
+  if (types_ != source.type_count()) {
+    throw std::invalid_argument("Trace::record_epoch: type count mismatch");
+  }
+  values_.reserve(values_.size() + nodes_ * types_);
+  for (NodeId u = 0; u < nodes_; ++u) {
+    for (SensorType t = 0; t < types_; ++t) {
+      values_.push_back(source.reading(u, t));
+    }
+  }
+}
+
+std::size_t Trace::index(std::int64_t epoch, NodeId node,
+                         SensorType type) const {
+  if (node >= nodes_ || type >= types_) {
+    throw std::out_of_range("Trace: node/type out of range");
+  }
+  const auto e = static_cast<std::size_t>(epoch);
+  if (e >= epoch_count()) throw std::out_of_range("Trace: epoch out of range");
+  return (e * nodes_ + node) * types_ + type;
+}
+
+double Trace::at(std::int64_t epoch, NodeId node, SensorType type) const {
+  return values_.at(index(epoch, node, type));
+}
+
+void Trace::advance_to(std::int64_t epoch) {
+  if (epoch < epoch_) {
+    throw std::invalid_argument("Trace::advance_to: epochs are monotonic");
+  }
+  const auto last = static_cast<std::int64_t>(epoch_count()) - 1;
+  epoch_ = std::min(epoch, std::max<std::int64_t>(last, 0));
+}
+
+double Trace::reading(NodeId node, SensorType type) const {
+  return at(epoch_, node, type);
+}
+
+void Trace::save(std::ostream& os) const {
+  os << "epoch\tnode";
+  for (SensorType t = 0; t < types_; ++t) os << "\tv" << t;
+  os << '\n';
+  os.precision(17);
+  const std::size_t epochs = epoch_count();
+  for (std::size_t e = 0; e < epochs; ++e) {
+    for (NodeId u = 0; u < nodes_; ++u) {
+      os << e << '\t' << u;
+      for (SensorType t = 0; t < types_; ++t) {
+        os << '\t' << values_[(e * nodes_ + u) * types_ + t];
+      }
+      os << '\n';
+    }
+  }
+}
+
+Trace Trace::load(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header)) {
+    throw std::runtime_error("Trace::load: empty input");
+  }
+  std::size_t types = 0;
+  {
+    std::istringstream hs(header);
+    std::string col;
+    while (hs >> col) {
+      if (col.size() >= 2 && col[0] == 'v') ++types;
+    }
+  }
+  if (types == 0) throw std::runtime_error("Trace::load: no value columns");
+
+  std::vector<double> values;
+  std::size_t nodes = 0;
+  std::int64_t rows = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::int64_t epoch = 0;
+    std::size_t node = 0;
+    if (!(ls >> epoch >> node)) {
+      throw std::runtime_error("Trace::load: malformed row");
+    }
+    nodes = std::max(nodes, node + 1);
+    for (std::size_t t = 0; t < types; ++t) {
+      double v = 0.0;
+      if (!(ls >> v)) throw std::runtime_error("Trace::load: missing value");
+      values.push_back(v);
+    }
+    ++rows;
+  }
+  if (nodes == 0 || rows % static_cast<std::int64_t>(nodes) != 0) {
+    throw std::runtime_error("Trace::load: ragged trace");
+  }
+  Trace trace(nodes, types);
+  trace.values_ = std::move(values);
+  return trace;
+}
+
+Trace record(ReadingSource& source, std::size_t nodes, std::int64_t epochs) {
+  Trace trace(nodes, source.type_count());
+  for (std::int64_t e = 0; e < epochs; ++e) {
+    source.advance_to(e);
+    trace.record_epoch(source);
+  }
+  return trace;
+}
+
+}  // namespace dirq::data

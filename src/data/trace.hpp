@@ -1,0 +1,72 @@
+// Sensor-trace recording and replay.
+//
+// TraceRecorder captures (epoch, node, type) -> value tuples from any
+// ReadingSource (typically the synthetic Environment) into a dense
+// in-memory table, which can be saved to / loaded from a TSV file. The
+// resulting Trace replays through the same ReadingSource interface, so an
+// entire experiment can be re-run bit-identically from a file — or from a
+// real deployment's data massaged into the same format.
+//
+// TSV format (one header line, then one line per epoch x node):
+//   epoch <TAB> node <TAB> v0 <TAB> v1 ... (one column per sensor type)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/reading_source.hpp"
+#include "sim/types.hpp"
+
+namespace dirq::data {
+
+/// A dense recorded trace: epochs 0..E-1, nodes 0..N-1, types 0..T-1.
+class Trace final : public ReadingSource {
+ public:
+  Trace() = default;
+  Trace(std::size_t nodes, std::size_t types) : nodes_(nodes), types_(types) {}
+
+  // --- recording -----------------------------------------------------------
+
+  /// Appends one epoch of readings pulled from `source` (which must
+  /// already be advanced to the epoch being recorded). Epochs append
+  /// consecutively starting from 0.
+  void record_epoch(const ReadingSource& source);
+
+  // --- ReadingSource (replay) ----------------------------------------------
+
+  /// Advance within the recorded range; clamps at the last recorded epoch
+  /// (a finished trace keeps reporting its final state).
+  void advance_to(std::int64_t epoch) override;
+  [[nodiscard]] double reading(NodeId node, SensorType type) const override;
+  [[nodiscard]] std::size_t type_count() const override { return types_; }
+  [[nodiscard]] std::int64_t epoch() const override { return epoch_; }
+
+  // --- shape & IO -------------------------------------------------------------
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
+  [[nodiscard]] std::size_t epoch_count() const noexcept {
+    return nodes_ * types_ == 0 ? 0 : values_.size() / (nodes_ * types_);
+  }
+
+  /// Raw access for tests: value at (epoch, node, type).
+  [[nodiscard]] double at(std::int64_t epoch, NodeId node, SensorType type) const;
+
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+
+ private:
+  [[nodiscard]] std::size_t index(std::int64_t epoch, NodeId node,
+                                  SensorType type) const;
+
+  std::size_t nodes_ = 0;
+  std::size_t types_ = 0;
+  std::vector<double> values_;  // [epoch][node][type]
+  std::int64_t epoch_ = 0;
+};
+
+/// Convenience: records `epochs` epochs of `source` for `nodes` nodes.
+Trace record(ReadingSource& source, std::size_t nodes, std::int64_t epochs);
+
+}  // namespace dirq::data

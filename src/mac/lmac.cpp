@@ -1,0 +1,283 @@
+#include "mac/lmac.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "sim/logging.hpp"
+
+namespace dirq::mac {
+
+std::vector<int> elect_slots(const net::Topology& topo, NodeId root,
+                             std::size_t slots) {
+  const std::size_t n = topo.size();
+  std::vector<int> slot(n, kNoSlot);
+  if (n == 0) return slot;
+
+  // BFS order from the root mirrors LMAC's wave-like election: nodes closer
+  // to the gateway settle first, later nodes avoid slots taken within two
+  // hops of themselves.
+  std::vector<bool> seen(n, false);
+  std::deque<NodeId> frontier;
+  if (root < n && topo.is_alive(root)) {
+    frontier.push_back(root);
+    seen[root] = true;
+  }
+  std::vector<NodeId> order;
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop_front();
+    order.push_back(u);
+    for (NodeId v : topo.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        frontier.push_back(v);
+      }
+    }
+  }
+  // Isolated alive nodes (not reachable from root) still get slots, after
+  // the connected component.
+  for (NodeId u = 0; u < n; ++u) {
+    if (topo.is_alive(u) && !seen[u]) order.push_back(u);
+  }
+
+  for (NodeId u : order) {
+    std::vector<bool> taken(slots, false);
+    for (NodeId v : topo.neighbors(u)) {
+      if (slot[v] != kNoSlot) taken[static_cast<std::size_t>(slot[v])] = true;
+      for (NodeId w : topo.neighbors(v)) {
+        if (w != u && slot[w] != kNoSlot) {
+          taken[static_cast<std::size_t>(slot[w])] = true;
+        }
+      }
+    }
+    int chosen = kNoSlot;
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (!taken[s]) {
+        chosen = static_cast<int>(s);
+        break;
+      }
+    }
+    if (chosen == kNoSlot) {
+      throw std::runtime_error(
+          "elect_slots: frame too short for 2-hop neighbourhood");
+    }
+    slot[u] = chosen;
+  }
+  return slot;
+}
+
+LmacNetwork::LmacNetwork(sim::Scheduler& sched, net::Topology& topo, LmacConfig cfg)
+    : sched_(sched), topo_(topo), cfg_(cfg) {
+  topo_.add_observer(this);
+}
+
+LmacNetwork::~LmacNetwork() { topo_.remove_observer(this); }
+
+void LmacNetwork::start() {
+  if (started_) return;
+  started_ = true;
+  if (cfg_.slots_per_frame > 64) {
+    throw std::invalid_argument(
+        "LmacNetwork: occupied-slot bitmasks support at most 64 slots");
+  }
+  state_.assign(topo_.size(), {});
+  slot_members_.assign(cfg_.slots_per_frame, {});
+
+  const std::vector<int> slots = elect_slots(topo_, /*root=*/0, cfg_.slots_per_frame);
+  for (NodeId u = 0; u < topo_.size(); ++u) {
+    if (!topo_.is_alive(u)) continue;
+    state_[u].slot = slots[u];
+    slot_members_[static_cast<std::size_t>(slots[u])].push_back(u);
+    // Prime neighbour tables from the converged election: after bootstrap
+    // every node has heard each neighbour at least once.
+    for (NodeId v : topo_.neighbors(u)) {
+      state_[u].neighbors.push_back(NeighborEntry{v, -1, slots[v]});
+      state_[u].occupied_view |= (1ULL << static_cast<unsigned>(slots[v]));
+    }
+    state_[u].occupied_view |= (1ULL << static_cast<unsigned>(slots[u]));
+  }
+  frame_ = 0;
+  next_slot_ = 0;
+  schedule_next_slot();
+}
+
+void LmacNetwork::schedule_next_slot() {
+  const std::size_t slot_index = next_slot_;
+  const SimTime when = static_cast<SimTime>(frame_) * cfg_.frame_ticks() +
+                       static_cast<SimTime>(slot_index) * cfg_.ticks_per_slot;
+  sched_.schedule_at(std::max(when, sched_.now()),
+                     [this, slot_index] { run_slot(slot_index); });
+}
+
+void LmacNetwork::run_slot(std::size_t slot_index) {
+  // Copy: joins/deaths during delivery may edit the member list.
+  const std::vector<NodeId> members = slot_members_[slot_index];
+  for (NodeId owner : members) {
+    if (topo_.is_alive(owner) && !state_[owner].joining) transmit(owner);
+  }
+  next_slot_ = slot_index + 1;
+  if (next_slot_ == cfg_.slots_per_frame) {
+    end_of_frame();
+    next_slot_ = 0;
+    ++frame_;
+  }
+  schedule_next_slot();
+}
+
+void LmacNetwork::transmit(NodeId owner) {
+  NodeState& st = state_[owner];
+  // Control section: one broadcast transmission, every alive neighbour
+  // receives (and refreshes its liveness entry for `owner`).
+  st.control_tx += 1;
+  for (NodeId v : topo_.neighbors(owner)) {
+    NodeState& recv = state_[v];
+    recv.control_rx += 1;
+    NeighborEntry* entry = find_neighbor(recv, owner);
+    if (entry == nullptr) {
+      // First time this node hears `owner` (node addition, §4.2).
+      recv.neighbors.push_back(NeighborEntry{owner, frame_, st.slot});
+      recv.occupied_view |= (1ULL << static_cast<unsigned>(st.slot));
+      if (observer_ != nullptr) observer_->on_neighbor_found(v, owner);
+    } else {
+      entry->last_heard_frame = frame_;
+      entry->slot = st.slot;
+    }
+    // Occupied-slot gossip: hearers fold the sender's view into their own
+    // (this is how LMAC propagates 2-hop occupancy).
+    recv.occupied_view |= st.occupied_view;
+  }
+
+  // Data section: queued messages, transmitted this slot.
+  while (!st.tx_queue.empty()) {
+    Frame f = std::move(st.tx_queue.front());
+    st.tx_queue.pop_front();
+    st.data_tx += 1;
+    if (f.dst == kNoNode) {
+      for (NodeId v : topo_.neighbors(owner)) {
+        state_[v].data_rx += 1;
+        if (observer_ != nullptr) observer_->on_message(v, f);
+      }
+    } else if (f.dst < topo_.size() && topo_.is_alive(f.dst)) {
+      // Unicast: only the addressed neighbour decodes the data section
+      // (LMAC receivers sleep through data not addressed to them).
+      const auto nbrs = topo_.neighbors(owner);
+      if (std::binary_search(nbrs.begin(), nbrs.end(), f.dst)) {
+        state_[f.dst].data_rx += 1;
+        if (observer_ != nullptr) observer_->on_message(f.dst, f);
+      }
+      // else: destination out of range (moved/died) — message lost.
+    }
+  }
+}
+
+void LmacNetwork::end_of_frame() {
+  for (NodeId u = 0; u < topo_.size(); ++u) {
+    if (!topo_.is_alive(u)) continue;
+    if (state_[u].joining) {
+      elect_joining_node(u);
+    } else {
+      check_timeouts(u);
+    }
+  }
+}
+
+void LmacNetwork::check_timeouts(NodeId id) {
+  NodeState& st = state_[id];
+  for (std::size_t i = 0; i < st.neighbors.size();) {
+    NeighborEntry& e = st.neighbors[i];
+    // last_heard_frame == -1 means "primed at bootstrap, not heard since";
+    // treat bootstrap as frame -1 so a node dead from frame 0 still times
+    // out after timeout_frames frames.
+    const std::int64_t silent = frame_ - e.last_heard_frame;
+    if (silent >= cfg_.timeout_frames) {
+      const NodeId lost = e.id;
+      st.neighbors.erase(st.neighbors.begin() + static_cast<std::ptrdiff_t>(i));
+      sim::log(sim::LogLevel::Debug, "lmac",
+               "node ", id, " lost neighbor ", lost, " at frame ", frame_);
+      if (observer_ != nullptr) observer_->on_neighbor_lost(id, lost);
+    } else {
+      ++i;
+    }
+  }
+}
+
+void LmacNetwork::elect_joining_node(NodeId id) {
+  NodeState& st = state_[id];
+  // The joiner has listened for a full frame: its occupied_view now holds
+  // every slot used within two hops (1-hop control sections carry 2-hop
+  // occupancy). Claim the lowest free slot.
+  std::uint64_t taken = st.occupied_view;
+  for (NodeId v : topo_.neighbors(id)) {
+    taken |= state_[v].occupied_view;
+  }
+  int chosen = kNoSlot;
+  for (std::size_t s = 0; s < cfg_.slots_per_frame; ++s) {
+    if ((taken & (1ULL << s)) == 0) {
+      chosen = static_cast<int>(s);
+      break;
+    }
+  }
+  if (chosen == kNoSlot) {
+    sim::log(sim::LogLevel::Warn, "lmac", "node ", id,
+             " found no free slot; will retry next frame");
+    return;  // stays joining; retries after the next frame
+  }
+  st.slot = chosen;
+  st.joining = false;
+  slot_members_[static_cast<std::size_t>(chosen)].push_back(id);
+  st.occupied_view |= (1ULL << static_cast<unsigned>(chosen));
+  sim::log(sim::LogLevel::Debug, "lmac", "node ", id, " claimed slot ", chosen);
+}
+
+void LmacNetwork::send(NodeId from, NodeId to, std::any payload) {
+  if (!started_) throw std::logic_error("LmacNetwork::send before start()");
+  state_.at(from).tx_queue.push_back(Frame{from, to, std::move(payload)});
+}
+
+void LmacNetwork::broadcast(NodeId from, std::any payload) {
+  if (!started_) throw std::logic_error("LmacNetwork::broadcast before start()");
+  state_.at(from).tx_queue.push_back(Frame{from, kNoNode, std::move(payload)});
+}
+
+std::vector<NodeId> LmacNetwork::known_neighbors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const NeighborEntry& e : state_.at(id).neighbors) out.push_back(e.id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CostUnits LmacNetwork::total_data_cost() const {
+  CostUnits total = 0;
+  for (const NodeState& st : state_) total += st.data_tx + st.data_rx;
+  return total;
+}
+
+void LmacNetwork::on_node_died(NodeId id) {
+  if (!started_) return;
+  NodeState& st = state_.at(id);
+  if (st.slot != kNoSlot) {
+    std::erase(slot_members_[static_cast<std::size_t>(st.slot)], id);
+    st.slot = kNoSlot;
+  }
+  st.tx_queue.clear();
+  // Note: the dead node's neighbours are NOT told here — they find out by
+  // missing its control messages (timeout), exactly as in real LMAC.
+}
+
+void LmacNetwork::on_node_added(NodeId id) {
+  if (!started_) return;
+  if (state_.size() < topo_.size()) state_.resize(topo_.size());
+  NodeState& st = state_.at(id);
+  st = NodeState{};
+  st.joining = true;  // listen for one full frame, then claim a slot
+}
+
+NeighborEntry* LmacNetwork::find_neighbor(NodeState& st, NodeId id) {
+  for (NeighborEntry& e : st.neighbors) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace dirq::mac

@@ -1,0 +1,29 @@
+#include "metrics/audit.hpp"
+
+#include <algorithm>
+
+namespace dirq::metrics {
+
+QueryAudit audit_query(std::span<const NodeId> should,
+                       std::span<const NodeId> received) {
+  QueryAudit a;
+  a.should_count = should.size();
+  a.received_count = received.size();
+  std::size_t i = 0, j = 0;
+  while (i < should.size() && j < received.size()) {
+    if (should[i] == received[j]) {
+      ++a.correct;
+      ++i;
+      ++j;
+    } else if (should[i] < received[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  a.wrong = a.received_count - a.correct;
+  a.missed = a.should_count - a.correct;
+  return a;
+}
+
+}  // namespace dirq::metrics

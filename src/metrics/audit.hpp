@@ -1,0 +1,56 @@
+// Per-query accuracy accounting (paper §7.1).
+//
+// "We measure accuracy by computing the proportion of nodes that are being
+// reached in response to a query to nodes that should be reached. Nodes
+// that 'should' be reached refer to both source nodes and intermediate
+// forwarding nodes."
+//
+// Overshoot (Fig. 7) is the fraction of reached-but-irrelevant nodes
+// relative to the should-reach set.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace dirq::metrics {
+
+struct QueryAudit {
+  std::size_t should_count = 0;    // |should| (sources + forwarders)
+  std::size_t received_count = 0;  // |received|
+  std::size_t correct = 0;         // |received && should|
+  std::size_t wrong = 0;           // |received \ should|  (overshoot nodes)
+  std::size_t missed = 0;          // |should \ received|  (coverage gaps)
+
+  /// Fig. 7's metric: wrongly reached nodes as % of the should set.
+  [[nodiscard]] double overshoot_pct() const noexcept {
+    return should_count == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(wrong) /
+                     static_cast<double>(should_count);
+  }
+
+  /// §7.1's accuracy: reached / should-reach (>100 % indicates overshoot).
+  [[nodiscard]] double reach_ratio_pct() const noexcept {
+    return should_count == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(received_count) /
+                     static_cast<double>(should_count);
+  }
+
+  /// Fraction of the should-set actually covered (delivery completeness).
+  [[nodiscard]] double coverage_pct() const noexcept {
+    return should_count == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(correct) /
+                     static_cast<double>(should_count);
+  }
+};
+
+/// Both spans must be sorted and duplicate-free.
+QueryAudit audit_query(std::span<const NodeId> should,
+                       std::span<const NodeId> received);
+
+}  // namespace dirq::metrics

@@ -1,0 +1,48 @@
+// Plain-text reporting helpers used by the bench binaries: an aligned
+// console table and a TSV block writer (one block per plotted series, so
+// the paper figures can be regenerated with any plotting tool).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dirq::metrics {
+
+/// Fixed-precision double formatting ("12.34"); trims to integers cleanly.
+std::string fmt(double value, int precision = 2);
+
+/// Console table with right-aligned numeric columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// TSV series block:
+///   # <title>
+///   <col1>\t<col2>...
+///   ...rows...
+///   (blank line)
+class TsvBlock {
+ public:
+  TsvBlock(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dirq::metrics

@@ -1,0 +1,60 @@
+// Axis-aligned bounding box — the static location attribute (paper §2:
+// "queries can be directed based on a combination of static and dynamic
+// attributes, e.g. sensor values (dynamic), sensor types (static) and even
+// location (static) if it is available").
+#pragma once
+
+#include <algorithm>
+
+namespace dirq::net {
+
+struct BBox {
+  double min_x = 0.0, min_y = 0.0;
+  double max_x = 0.0, max_y = 0.0;
+
+  /// A box containing exactly one point.
+  static BBox point(double x, double y) noexcept { return {x, y, x, y}; }
+
+  /// An "empty" box that is the identity of join() (contains nothing).
+  static BBox empty() noexcept {
+    return {1.0, 1.0, -1.0, -1.0};  // inverted: max < min
+  }
+
+  [[nodiscard]] bool is_empty() const noexcept {
+    return max_x < min_x || max_y < min_y;
+  }
+
+  [[nodiscard]] bool contains(double x, double y) const noexcept {
+    return !is_empty() && x >= min_x && x <= max_x && y >= min_y && y <= max_y;
+  }
+
+  [[nodiscard]] bool intersects(const BBox& other) const noexcept {
+    if (is_empty() || other.is_empty()) return false;
+    return min_x <= other.max_x && max_x >= other.min_x &&
+           min_y <= other.max_y && max_y >= other.min_y;
+  }
+
+  /// Smallest box containing both (empty boxes are identities).
+  [[nodiscard]] BBox join(const BBox& other) const noexcept {
+    if (is_empty()) return other;
+    if (other.is_empty()) return *this;
+    return {std::min(min_x, other.min_x), std::min(min_y, other.min_y),
+            std::max(max_x, other.max_x), std::max(max_y, other.max_y)};
+  }
+
+  [[nodiscard]] double width() const noexcept {
+    return is_empty() ? 0.0 : max_x - min_x;
+  }
+  [[nodiscard]] double height() const noexcept {
+    return is_empty() ? 0.0 : max_y - min_y;
+  }
+  [[nodiscard]] double area() const noexcept { return width() * height(); }
+
+  friend bool operator==(const BBox& a, const BBox& b) noexcept {
+    if (a.is_empty() && b.is_empty()) return true;
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+}  // namespace dirq::net

@@ -1,0 +1,121 @@
+#include "net/placement.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "net/spanning_tree.hpp"
+
+namespace dirq::net {
+namespace {
+
+/// Assigns a heterogeneous sensor complement (Fig. 4) to every non-root
+/// node: each type independently with probability p, at least one type.
+void assign_sensors(std::vector<Node>& nodes, std::size_t type_count,
+                    double p, sim::Rng& rng) {
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    auto& sensors = nodes[i].sensors;
+    sensors.clear();
+    for (SensorType t = 0; t < type_count; ++t) {
+      if (rng.bernoulli(p)) sensors.push_back(t);
+    }
+    if (sensors.empty()) {
+      sensors.push_back(static_cast<SensorType>(
+          rng.uniform_int(0, static_cast<std::int64_t>(type_count) - 1)));
+    }
+  }
+}
+
+}  // namespace
+
+Topology random_connected(const RandomPlacementConfig& cfg, sim::Rng& rng) {
+  if (cfg.node_count == 0) throw std::invalid_argument("random_connected: empty network");
+  sim::Rng place_rng = rng.substream("placement");
+  sim::Rng sensor_rng = rng.substream("sensors");
+
+  for (std::size_t attempt = 0; attempt < cfg.max_attempts; ++attempt) {
+    std::vector<Node> nodes(cfg.node_count);
+    // Root at the area centre: in environmental deployments the gateway
+    // sits where it can be serviced; centring also keeps BFS depth small.
+    nodes[0].x = cfg.area_side / 2.0;
+    nodes[0].y = cfg.area_side / 2.0;
+    for (std::size_t i = 1; i < cfg.node_count; ++i) {
+      nodes[i].x = place_rng.uniform(0.0, cfg.area_side);
+      nodes[i].y = place_rng.uniform(0.0, cfg.area_side);
+    }
+    assign_sensors(nodes, cfg.sensor_type_count, cfg.sensor_probability, sensor_rng);
+
+    Topology topo(std::move(nodes), cfg.radio_range);
+    if (!topo.is_connected()) continue;
+
+    SpanningTree tree(topo, /*root=*/0);
+    if (tree.size() != cfg.node_count) continue;
+    if (tree.max_branching() > cfg.max_children) continue;
+    if (static_cast<std::size_t>(tree.max_depth()) > cfg.max_depth) continue;
+    return topo;
+  }
+  throw std::runtime_error(
+      "random_connected: no acceptable placement in " +
+      std::to_string(cfg.max_attempts) + " attempts");
+}
+
+Topology grid(std::size_t rows, std::size_t cols, double spacing,
+              std::size_t sensor_type_count) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("grid: empty");
+  std::vector<Node> nodes;
+  nodes.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      Node n;
+      n.x = static_cast<double>(c) * spacing;
+      n.y = static_cast<double>(r) * spacing;
+      for (SensorType t = 0; t < sensor_type_count; ++t) n.sensors.push_back(t);
+      nodes.push_back(std::move(n));
+    }
+  }
+  nodes[0].sensors.clear();  // corner root is the gateway
+  // Range strictly between spacing and the diagonal, so only the
+  // 4-neighbourhood is connected.
+  return Topology(std::move(nodes), spacing * 1.1);
+}
+
+Topology knary_tree(std::size_t k, std::size_t d, std::size_t sensor_type_count) {
+  if (k == 0) throw std::invalid_argument("knary_tree: k must be >= 1");
+  // Node count: (k^{d+1} - 1) / (k - 1), or d+1 for k == 1.
+  std::size_t count = 0;
+  {
+    std::size_t level = 1;
+    for (std::size_t depth = 0; depth <= d; ++depth) {
+      count += level;
+      level *= k;
+    }
+  }
+  std::vector<Node> nodes(count);
+  std::vector<std::pair<NodeId, NodeId>> links;
+  links.reserve(count - 1);
+  for (std::size_t i = 1; i < count; ++i) {
+    const NodeId parent = static_cast<NodeId>((i - 1) / k);
+    links.emplace_back(parent, static_cast<NodeId>(i));
+    for (SensorType t = 0; t < sensor_type_count; ++t) {
+      nodes[i].sensors.push_back(t);
+    }
+  }
+  // Positions are cosmetic for trees (links are explicit): lay levels out
+  // on concentric rings so plots stay readable.
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t depth = 0, first = 0, level = 1;
+    while (first + level <= i) {
+      first += level;
+      level *= k;
+      ++depth;
+    }
+    const double angle = level == 0 ? 0.0
+        : 2.0 * 3.141592653589793 * static_cast<double>(i - first) /
+              static_cast<double>(level);
+    nodes[i].x = static_cast<double>(depth) * std::cos(angle);
+    nodes[i].y = static_cast<double>(depth) * std::sin(angle);
+  }
+  return Topology(std::move(nodes), links);
+}
+
+}  // namespace dirq::net

@@ -1,0 +1,51 @@
+// Topology builders.
+//
+// `random_connected` reproduces the paper's evaluation network: N nodes
+// placed uniformly in a square, rejection-sampled until the unit-disk graph
+// is connected and the BFS tree rooted at node 0 respects the paper's
+// bounds (max k children per node, max depth d). `grid` and `knary_tree`
+// support tests and the Section-5 analytical validation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+
+namespace dirq::net {
+
+struct RandomPlacementConfig {
+  std::size_t node_count = 50;       // paper §7: 50 nodes incl. one root
+  double area_side = 100.0;          // square deployment area
+  double radio_range = 22.0;         // unit-disk radius
+  std::size_t max_children = 8;      // paper's k = 8
+  std::size_t max_depth = 10;        // paper's d = 10
+  std::size_t max_attempts = 10000;  // rejection-sampling budget
+  /// Sensor complement assignment: each node gets each of the
+  /// `sensor_type_count` types independently with this probability; nodes
+  /// that would end up with no sensor get one uniformly chosen type.
+  /// The root (node 0) carries no sensors — it is the gateway.
+  std::size_t sensor_type_count = 4;  // paper §7: 4 sensor types
+  double sensor_probability = 0.6;    // heterogeneous complements (Fig. 4)
+};
+
+/// Builds a connected random topology per the config. Throws
+/// std::runtime_error if no acceptable placement is found within
+/// max_attempts (practically unreachable with the default parameters).
+Topology random_connected(const RandomPlacementConfig& cfg, sim::Rng& rng);
+
+/// rows x cols grid with the given spacing; radio range chosen so the
+/// 4-neighbourhood (not diagonals) is connected. Every node carries all
+/// `sensor_type_count` types. Node 0 (corner) is the root.
+Topology grid(std::size_t rows, std::size_t cols, double spacing,
+              std::size_t sensor_type_count = 4);
+
+/// Complete k-ary tree of depth d embedded so that the unit-disk graph is
+/// exactly the tree (parent-child links only). Node 0 is the root; depth-0
+/// tree is a single node. Every non-root node carries all sensor types.
+/// Used to validate the Section-5 closed forms against simulation.
+Topology knary_tree(std::size_t k, std::size_t d,
+                    std::size_t sensor_type_count = 4);
+
+}  // namespace dirq::net

@@ -1,0 +1,97 @@
+#include "net/spanning_tree.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace dirq::net {
+
+SpanningTree::SpanningTree(const Topology& topo, NodeId root) : root_(root) {
+  if (root >= topo.size() || !topo.is_alive(root)) {
+    throw std::invalid_argument("SpanningTree: root must be an alive node");
+  }
+  rebuild(topo);
+}
+
+void SpanningTree::rebuild(const Topology& topo) {
+  const std::size_t n = topo.size();
+  parent_.assign(n, kNoNode);
+  children_.assign(n, {});
+  depth_.assign(n, -1);
+  member_count_ = 0;
+  max_depth_ = 0;
+  if (root_ >= n || !topo.is_alive(root_)) return;
+
+  std::deque<NodeId> frontier{root_};
+  depth_[root_] = 0;
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop_front();
+    ++member_count_;
+    max_depth_ = std::max(max_depth_, depth_[u]);
+    // Topology adjacency lists are sorted ascending, so children adopt the
+    // lowest-id reachable parent first: deterministic rebuilds.
+    for (NodeId v : topo.neighbors(u)) {
+      if (depth_[v] >= 0) continue;
+      depth_[v] = depth_[u] + 1;
+      parent_[v] = u;
+      children_[u].push_back(v);
+      frontier.push_back(v);
+    }
+  }
+}
+
+std::size_t SpanningTree::max_branching() const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (depth_[i] >= 0) best = std::max(best, children_[i].size());
+  }
+  return best;
+}
+
+std::vector<NodeId> SpanningTree::nodes_at_depth(int d) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < depth_.size(); ++i) {
+    if (depth_[i] == d) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::vector<NodeId> SpanningTree::leaves() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < depth_.size(); ++i) {
+    if (depth_[i] >= 0 && children_[i].empty()) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::vector<NodeId> SpanningTree::path_from_root(NodeId id) const {
+  if (!in_tree(id)) return {};
+  std::vector<NodeId> path;
+  for (NodeId u = id; u != kNoNode; u = parent_[u]) path.push_back(u);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<NodeId> SpanningTree::bfs_order() const {
+  std::vector<NodeId> order;
+  if (!in_tree(root_)) return order;
+  order.reserve(member_count_);
+  order.push_back(root_);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (NodeId c : children_[order[i]]) order.push_back(c);
+  }
+  return order;
+}
+
+std::vector<NodeId> SpanningTree::subtree(NodeId id) const {
+  std::vector<NodeId> out;
+  if (!in_tree(id)) return out;
+  out.push_back(id);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    for (NodeId c : children_[out[i]]) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace dirq::net

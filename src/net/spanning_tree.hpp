@@ -1,0 +1,88 @@
+// BFS spanning tree over the alive subgraph — DirQ's communication tree.
+//
+// The paper sets the tree up once after deployment ("Once the nodes have
+// been placed in the network, a spanning tree is set up", §4) and repairs
+// it when the MAC layer reports node death/addition (§4.2). The BFS tree
+// gives shortest hop paths from the root; ties are broken toward the
+// lowest-id parent so rebuilds are deterministic.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/types.hpp"
+
+namespace dirq::net {
+
+class SpanningTree {
+ public:
+  SpanningTree() = default;
+
+  /// Builds the BFS tree rooted at `root` over the alive subgraph.
+  SpanningTree(const Topology& topo, NodeId root);
+
+  /// Recomputes the whole tree against the (possibly mutated) topology.
+  /// Deterministic, so unchanged regions keep their shape.
+  void rebuild(const Topology& topo);
+
+  [[nodiscard]] NodeId root() const noexcept { return root_; }
+
+  /// Parent of `id`, or kNoNode for the root and for unreachable/dead nodes.
+  [[nodiscard]] NodeId parent(NodeId id) const { return parent_.at(id); }
+
+  /// Children of `id` in ascending id order.
+  [[nodiscard]] std::span<const NodeId> children(NodeId id) const {
+    return children_.at(id);
+  }
+
+  /// Hop distance from the root, or -1 if not in the tree.
+  [[nodiscard]] int depth(NodeId id) const { return depth_.at(id); }
+
+  /// True if the node is attached to the tree (root included).
+  [[nodiscard]] bool in_tree(NodeId id) const {
+    return id < depth_.size() && depth_[id] >= 0;
+  }
+
+  /// Number of nodes attached to the tree (root included).
+  [[nodiscard]] std::size_t size() const noexcept { return member_count_; }
+
+  /// Tree edges = size() - 1 (when non-empty).
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return member_count_ == 0 ? 0 : member_count_ - 1;
+  }
+
+  /// Maximum depth over tree members (0 for a lone root).
+  [[nodiscard]] int max_depth() const noexcept { return max_depth_; }
+
+  /// Maximum child count over tree members — the paper's k bound.
+  [[nodiscard]] std::size_t max_branching() const;
+
+  /// Members at exactly the given depth.
+  [[nodiscard]] std::vector<NodeId> nodes_at_depth(int d) const;
+
+  /// Leaves (tree members with no children).
+  [[nodiscard]] std::vector<NodeId> leaves() const;
+
+  /// Path from the root to `id` inclusive; empty if `id` is not in the
+  /// tree. Used by the per-query audit to compute the "should receive"
+  /// set (sources plus intermediate forwarders, paper §7.1).
+  [[nodiscard]] std::vector<NodeId> path_from_root(NodeId id) const;
+
+  /// All tree members in BFS (root-first) order.
+  [[nodiscard]] std::vector<NodeId> bfs_order() const;
+
+  /// Members of the subtree rooted at `id` (including `id`).
+  [[nodiscard]] std::vector<NodeId> subtree(NodeId id) const;
+
+ private:
+  NodeId root_ = kNoNode;
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<int> depth_;
+  std::size_t member_count_ = 0;
+  int max_depth_ = 0;
+};
+
+}  // namespace dirq::net

@@ -1,0 +1,202 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dirq::net {
+
+bool Node::has_sensor(SensorType t) const noexcept {
+  return std::binary_search(sensors.begin(), sensors.end(), t);
+}
+
+Topology::Topology(std::vector<Node> nodes, double radio_range)
+    : nodes_(std::move(nodes)), radio_range_(radio_range) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].id = static_cast<NodeId>(i);
+    std::sort(nodes_[i].sensors.begin(), nodes_[i].sensors.end());
+    nodes_[i].sensors.erase(
+        std::unique(nodes_[i].sensors.begin(), nodes_[i].sensors.end()),
+        nodes_[i].sensors.end());
+  }
+  rebuild_links();
+}
+
+Topology::Topology(std::vector<Node> nodes,
+                   const std::vector<std::pair<NodeId, NodeId>>& links)
+    : nodes_(std::move(nodes)), radio_range_(0.0) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].id = static_cast<NodeId>(i);
+    std::sort(nodes_[i].sensors.begin(), nodes_[i].sensors.end());
+    nodes_[i].sensors.erase(
+        std::unique(nodes_[i].sensors.begin(), nodes_[i].sensors.end()),
+        nodes_[i].sensors.end());
+    if (nodes_[i].alive) ++alive_count_;
+  }
+  adjacency_.assign(nodes_.size(), {});
+  for (auto [a, b] : links) {
+    if (a == b) throw std::invalid_argument("Topology: self link");
+    if (a >= nodes_.size() || b >= nodes_.size())
+      throw std::invalid_argument("Topology: link endpoint out of range");
+    link(a, b);
+  }
+}
+
+std::span<const NodeId> Topology::neighbors(NodeId id) const {
+  return adjacency_.at(id);
+}
+
+bool Topology::is_connected() const {
+  if (alive_count_ <= 1) return true;
+  NodeId start = kNoNode;
+  for (const Node& n : nodes_) {
+    if (n.alive) {
+      start = n.id;
+      break;
+    }
+  }
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack{start};
+  seen[start] = true;
+  std::size_t reached = 0;
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    ++reached;
+    for (NodeId v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return reached == alive_count_;
+}
+
+std::size_t Topology::max_degree() const {
+  std::size_t best = 0;
+  for (const Node& n : nodes_) {
+    if (n.alive) best = std::max(best, adjacency_[n.id].size());
+  }
+  return best;
+}
+
+void Topology::kill_node(NodeId id) {
+  Node& n = nodes_.at(id);
+  if (!n.alive) return;
+  n.alive = false;
+  --alive_count_;
+  unlink_all(id);
+  for (TopologyObserver* obs : observers_) obs->on_node_died(id);
+}
+
+NodeId Topology::add_node(Node n) {
+  NodeId id;
+  if (n.id != kNoNode && n.id < nodes_.size()) {
+    // Revival of an existing (dead) slot.
+    id = n.id;
+    Node& slot = nodes_[id];
+    if (slot.alive) throw std::invalid_argument("add_node: node already alive");
+    n.alive = true;
+    std::sort(n.sensors.begin(), n.sensors.end());
+    n.sensors.erase(std::unique(n.sensors.begin(), n.sensors.end()), n.sensors.end());
+    slot = std::move(n);
+  } else {
+    id = static_cast<NodeId>(nodes_.size());
+    n.id = id;
+    n.alive = true;
+    std::sort(n.sensors.begin(), n.sensors.end());
+    n.sensors.erase(std::unique(n.sensors.begin(), n.sensors.end()), n.sensors.end());
+    nodes_.push_back(std::move(n));
+    adjacency_.emplace_back();
+  }
+  ++alive_count_;
+  for (const Node& other : nodes_) {
+    if (other.id == id || !other.alive) continue;
+    if (distance(id, other.id) <= radio_range_) link(id, other.id);
+  }
+  for (TopologyObserver* obs : observers_) obs->on_node_added(id);
+  return id;
+}
+
+void Topology::add_sensor(NodeId id, SensorType t) {
+  Node& n = nodes_.at(id);
+  auto it = std::lower_bound(n.sensors.begin(), n.sensors.end(), t);
+  if (it != n.sensors.end() && *it == t) return;
+  n.sensors.insert(it, t);
+  for (TopologyObserver* obs : observers_) obs->on_sensor_added(id, t);
+}
+
+void Topology::remove_sensor(NodeId id, SensorType t) {
+  Node& n = nodes_.at(id);
+  auto it = std::lower_bound(n.sensors.begin(), n.sensors.end(), t);
+  if (it == n.sensors.end() || *it != t) return;
+  n.sensors.erase(it);
+  for (TopologyObserver* obs : observers_) obs->on_sensor_removed(id, t);
+}
+
+std::vector<SensorType> Topology::sensor_types_present() const {
+  std::vector<SensorType> out;
+  for (const Node& n : nodes_) {
+    if (!n.alive) continue;
+    out.insert(out.end(), n.sensors.begin(), n.sensors.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<NodeId> Topology::nodes_with_sensor(SensorType t) const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.alive && n.has_sensor(t)) out.push_back(n.id);
+  }
+  return out;
+}
+
+void Topology::remove_observer(TopologyObserver* obs) {
+  std::erase(observers_, obs);
+}
+
+double Topology::distance(NodeId a, NodeId b) const {
+  const Node& na = nodes_.at(a);
+  const Node& nb = nodes_.at(b);
+  return std::hypot(na.x - nb.x, na.y - nb.y);
+}
+
+void Topology::rebuild_links() {
+  adjacency_.assign(nodes_.size(), {});
+  link_count_ = 0;
+  alive_count_ = 0;
+  for (const Node& n : nodes_) {
+    if (n.alive) ++alive_count_;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].alive) continue;
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      if (!nodes_[j].alive) continue;
+      if (distance(static_cast<NodeId>(i), static_cast<NodeId>(j)) <= radio_range_) {
+        link(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      }
+    }
+  }
+}
+
+void Topology::link(NodeId a, NodeId b) {
+  adjacency_[a].insert(
+      std::lower_bound(adjacency_[a].begin(), adjacency_[a].end(), b), b);
+  adjacency_[b].insert(
+      std::lower_bound(adjacency_[b].begin(), adjacency_[b].end(), a), a);
+  ++link_count_;
+}
+
+void Topology::unlink_all(NodeId id) {
+  for (NodeId v : adjacency_[id]) {
+    auto& adj = adjacency_[v];
+    adj.erase(std::lower_bound(adj.begin(), adj.end(), id));
+    --link_count_;
+  }
+  adjacency_[id].clear();
+}
+
+}  // namespace dirq::net

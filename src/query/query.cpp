@@ -1,0 +1,34 @@
+#include "query/query.hpp"
+
+#include <sstream>
+
+namespace dirq::query {
+
+std::string RangeQuery::describe() const {
+  std::ostringstream oss;
+  oss << "query#" << id << " " << sensor_type_name(type) << " in [" << lo
+      << ", " << hi << "]";
+  if (region) {
+    oss << " within [" << region->min_x << "," << region->min_y << " .. "
+        << region->max_x << "," << region->max_y << "]";
+  }
+  oss << " @epoch " << epoch;
+  return oss.str();
+}
+
+std::string MultiQuery::describe() const {
+  std::ostringstream oss;
+  oss << "multiquery#" << id;
+  for (const AttributePredicate& p : predicates) {
+    oss << " " << sensor_type_name(p.type) << " in [" << p.lo << ", " << p.hi
+        << "]";
+  }
+  if (region) {
+    oss << " within [" << region->min_x << "," << region->min_y << " .. "
+        << region->max_x << "," << region->max_y << "]";
+  }
+  oss << " @epoch " << epoch;
+  return oss.str();
+}
+
+}  // namespace dirq::query

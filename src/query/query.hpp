@@ -1,0 +1,83 @@
+// Query model: one-shot range queries over a single sensor type
+// (paper §3: "Acquire all temperature readings that are currently between
+// 22 C and 25 C"). DirQ routes on (type, [lo, hi]) against the range
+// tables; multi-dimensional user requests decompose into one query per
+// attribute at the gateway.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/bbox.hpp"
+#include "sim/types.hpp"
+
+namespace dirq::query {
+
+struct RangeQuery {
+  RangeQuery() = default;
+  RangeQuery(QueryId id_, SensorType type_, double lo_, double hi_,
+             std::int64_t epoch_,
+             std::optional<net::BBox> region_ = std::nullopt)
+      : id(id_), type(type_), lo(lo_), hi(hi_), epoch(epoch_),
+        region(std::move(region_)) {}
+
+  QueryId id = 0;
+  SensorType type = kSensorTemperature;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::int64_t epoch = 0;  // injection time
+  /// Optional static location attribute (paper §2): when present, only
+  /// nodes inside the region qualify, and dissemination additionally
+  /// prunes on subtree bounding boxes.
+  std::optional<net::BBox> region;
+
+  /// True if a reading satisfies the query predicate.
+  [[nodiscard]] bool matches(double value) const noexcept {
+    return value >= lo && value <= hi;
+  }
+
+  /// True if the query's value window overlaps a stored [min, max] range —
+  /// the forwarding test every DirQ node applies (§4.1).
+  [[nodiscard]] bool overlaps(double range_min, double range_max) const noexcept {
+    return lo <= range_max && hi >= range_min;
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// One conjunct of a multi-attribute query.
+struct AttributePredicate {
+  SensorType type = kSensorTemperature;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] bool matches(double value) const noexcept {
+    return value >= lo && value <= hi;
+  }
+  [[nodiscard]] bool overlaps(double range_min, double range_max) const noexcept {
+    return lo <= range_max && hi >= range_min;
+  }
+};
+
+/// Conjunctive multi-attribute range query (paper §2: unlike SRT's single
+/// attribute, "DirQ can use multiple attributes"). A source node must
+/// carry every listed sensor type and satisfy every window; dissemination
+/// prunes a branch as soon as ANY attribute's subtree range misses.
+///
+/// Note the inherent conservatism: per-type subtree ranges cannot prove
+/// that one single node satisfies all conjuncts, only that each conjunct
+/// is satisfiable somewhere in the subtree — multi-attribute dissemination
+/// therefore overshoots more than its single-attribute projection, never
+/// less coverage.
+struct MultiQuery {
+  QueryId id = 0;
+  std::vector<AttributePredicate> predicates;
+  std::int64_t epoch = 0;
+  std::optional<net::BBox> region;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace dirq::query

@@ -1,0 +1,34 @@
+#include "query/rate_predictor.hpp"
+
+#include <stdexcept>
+
+namespace dirq::query {
+
+void QueryRatePredictor::record_query(std::int64_t epoch) {
+  if (epoch < last_epoch_) {
+    throw std::invalid_argument("QueryRatePredictor: epochs must not decrease");
+  }
+  last_epoch_ = epoch;
+  roll_to(epoch / epochs_per_hour_);
+  ++current_count_;
+}
+
+void QueryRatePredictor::roll_to(std::int64_t hour) {
+  while (current_hour_ < hour) {
+    completed_.push_back(current_count_);
+    ewma_.push(static_cast<double>(current_count_));
+    current_count_ = 0;
+    ++current_hour_;
+  }
+}
+
+double QueryRatePredictor::predict_next_hour() const {
+  if (ewma_.initialized()) return ewma_.value();
+  // No completed hour yet: extrapolate the partial hour observed so far.
+  if (last_epoch_ < 0) return 0.0;
+  const std::int64_t into_hour = (last_epoch_ % epochs_per_hour_) + 1;
+  return static_cast<double>(current_count_) *
+         static_cast<double>(epochs_per_hour_) / static_cast<double>(into_hour);
+}
+
+}  // namespace dirq::query

@@ -1,0 +1,63 @@
+// Query-rate predictor at the gateway.
+//
+// Paper §3: "the server connected to the root ... is capable of predicting
+// the number of queries that will be posed to the network in the next hour
+// based on historical data", citing web-server access prediction [10].
+// The prediction feeds the hourly EHr broadcast (§4) that parameterises
+// every node's Adaptive Threshold Control.
+//
+// We implement a seasonal-naive + EWMA blend: the prediction for the next
+// hour is an exponentially weighted average of past hourly counts, seeded
+// by the first observed hour. This captures the only property DirQ needs —
+// a reasonable hourly estimate that tracks load trends.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace dirq::query {
+
+class QueryRatePredictor {
+ public:
+  /// alpha: EWMA smoothing; epochs_per_hour: the EHr accounting period.
+  explicit QueryRatePredictor(double alpha = 0.4,
+                              std::int64_t epochs_per_hour = kEpochsPerHour)
+      : ewma_(alpha), epochs_per_hour_(epochs_per_hour) {}
+
+  /// Records one injected query at the given epoch. Epochs must be
+  /// non-decreasing (queries arrive in order at the gateway).
+  void record_query(std::int64_t epoch);
+
+  /// Prediction of queries in the next hour (EHr). Before any full hour of
+  /// history, extrapolates the current partial hour's rate; with history,
+  /// returns the EWMA of completed hourly counts.
+  [[nodiscard]] double predict_next_hour() const;
+
+  /// Count for a completed hour index, 0 if out of range.
+  [[nodiscard]] std::int64_t hour_count(std::size_t hour) const {
+    return hour < completed_.size() ? completed_[hour] : 0;
+  }
+
+  [[nodiscard]] std::size_t completed_hours() const noexcept {
+    return completed_.size();
+  }
+
+  [[nodiscard]] std::int64_t epochs_per_hour() const noexcept {
+    return epochs_per_hour_;
+  }
+
+ private:
+  void roll_to(std::int64_t hour);
+
+  sim::Ewma ewma_;
+  std::int64_t epochs_per_hour_;
+  std::vector<std::int64_t> completed_;  // per finished hour
+  std::int64_t current_hour_ = 0;
+  std::int64_t current_count_ = 0;
+  std::int64_t last_epoch_ = -1;
+};
+
+}  // namespace dirq::query

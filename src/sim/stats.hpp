@@ -1,0 +1,173 @@
+// Statistics primitives used across the reproduction:
+//   Counter      — named monotonically increasing tally (energy units,
+//                  message counts).
+//   RunningStat  — Welford online mean/variance; ATC uses one per node to
+//                  track the rate of variation of the measured parameter.
+//   TimeSeries   — fixed-width time bins; Fig. 6 is "update messages per
+//                  100-epoch bin" which is exactly this.
+//   Histogram    — fixed-width value bins for distribution summaries.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace dirq::sim {
+
+/// Named monotonically increasing counter.
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::int64_t delta = 1) noexcept { value_ += delta; }
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::string name_;
+  std::int64_t value_ = 0;
+};
+
+/// Welford's online algorithm for mean / variance / min / max.
+/// Numerically stable for the 20 000-sample-per-node streams used here.
+class RunningStat {
+ public:
+  void push(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (biased); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  /// Sample variance (unbiased); 0 for fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const noexcept {
+    return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  void reset() noexcept { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponentially weighted moving average with configurable smoothing.
+/// Used by the query-rate predictor and by ATC's local rate tracker.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void push(double x) noexcept {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  void reset() noexcept { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Accumulates events into fixed-width time bins indexed from t = 0.
+/// Fig. 6 ("total update messages transmitted every 100 epochs") is a
+/// TimeSeries with bin_width = 100 epochs.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::int64_t bin_width) : bin_width_(bin_width) {}
+
+  /// Adds `count` events at time `t` (>= 0, arbitrary order allowed).
+  void record(std::int64_t t, double count = 1.0) {
+    if (t < 0) t = 0;
+    const auto bin = static_cast<std::size_t>(t / bin_width_);
+    if (bin >= bins_.size()) bins_.resize(bin + 1, 0.0);
+    bins_[bin] += count;
+  }
+
+  [[nodiscard]] std::int64_t bin_width() const noexcept { return bin_width_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept { return bins_.size(); }
+  [[nodiscard]] double bin(std::size_t i) const { return i < bins_.size() ? bins_[i] : 0.0; }
+  [[nodiscard]] const std::vector<double>& bins() const noexcept { return bins_; }
+
+  [[nodiscard]] double total() const noexcept {
+    double s = 0.0;
+    for (double b : bins_) s += b;
+    return s;
+  }
+
+  /// Mean over bins [first, last) clamped to the recorded range.
+  [[nodiscard]] double mean_over(std::size_t first, std::size_t last) const {
+    last = std::min(last, bins_.size());
+    if (first >= last) return 0.0;
+    double s = 0.0;
+    for (std::size_t i = first; i < last; ++i) s += bins_[i];
+    return s / static_cast<double>(last - first);
+  }
+
+ private:
+  std::int64_t bin_width_;
+  std::vector<double> bins_;
+};
+
+/// Fixed-width value histogram over [lo, hi); out-of-range samples clamp
+/// into the edge bins so totals always reconcile.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  void push(double x) noexcept {
+    const double span = hi_ - lo_;
+    auto idx = static_cast<std::int64_t>((x - lo_) / span * static_cast<double>(counts_.size()));
+    idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+  /// Value below which the given fraction of samples fall (0..1), by
+  /// linear interpolation within the containing bin.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dirq::sim

@@ -1,0 +1,63 @@
+// Core value types shared by every layer of the DirQ reproduction.
+//
+// All identifiers are strong-ish integer aliases kept deliberately cheap:
+// the simulation moves millions of events per figure run, so node ids and
+// times must stay register-sized trivially-copyable values.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace dirq {
+
+/// Discrete simulation time in integer ticks. One *epoch* (the paper's
+/// sensing period, [12]) is `kTicksPerEpoch` ticks so that sub-epoch events
+/// (LMAC slots) can be scheduled without floating-point time.
+using SimTime = std::int64_t;
+
+/// Number of scheduler ticks per sensing epoch. LMAC frames subdivide this.
+inline constexpr SimTime kTicksPerEpoch = 1024;
+
+/// Epochs per "hour" of simulated wall-clock; the root re-broadcasts its
+/// EHr (expected-queries-per-hour) estimate on this period (paper §4).
+/// The paper runs 20 000 epochs; with 3600 epochs/hour that is ~5.5 hours,
+/// matching the paper's "once every hour" cadence at a realistic scale.
+inline constexpr std::int64_t kEpochsPerHour = 3600;
+
+/// Node identifier: dense index into the topology's node array.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (e.g. parent of the root in the spanning tree).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sensor type identifier. The paper's evaluation uses 4 types
+/// (e.g. temperature, humidity, light, soil moisture); the architecture
+/// supports post-deployment addition of new types (§4.2), so this is an
+/// open integer domain rather than a closed enum.
+using SensorType = std::uint16_t;
+
+inline constexpr SensorType kSensorTemperature = 0;
+inline constexpr SensorType kSensorHumidity = 1;
+inline constexpr SensorType kSensorLight = 2;
+inline constexpr SensorType kSensorSoilMoisture = 3;
+
+/// Human-readable name for the four canonical sensor types.
+constexpr std::string_view sensor_type_name(SensorType t) noexcept {
+  switch (t) {
+    case kSensorTemperature: return "temperature";
+    case kSensorHumidity: return "humidity";
+    case kSensorLight: return "light";
+    case kSensorSoilMoisture: return "soil_moisture";
+    default: return "sensor";
+  }
+}
+
+/// Energy cost accounting unit (paper §5: transmit = 1 unit, receive = 1
+/// unit). Kept as a 64-bit count; figure runs accumulate millions of units.
+using CostUnits = std::int64_t;
+
+/// Monotonically increasing query identifier.
+using QueryId = std::uint64_t;
+
+}  // namespace dirq

@@ -1,0 +1,138 @@
+// Section-5 closed forms, including the paper's worked example
+// (k=2, d=4 -> fMax ~ 0.76) and cross-checks against first principles.
+#include "analysis/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dirq::analysis {
+namespace {
+
+TEST(Ipow, Basics) {
+  EXPECT_EQ(ipow(2, 0), 1);
+  EXPECT_EQ(ipow(2, 10), 1024);
+  EXPECT_EQ(ipow(3, 4), 81);
+  EXPECT_EQ(ipow(1, 100), 1);
+  EXPECT_EQ(ipow(0, 3), 0);
+}
+
+TEST(Ipow, RejectsNegative) {
+  EXPECT_THROW(ipow(-2, 3), std::invalid_argument);
+  EXPECT_THROW(ipow(2, -1), std::invalid_argument);
+}
+
+TEST(Ipow, DetectsOverflow) {
+  EXPECT_THROW(ipow(10, 30), std::overflow_error);
+}
+
+TEST(TreeNodes, MatchesGeometricSum) {
+  EXPECT_EQ(tree_nodes(2, 0), 1);
+  EXPECT_EQ(tree_nodes(2, 4), 31);
+  EXPECT_EQ(tree_nodes(3, 2), 13);
+  EXPECT_EQ(tree_nodes(8, 2), 73);
+}
+
+TEST(TreeLeaves, IsKToTheD) {
+  EXPECT_EQ(tree_leaves(2, 4), 16);
+  EXPECT_EQ(tree_leaves(3, 3), 27);
+}
+
+TEST(FloodingCost, MatchesNPlusTwoLinks) {
+  // Eq. (4) must equal Eq. (3) with links = N - 1 (a tree).
+  for (std::int64_t k = 2; k <= 8; ++k) {
+    for (std::int64_t d = 1; d <= 5; ++d) {
+      const std::int64_t n = tree_nodes(k, d);
+      EXPECT_EQ(flooding_cost(k, d), flooding_cost_graph(n, n - 1))
+          << "k=" << k << " d=" << d;
+    }
+  }
+}
+
+TEST(FloodingCost, PaperExample) {
+  // k=2, d=4: N=31, links=30 -> 31 + 60 = 91.
+  EXPECT_EQ(flooding_cost(2, 4), 91);
+}
+
+TEST(CqdMax, FirstPrinciples) {
+  // One multicast tx per internal node + one rx per non-root node.
+  for (std::int64_t k = 2; k <= 8; ++k) {
+    for (std::int64_t d = 1; d <= 5; ++d) {
+      const std::int64_t n = tree_nodes(k, d);
+      const std::int64_t internal = tree_nodes(k, d - 1);  // non-leaves
+      EXPECT_EQ(cqd_max(k, d), internal + (n - 1)) << "k=" << k << " d=" << d;
+    }
+  }
+}
+
+TEST(CudMax, IsTwoPerTreeEdge) {
+  for (std::int64_t k = 2; k <= 8; ++k) {
+    for (std::int64_t d = 1; d <= 5; ++d) {
+      const std::int64_t n = tree_nodes(k, d);
+      EXPECT_EQ(cud_max(k, d), 2 * (n - 1)) << "k=" << k << " d=" << d;
+    }
+  }
+}
+
+TEST(FMax, PaperWorkedExample) {
+  // Paper §5.3: "if k = 2 and d = 4, then fMax < 0.76".
+  const double f = f_max(2, 4);
+  EXPECT_NEAR(f, 46.0 / 60.0, 1e-12);
+  EXPECT_GT(f, 0.75);
+  EXPECT_LT(f, 0.78);
+}
+
+TEST(FMax, PositiveAcrossGrid) {
+  for (std::int64_t k = 2; k <= 8; ++k) {
+    for (std::int64_t d = 1; d <= 6; ++d) {
+      EXPECT_GT(f_max(k, d), 0.0) << "k=" << k << " d=" << d;
+    }
+  }
+}
+
+TEST(CtdMax, AtFMaxEqualsFloodingCost) {
+  for (std::int64_t k = 2; k <= 6; ++k) {
+    for (std::int64_t d = 1; d <= 5; ++d) {
+      EXPECT_NEAR(ctd_max(k, d, f_max(k, d)),
+                  static_cast<double>(flooding_cost(k, d)), 1e-9)
+          << "k=" << k << " d=" << d;
+    }
+  }
+}
+
+TEST(CtdMax, ZeroUpdatesIsJustDissemination) {
+  EXPECT_DOUBLE_EQ(ctd_max(2, 4, 0.0), 45.0);
+}
+
+TEST(Validation, RejectsDegenerateTrees) {
+  EXPECT_THROW(flooding_cost(1, 3), std::invalid_argument);
+  EXPECT_THROW(cqd_max(0, 3), std::invalid_argument);
+  EXPECT_THROW(cud_max(2, -1), std::invalid_argument);
+}
+
+TEST(GraphForms, MatchTreeFormsOnCompleteTrees) {
+  for (std::int64_t k = 2; k <= 6; ++k) {
+    for (std::int64_t d = 1; d <= 5; ++d) {
+      const std::int64_t n = tree_nodes(k, d);
+      const std::int64_t internal = tree_nodes(k, d - 1);
+      EXPECT_EQ(cqd_max_graph(n, internal), cqd_max(k, d));
+      EXPECT_EQ(cud_max_graph(n), cud_max(k, d));
+      EXPECT_NEAR(f_max_graph(n, n - 1, internal), f_max(k, d), 1e-12);
+    }
+  }
+}
+
+TEST(GraphForms, DenserGraphsAllowMoreUpdates) {
+  // Extra links raise flooding cost but not DirQ's tree costs, so fMax
+  // grows: directed dissemination wins bigger on dense graphs.
+  const double sparse = f_max_graph(50, 49, 20);
+  const double dense = f_max_graph(50, 120, 20);
+  EXPECT_GT(dense, sparse);
+}
+
+TEST(GraphForms, RejectBadInputs) {
+  EXPECT_THROW(cqd_max_graph(5, 5), std::invalid_argument);
+  EXPECT_THROW(cud_max_graph(0), std::invalid_argument);
+  EXPECT_THROW(f_max_graph(1, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dirq::analysis

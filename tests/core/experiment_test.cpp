@@ -1,0 +1,144 @@
+// Experiment driver: short end-to-end runs of the paper's §7 setup.
+// The full 20 000-epoch figure runs live in bench/; these tests keep the
+// invariants under CI-scale budgets (2 000-4 000 epochs).
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dirq::core {
+namespace {
+
+ExperimentConfig short_cfg(std::int64_t epochs = 2000) {
+  ExperimentConfig cfg;
+  cfg.seed = 42;
+  cfg.epochs = epochs;
+  cfg.relevant_fraction = 0.4;
+  cfg.network.mode = NetworkConfig::ThetaMode::Fixed;
+  cfg.network.fixed_pct = 5.0;
+  return cfg;
+}
+
+TEST(Experiment, RunsAndInjectsExpectedQueryCount) {
+  ExperimentResults res = Experiment(short_cfg()).run();
+  // Queries every 20 epochs, starting at epoch 20: 2000/20 - 1 = 99.
+  EXPECT_EQ(res.queries, 99);
+  EXPECT_EQ(res.records.size(), 99u);
+  EXPECT_GT(res.updates_transmitted, 0);
+  EXPECT_GT(res.flooding_total, 0);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  ExperimentResults a = Experiment(short_cfg()).run();
+  ExperimentResults b = Experiment(short_cfg()).run();
+  EXPECT_EQ(a.updates_transmitted, b.updates_transmitted);
+  EXPECT_EQ(a.ledger.total(), b.ledger.total());
+  EXPECT_DOUBLE_EQ(a.overshoot_pct.mean(), b.overshoot_pct.mean());
+}
+
+TEST(Experiment, SeedsChangeOutcomes) {
+  ExperimentConfig cfg = short_cfg();
+  cfg.seed = 1;
+  ExperimentResults a = Experiment(cfg).run();
+  cfg.seed = 2;
+  ExperimentResults b = Experiment(cfg).run();
+  EXPECT_NE(a.updates_transmitted, b.updates_transmitted);
+}
+
+TEST(Experiment, QueriesNeverMissTrueSources) {
+  // Coverage invariant: every node whose reading matches is reached
+  // (ranges are theta-conservative, so DirQ overshoots but does not skip
+  // settled sources). Allow a tiny slack for same-epoch transitions.
+  ExperimentResults res = Experiment(short_cfg()).run();
+  EXPECT_GT(res.coverage_pct.mean(), 97.0);
+}
+
+TEST(Experiment, OvershootGrowsWithTheta) {
+  ExperimentConfig cfg = short_cfg();
+  cfg.network.fixed_pct = 3.0;
+  const double small = Experiment(cfg).run().overshoot_pct.mean();
+  cfg.network.fixed_pct = 9.0;
+  const double large = Experiment(cfg).run().overshoot_pct.mean();
+  EXPECT_GT(large, small);
+}
+
+TEST(Experiment, UpdateTrafficShrinksWithTheta) {
+  ExperimentConfig cfg = short_cfg();
+  cfg.network.fixed_pct = 3.0;
+  const std::int64_t small = Experiment(cfg).run().updates_transmitted;
+  cfg.network.fixed_pct = 9.0;
+  const std::int64_t large = Experiment(cfg).run().updates_transmitted;
+  EXPECT_LT(large, small);
+}
+
+TEST(Experiment, AtcKeepsDirqBelowFloodingWhereFixedThetaCannot) {
+  // Paper §7.2: "The main drawback of using a fixed threshold is that
+  // there is a possibility that the cost of the directed dissemination
+  // scheme may exceed the cost of flooding." ATC exists to prevent that.
+  ExperimentConfig cfg = short_cfg(6000);
+  cfg.network.mode = NetworkConfig::ThetaMode::Fixed;
+  cfg.network.fixed_pct = 3.0;
+  const double fixed_ratio = Experiment(cfg).run().cost_ratio();
+
+  cfg.network.mode = NetworkConfig::ThetaMode::Atc;
+  const double atc_ratio = Experiment(cfg).run().cost_ratio();
+
+  EXPECT_LT(atc_ratio, 1.0);
+  EXPECT_LT(atc_ratio, fixed_ratio);
+  EXPECT_GT(atc_ratio, 0.0);
+}
+
+TEST(Experiment, AtcModeRuns) {
+  ExperimentConfig cfg = short_cfg(4000);
+  cfg.network.mode = NetworkConfig::ThetaMode::Atc;
+  ExperimentResults res = Experiment(cfg).run();
+  EXPECT_GT(res.queries, 0);
+  EXPECT_GT(res.updates_transmitted, 0);
+  EXPECT_LT(res.cost_ratio(), 1.0);
+  // Theta trace exists and moved away from the initial value at least once.
+  ASSERT_FALSE(res.theta_pct_series.empty());
+}
+
+TEST(Experiment, ReceivePctTracksShouldPct) {
+  ExperimentResults res = Experiment(short_cfg()).run();
+  // Directed dissemination: receive >= should (conservative ranges) but
+  // far below 100% of the network for a 40% target.
+  EXPECT_GE(res.receive_pct.mean(), res.should_pct.mean() - 1.0);
+  EXPECT_LT(res.receive_pct.mean(), 90.0);
+  EXPECT_NEAR(res.should_pct.mean(), 40.0, 8.0);
+}
+
+TEST(Experiment, UmaxRecordedHourly) {
+  ExperimentConfig cfg = short_cfg(2000);  // < 1 hour: only hour 0
+  ExperimentResults res = Experiment(cfg).run();
+  ASSERT_EQ(res.umax_per_hour.size(), 1u);
+  EXPECT_GT(res.umax_per_hour[0], 0.0);
+  ASSERT_EQ(res.ehr_per_hour.size(), 1u);
+  // Hour-0 prior: one query per 20 epochs = 180/hour.
+  EXPECT_DOUBLE_EQ(res.ehr_per_hour[0], 180.0);
+}
+
+TEST(Experiment, UpdateSeriesBinsCoverRun) {
+  ExperimentConfig cfg = short_cfg();
+  ExperimentResults res = Experiment(cfg).run();
+  EXPECT_EQ(res.updates_per_bin.bin_width(), 100);
+  EXPECT_LE(res.updates_per_bin.bin_count(), 21u);
+  EXPECT_EQ(static_cast<std::int64_t>(res.updates_per_bin.total()),
+            res.updates_transmitted);
+}
+
+TEST(Experiment, RecordsCanBeDisabled) {
+  ExperimentConfig cfg = short_cfg();
+  cfg.keep_records = false;
+  ExperimentResults res = Experiment(cfg).run();
+  EXPECT_TRUE(res.records.empty());
+  EXPECT_EQ(res.queries, 99);
+}
+
+TEST(Experiment, SourcePctBelowShouldPct) {
+  // Sources are a subset of the involved set (forwarders included).
+  ExperimentResults res = Experiment(short_cfg()).run();
+  EXPECT_LE(res.source_pct.mean(), res.should_pct.mean() + 1e-9);
+}
+
+}  // namespace
+}  // namespace dirq::core

@@ -1,0 +1,97 @@
+// Flooding baseline: simulated flood must equal the Eq. (3)/(4) closed
+// forms on every topology shape.
+#include "core/flooding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/cost_model.hpp"
+#include "net/placement.hpp"
+#include "sim/rng.hpp"
+
+namespace dirq::core {
+namespace {
+
+net::Topology line(std::size_t n) {
+  std::vector<net::Node> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) nodes[i].x = static_cast<double>(i);
+  return net::Topology(std::move(nodes), 1.1);
+}
+
+TEST(Flooding, LineCostMatchesClosedForm) {
+  net::Topology t = line(5);
+  FloodingScheme f(t);
+  const FloodOutcome out = f.flood_from(0);
+  EXPECT_EQ(out.tx, 5);
+  EXPECT_EQ(out.rx, 8);  // 2 * 4 links
+  EXPECT_EQ(out.cost(), f.analytical_cost());
+  EXPECT_EQ(out.received.size(), 4u);
+}
+
+TEST(Flooding, EveryNodeBroadcastsExactlyOnce) {
+  net::Topology t = line(7);
+  const FloodOutcome out = FloodingScheme(t).flood_from(0);
+  EXPECT_EQ(out.tx, static_cast<CostUnits>(t.alive_count()));
+}
+
+TEST(Flooding, KnaryTreeMatchesEq4) {
+  for (std::int64_t k = 2; k <= 4; ++k) {
+    for (std::int64_t d = 1; d <= 4; ++d) {
+      net::Topology t = net::knary_tree(static_cast<std::size_t>(k),
+                                        static_cast<std::size_t>(d));
+      const FloodOutcome out = FloodingScheme(t).flood_from(0);
+      EXPECT_EQ(out.cost(), analysis::flooding_cost(k, d))
+          << "k=" << k << " d=" << d;
+    }
+  }
+}
+
+TEST(Flooding, RandomTopologyMatchesEq3) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    sim::Rng rng(seed);
+    net::Topology t = net::random_connected(net::RandomPlacementConfig{}, rng);
+    FloodingScheme f(t);
+    const FloodOutcome out = f.flood_from(0);
+    EXPECT_EQ(out.cost(), f.analytical_cost()) << "seed " << seed;
+    EXPECT_EQ(out.cost(),
+              analysis::flooding_cost_graph(
+                  static_cast<std::int64_t>(t.alive_count()),
+                  static_cast<std::int64_t>(t.link_count())));
+    EXPECT_EQ(out.received.size(), t.alive_count() - 1);
+  }
+}
+
+TEST(Flooding, DeadOriginFloodsNothing) {
+  net::Topology t = line(3);
+  t.kill_node(0);
+  const FloodOutcome out = FloodingScheme(t).flood_from(0);
+  EXPECT_EQ(out.cost(), 0);
+  EXPECT_TRUE(out.received.empty());
+}
+
+TEST(Flooding, PartitionOnlyFloodsReachableComponent) {
+  net::Topology t = line(5);
+  t.kill_node(2);
+  FloodingScheme f(t);
+  const FloodOutcome out = f.flood_from(0);
+  EXPECT_EQ(out.received, (std::vector<NodeId>{1}));
+  EXPECT_EQ(out.tx, 2);  // nodes 0 and 1 broadcast
+  EXPECT_EQ(out.rx, 2);  // both directions of link 0-1
+  // Note: analytical_cost() counts the whole alive graph (4 nodes, 2
+  // links); a partitioned flood costs less than the closed form.
+  EXPECT_LT(out.cost(), f.analytical_cost());
+}
+
+TEST(Flooding, CostGrowsWithDensity) {
+  std::vector<net::Node> sparse_nodes(9), dense_nodes(9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    sparse_nodes[i].x = static_cast<double>(i);
+    dense_nodes[i].x = static_cast<double>(i) * 0.4;
+  }
+  net::Topology sparse(std::move(sparse_nodes), 1.1);
+  net::Topology dense(std::move(dense_nodes), 1.1);
+  EXPECT_GT(FloodingScheme(dense).flood_from(0).cost(),
+            FloodingScheme(sparse).flood_from(0).cost());
+}
+
+}  // namespace
+}  // namespace dirq::core

@@ -1,0 +1,165 @@
+// RangeTable: the Fig. 1-3 state machine.
+#include "core/range_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dirq::core {
+namespace {
+
+TEST(RangeTable, FirstObservationCreatesTuple) {
+  RangeTable t;
+  EXPECT_FALSE(t.has_any());
+  EXPECT_TRUE(t.observe(20.0, 2.0));
+  ASSERT_TRUE(t.own().has_value());
+  EXPECT_DOUBLE_EQ(t.own()->min, 18.0);
+  EXPECT_DOUBLE_EQ(t.own()->max, 22.0);
+}
+
+TEST(RangeTable, ReadingInsideTupleIsAbsorbed) {
+  RangeTable t;
+  t.observe(20.0, 2.0);
+  EXPECT_FALSE(t.observe(21.9, 2.0));
+  EXPECT_FALSE(t.observe(18.1, 2.0));
+  EXPECT_DOUBLE_EQ(t.own()->min, 18.0);  // unchanged (Fig. 1)
+}
+
+TEST(RangeTable, ReadingOutsideRecentresTuple) {
+  RangeTable t;
+  t.observe(20.0, 2.0);
+  EXPECT_TRUE(t.observe(25.0, 2.0));
+  EXPECT_DOUBLE_EQ(t.own()->min, 23.0);
+  EXPECT_DOUBLE_EQ(t.own()->max, 27.0);
+}
+
+TEST(RangeTable, BoundaryReadingsAreInside) {
+  RangeTable t;
+  t.observe(20.0, 2.0);
+  EXPECT_FALSE(t.observe(22.0, 2.0));  // == max: inside
+  EXPECT_FALSE(t.observe(18.0, 2.0));  // == min: inside
+}
+
+TEST(RangeTable, ThetaChangeAppliesOnNextRecentre) {
+  RangeTable t;
+  t.observe(20.0, 2.0);
+  t.observe(30.0, 5.0);  // ATC widened theta meanwhile
+  EXPECT_DOUBLE_EQ(t.own()->min, 25.0);
+  EXPECT_DOUBLE_EQ(t.own()->max, 35.0);
+}
+
+TEST(RangeTable, ChildTuplesExtendAggregate) {
+  RangeTable t;
+  t.observe(20.0, 2.0);             // own: [18, 22]
+  t.set_child(5, {10.0, 15.0});
+  t.set_child(6, {25.0, 30.0});
+  const RangeAggregate agg = t.aggregate();
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_DOUBLE_EQ(agg->min, 10.0);  // min over n+1 tuples (Fig. 2)
+  EXPECT_DOUBLE_EQ(agg->max, 30.0);
+}
+
+TEST(RangeTable, AggregateWithoutOwnTuple) {
+  RangeTable t;  // pure forwarder for this type (Fig. 4)
+  t.set_child(3, {5.0, 9.0});
+  const RangeAggregate agg = t.aggregate();
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_DOUBLE_EQ(agg->min, 5.0);
+  EXPECT_DOUBLE_EQ(agg->max, 9.0);
+}
+
+TEST(RangeTable, EmptyAggregateIsNull) {
+  RangeTable t;
+  EXPECT_FALSE(t.aggregate().has_value());
+}
+
+TEST(RangeTable, ChildLookupAndRemoval) {
+  RangeTable t;
+  t.set_child(4, {1.0, 2.0});
+  ASSERT_TRUE(t.child(4).has_value());
+  EXPECT_FALSE(t.child(5).has_value());
+  EXPECT_TRUE(t.remove_child(4));
+  EXPECT_FALSE(t.remove_child(4));
+  EXPECT_FALSE(t.has_any());
+}
+
+TEST(RangeTable, NeedsUpdateBeforeAnySend) {
+  RangeTable t;
+  t.observe(20.0, 2.0);
+  EXPECT_TRUE(t.needs_update(2.0));
+  t.mark_sent();
+  EXPECT_FALSE(t.needs_update(2.0));
+}
+
+TEST(RangeTable, SmallAggregateMovesAreSuppressed) {
+  RangeTable t;
+  t.observe(20.0, 2.0);
+  t.mark_sent();  // sent [18, 22]
+  t.observe(23.0, 2.0);  // own now [21, 25]: min moved +3 > theta...
+  // min moved from 18 to 21 (3 > 2) -> update needed.
+  EXPECT_TRUE(t.needs_update(2.0));
+  t.mark_sent();
+  t.observe(24.0, 2.0);  // inside [21,25]: nothing changes
+  EXPECT_FALSE(t.needs_update(2.0));
+}
+
+TEST(RangeTable, Fig3TriggerOnEitherBound) {
+  RangeTable t;
+  t.set_child(1, {10.0, 20.0});
+  t.mark_sent();
+  t.set_child(1, {10.0, 20.5});  // max moved 0.5 <= theta 1.0
+  EXPECT_FALSE(t.needs_update(1.0));
+  t.set_child(1, {10.0, 21.5});  // max moved 1.5 > theta
+  EXPECT_TRUE(t.needs_update(1.0));
+  t.mark_sent();
+  t.set_child(1, {7.0, 21.5});   // min moved 3 > theta
+  EXPECT_TRUE(t.needs_update(1.0));
+}
+
+TEST(RangeTable, ExactThetaMoveDoesNotTrigger) {
+  RangeTable t;
+  t.set_child(1, {10.0, 20.0});
+  t.mark_sent();
+  t.set_child(1, {9.0, 20.0});  // min moved exactly theta = 1.0
+  EXPECT_FALSE(t.needs_update(1.0));  // strictly-greater rule (Fig. 3)
+}
+
+TEST(RangeTable, RetractionWhenSubtreeLosesType) {
+  RangeTable t;
+  t.set_child(1, {10.0, 20.0});
+  t.mark_sent();
+  t.remove_child(1);
+  EXPECT_FALSE(t.has_any());
+  EXPECT_TRUE(t.needs_update(1.0));  // must retract the outstanding range
+  t.mark_sent();
+  EXPECT_FALSE(t.needs_update(1.0));  // retraction acknowledged
+  EXPECT_FALSE(t.last_sent().has_value());
+}
+
+TEST(RangeTable, NoRetractionIfNeverSent) {
+  RangeTable t;
+  t.set_child(1, {10.0, 20.0});
+  t.remove_child(1);
+  EXPECT_FALSE(t.needs_update(1.0));
+}
+
+TEST(RangeTable, ClearOwnKeepsChildren) {
+  RangeTable t;
+  t.observe(20.0, 2.0);
+  t.set_child(1, {0.0, 5.0});
+  t.clear_own();
+  EXPECT_FALSE(t.own().has_value());
+  EXPECT_TRUE(t.has_any());
+  EXPECT_DOUBLE_EQ(t.aggregate()->max, 5.0);
+}
+
+TEST(RangeTable, LastSentSnapshotIsStable) {
+  RangeTable t;
+  t.observe(20.0, 2.0);
+  t.mark_sent();
+  const RangeAggregate sent = t.last_sent();
+  t.observe(40.0, 2.0);  // aggregate moves
+  ASSERT_TRUE(t.last_sent().has_value());
+  EXPECT_DOUBLE_EQ(t.last_sent()->min, sent->min);  // snapshot unchanged
+}
+
+}  // namespace
+}  // namespace dirq::core

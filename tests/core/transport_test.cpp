@@ -1,0 +1,184 @@
+// InstantTransport cost accounting and delivery semantics; the metrics
+// audit arithmetic.
+#include "core/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/audit.hpp"
+
+namespace dirq::core {
+namespace {
+
+struct Capture final : MessageSink {
+  struct Rec {
+    NodeId to, from;
+    Message msg;
+  };
+  std::vector<Rec> delivered;
+  void deliver(NodeId to, NodeId from, const Message& msg) override {
+    delivered.push_back({to, from, msg});
+  }
+};
+
+net::Topology line(std::size_t n) {
+  std::vector<net::Node> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) nodes[i].x = static_cast<double>(i);
+  return net::Topology(std::move(nodes), 1.1);
+}
+
+Message update_msg() { return Message{UpdateMessage{}}; }
+Message query_msg() { return Message{QueryMessage{}}; }
+Message ehr_msg() { return Message{EhrMessage{}}; }
+
+TEST(InstantTransport, UnicastDeliversToNeighbor) {
+  net::Topology t = line(3);
+  Capture cap;
+  InstantTransport tr(t, cap);
+  tr.unicast(0, 1, update_msg());
+  ASSERT_EQ(cap.delivered.size(), 1u);
+  EXPECT_EQ(cap.delivered[0].to, 1u);
+  EXPECT_EQ(cap.delivered[0].from, 0u);
+  EXPECT_EQ(tr.costs().update_tx, 1);
+  EXPECT_EQ(tr.costs().update_rx, 1);
+}
+
+TEST(InstantTransport, UnicastToNonNeighborCostsTxOnly) {
+  net::Topology t = line(4);
+  Capture cap;
+  InstantTransport tr(t, cap);
+  tr.unicast(0, 3, update_msg());
+  EXPECT_TRUE(cap.delivered.empty());
+  EXPECT_EQ(tr.costs().update_tx, 1);
+  EXPECT_EQ(tr.costs().update_rx, 0);
+}
+
+TEST(InstantTransport, UnicastToDeadNodeIsLost) {
+  net::Topology t = line(3);
+  t.kill_node(1);
+  Capture cap;
+  InstantTransport tr(t, cap);
+  tr.unicast(0, 1, update_msg());
+  EXPECT_TRUE(cap.delivered.empty());
+  EXPECT_EQ(tr.costs().update_tx, 1);
+}
+
+TEST(InstantTransport, MulticastOneTxManyRx) {
+  // Star: 0 center.
+  std::vector<net::Node> nodes(4);
+  net::Topology t(nodes, {{0, 1}, {0, 2}, {0, 3}});
+  Capture cap;
+  InstantTransport tr(t, cap);
+  const std::vector<NodeId> targets{1, 3};
+  tr.multicast(0, targets, query_msg());
+  EXPECT_EQ(cap.delivered.size(), 2u);
+  EXPECT_EQ(tr.costs().query_tx, 1);
+  EXPECT_EQ(tr.costs().query_rx, 2);
+}
+
+TEST(InstantTransport, EmptyMulticastIsFree) {
+  net::Topology t = line(2);
+  Capture cap;
+  InstantTransport tr(t, cap);
+  tr.multicast(0, {}, query_msg());
+  EXPECT_EQ(tr.costs().query_tx, 0);
+}
+
+TEST(InstantTransport, MulticastSkipsDeadTargets) {
+  std::vector<net::Node> nodes(4);
+  net::Topology t(nodes, {{0, 1}, {0, 2}, {0, 3}});
+  t.kill_node(2);
+  Capture cap;
+  InstantTransport tr(t, cap);
+  const std::vector<NodeId> targets{1, 2, 3};
+  tr.multicast(0, targets, query_msg());
+  EXPECT_EQ(cap.delivered.size(), 2u);
+  EXPECT_EQ(tr.costs().query_rx, 2);
+}
+
+TEST(InstantTransport, BroadcastReachesAllAliveNeighbors) {
+  net::Topology t = line(3);
+  Capture cap;
+  InstantTransport tr(t, cap);
+  tr.broadcast(1, ehr_msg());
+  EXPECT_EQ(cap.delivered.size(), 2u);
+  EXPECT_EQ(tr.costs().control_tx, 1);
+  EXPECT_EQ(tr.costs().control_rx, 2);
+}
+
+TEST(InstantTransport, LedgerSeparatesKinds) {
+  net::Topology t = line(3);
+  Capture cap;
+  InstantTransport tr(t, cap);
+  tr.unicast(0, 1, update_msg());
+  tr.unicast(0, 1, query_msg());
+  tr.unicast(0, 1, ehr_msg());
+  EXPECT_EQ(tr.costs().update_cost(), 2);
+  EXPECT_EQ(tr.costs().query_cost(), 2);
+  EXPECT_EQ(tr.costs().control_cost(), 2);
+  EXPECT_EQ(tr.costs().total(), 6);
+}
+
+}  // namespace
+}  // namespace dirq::core
+
+namespace dirq::metrics {
+namespace {
+
+TEST(Audit, DisjointSets) {
+  const std::vector<NodeId> should{1, 2, 3};
+  const std::vector<NodeId> received{4, 5};
+  const QueryAudit a = audit_query(should, received);
+  EXPECT_EQ(a.correct, 0u);
+  EXPECT_EQ(a.wrong, 2u);
+  EXPECT_EQ(a.missed, 3u);
+  EXPECT_NEAR(a.overshoot_pct(), 200.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(a.coverage_pct(), 0.0);
+}
+
+TEST(Audit, PerfectDelivery) {
+  const std::vector<NodeId> nodes{1, 2, 3, 4};
+  const QueryAudit a = audit_query(nodes, nodes);
+  EXPECT_EQ(a.wrong, 0u);
+  EXPECT_EQ(a.missed, 0u);
+  EXPECT_DOUBLE_EQ(a.overshoot_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(a.reach_ratio_pct(), 100.0);
+  EXPECT_DOUBLE_EQ(a.coverage_pct(), 100.0);
+}
+
+TEST(Audit, OvershootCounting) {
+  const std::vector<NodeId> should{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<NodeId> received{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  const QueryAudit a = audit_query(should, received);
+  EXPECT_EQ(a.wrong, 1u);
+  EXPECT_DOUBLE_EQ(a.overshoot_pct(), 10.0);
+  EXPECT_DOUBLE_EQ(a.reach_ratio_pct(), 110.0);
+}
+
+TEST(Audit, EmptyShouldSet) {
+  const std::vector<NodeId> received{1};
+  const QueryAudit a = audit_query({}, received);
+  EXPECT_DOUBLE_EQ(a.overshoot_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(a.coverage_pct(), 100.0);
+  EXPECT_EQ(a.wrong, 1u);
+}
+
+TEST(Audit, EmptyBothIsClean) {
+  const QueryAudit a = audit_query({}, {});
+  EXPECT_DOUBLE_EQ(a.overshoot_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(a.reach_ratio_pct(), 100.0);
+}
+
+TEST(Audit, PartialOverlap) {
+  const std::vector<NodeId> should{2, 4, 6, 8};
+  const std::vector<NodeId> received{4, 5, 8, 9};
+  const QueryAudit a = audit_query(should, received);
+  EXPECT_EQ(a.correct, 2u);
+  EXPECT_EQ(a.wrong, 2u);
+  EXPECT_EQ(a.missed, 2u);
+  EXPECT_DOUBLE_EQ(a.coverage_pct(), 50.0);
+}
+
+}  // namespace
+}  // namespace dirq::metrics

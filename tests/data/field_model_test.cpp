@@ -1,0 +1,187 @@
+// Synthetic field: determinism, monotonic epochs, spatial and temporal
+// correlation (the §7 dataset properties), per-type parameterisation.
+#include "data/field_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/placement.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace dirq::data {
+namespace {
+
+net::Topology paper_topology(std::uint64_t seed = 42) {
+  sim::Rng rng(seed);
+  return net::random_connected(net::RandomPlacementConfig{}, rng);
+}
+
+TEST(Field, DeterministicForSameSeed) {
+  net::Topology topo = paper_topology();
+  Field a(kSensorTemperature, default_params(kSensorTemperature), topo,
+          sim::Rng(9));
+  Field b(kSensorTemperature, default_params(kSensorTemperature), topo,
+          sim::Rng(9));
+  a.advance_to(100);
+  b.advance_to(100);
+  for (NodeId u = 0; u < topo.size(); ++u) {
+    EXPECT_DOUBLE_EQ(a.reading(u), b.reading(u));
+  }
+}
+
+TEST(Field, DifferentSeedsDiffer) {
+  net::Topology topo = paper_topology();
+  Field a(kSensorTemperature, default_params(kSensorTemperature), topo,
+          sim::Rng(9));
+  Field b(kSensorTemperature, default_params(kSensorTemperature), topo,
+          sim::Rng(10));
+  a.advance_to(100);
+  b.advance_to(100);
+  bool differ = false;
+  for (NodeId u = 0; u < topo.size(); ++u) {
+    if (a.reading(u) != b.reading(u)) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Field, EpochsAreMonotonic) {
+  net::Topology topo = paper_topology();
+  Field f(kSensorTemperature, default_params(kSensorTemperature), topo,
+          sim::Rng(9));
+  f.advance_to(50);
+  EXPECT_THROW(f.advance_to(49), std::invalid_argument);
+  f.advance_to(50);  // same epoch is a no-op
+  EXPECT_EQ(f.epoch(), 50);
+}
+
+TEST(Field, SpatialCorrelation) {
+  // §7: "sensor values of nodes located close to one another are spatially
+  // related". Mean |reading difference| of close pairs must be well below
+  // that of far pairs.
+  net::Topology topo = paper_topology();
+  Field f(kSensorTemperature, default_params(kSensorTemperature), topo,
+          sim::Rng(5));
+  sim::RunningStat near_diff, far_diff;
+  for (std::int64_t e = 100; e <= 2000; e += 100) {
+    f.advance_to(e);
+    for (NodeId a = 1; a < topo.size(); ++a) {
+      for (NodeId b = a + 1; b < topo.size(); ++b) {
+        const double d = topo.distance(a, b);
+        const double diff = std::abs(f.reading(a) - f.reading(b));
+        if (d < 15.0) {
+          near_diff.push(diff);
+        } else if (d > 60.0) {
+          far_diff.push(diff);
+        }
+      }
+    }
+  }
+  ASSERT_GT(near_diff.count(), 100u);
+  ASSERT_GT(far_diff.count(), 100u);
+  EXPECT_LT(near_diff.mean(), far_diff.mean() * 0.8);
+}
+
+TEST(Field, TemporalCorrelation) {
+  // Consecutive-epoch changes must be small relative to the field's
+  // overall dynamic range (AR(1) + slow drift, not white noise).
+  net::Topology topo = paper_topology();
+  Field f(kSensorTemperature, default_params(kSensorTemperature), topo,
+          sim::Rng(5));
+  sim::RunningStat step, range;
+  double prev = 0.0;
+  for (std::int64_t e = 1; e <= 4000; ++e) {
+    f.advance_to(e);
+    const double v = f.reading(1);
+    if (e > 1) step.push(std::abs(v - prev));
+    range.push(v);
+    prev = v;
+  }
+  EXPECT_LT(step.mean(), (range.max() - range.min()) * 0.05);
+}
+
+TEST(Field, DiurnalCycleMovesTheMean) {
+  net::Topology topo = paper_topology();
+  FieldParams p = default_params(kSensorTemperature);
+  Field f(kSensorTemperature, p, topo, sim::Rng(5));
+  // Peak of sin at t = period/4; trough at 3*period/4.
+  f.advance_to(static_cast<std::int64_t>(p.diurnal_period / 4));
+  const double warm = f.field_at(50, 50);
+  f.advance_to(static_cast<std::int64_t>(3 * p.diurnal_period / 4));
+  const double cool = f.field_at(50, 50);
+  EXPECT_GT(warm - cool, p.diurnal_amplitude);  // 2*amp minus noise slack
+}
+
+TEST(Field, ReadingsStayInPlausibleRange) {
+  net::Topology topo = paper_topology();
+  Field f(kSensorTemperature, default_params(kSensorTemperature), topo,
+          sim::Rng(7));
+  for (std::int64_t e = 0; e <= 5000; e += 50) {
+    f.advance_to(e);
+    for (NodeId u = 0; u < topo.size(); ++u) {
+      EXPECT_GT(f.reading(u), -20.0);
+      EXPECT_LT(f.reading(u), 60.0);
+    }
+  }
+}
+
+TEST(Field, PerNodeNoiseDecorralatesCoLocatedNodes) {
+  // Two nodes at the same position differ only by node noise: non-zero but
+  // small.
+  std::vector<net::Node> nodes(2);
+  nodes[0].x = nodes[1].x = 10.0;
+  nodes[0].y = nodes[1].y = 10.0;
+  net::Topology topo(std::move(nodes), 5.0);
+  Field f(kSensorTemperature, default_params(kSensorTemperature), topo,
+          sim::Rng(3));
+  f.advance_to(500);
+  const double diff = std::abs(f.reading(0) - f.reading(1));
+  EXPECT_GT(diff, 0.0);
+  EXPECT_LT(diff, 3.0);
+}
+
+TEST(DefaultParams, TypesAreDistinct) {
+  const FieldParams temp = default_params(kSensorTemperature);
+  const FieldParams hum = default_params(kSensorHumidity);
+  const FieldParams light = default_params(kSensorLight);
+  const FieldParams soil = default_params(kSensorSoilMoisture);
+  EXPECT_NE(temp.base, hum.base);
+  EXPECT_NE(hum.base, light.base);
+  EXPECT_GT(light.diurnal_amplitude, temp.diurnal_amplitude);
+  EXPECT_LT(soil.bump_drift, temp.bump_drift);  // soil fronts crawl
+}
+
+TEST(DefaultParams, UnknownTypeGetsFallback) {
+  const FieldParams p = default_params(77);
+  EXPECT_GT(p.base, 0.0);
+}
+
+TEST(Environment, LockstepAdvance) {
+  net::Topology topo = paper_topology();
+  Environment env(topo, 4, sim::Rng(11));
+  env.advance_to(123);
+  EXPECT_EQ(env.epoch(), 123);
+  for (SensorType t = 0; t < 4; ++t) {
+    EXPECT_EQ(env.field(t).epoch(), 123);
+  }
+}
+
+TEST(Environment, TypesEvolveIndependently) {
+  net::Topology topo = paper_topology();
+  Environment env(topo, 4, sim::Rng(11));
+  env.advance_to(200);
+  // Same node, different types: values come from different fields.
+  const double a = env.reading(1, kSensorTemperature);
+  const double b = env.reading(1, kSensorHumidity);
+  EXPECT_NE(a, b);
+}
+
+TEST(Environment, RejectsUnknownType) {
+  net::Topology topo = paper_topology();
+  Environment env(topo, 2, sim::Rng(11));
+  EXPECT_THROW((void)env.reading(0, 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dirq::data

@@ -1,0 +1,133 @@
+// Trace record/replay: fidelity, TSV round-trip, replay semantics, and a
+// full experiment driven from a replayed trace.
+#include "data/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/network.hpp"
+#include "data/field_model.hpp"
+#include "net/placement.hpp"
+#include "sim/rng.hpp"
+
+namespace dirq::data {
+namespace {
+
+struct World {
+  net::Topology topo;
+  Environment env;
+  explicit World(std::uint64_t seed)
+      : topo(make(seed)), env(topo, 4, sim::Rng(seed).substream("env")) {}
+  static net::Topology make(std::uint64_t seed) {
+    sim::Rng rng(seed);
+    net::RandomPlacementConfig cfg;
+    cfg.node_count = 20;
+    return net::random_connected(cfg, rng);
+  }
+};
+
+TEST(Trace, RecordsExactReadings) {
+  World w(5);
+  Trace trace = record(w.env, w.topo.size(), 50);
+  EXPECT_EQ(trace.epoch_count(), 50u);
+  EXPECT_EQ(trace.node_count(), w.topo.size());
+  EXPECT_EQ(trace.type_count(), 4u);
+  // Spot check: trace value at (49, node, type) equals the live value.
+  for (NodeId u = 0; u < w.topo.size(); ++u) {
+    for (SensorType t = 0; t < 4; ++t) {
+      EXPECT_DOUBLE_EQ(trace.at(49, u, t), w.env.reading(u, t));
+    }
+  }
+}
+
+TEST(Trace, ReplayMatchesRecording) {
+  World w(6);
+  Trace trace = record(w.env, w.topo.size(), 30);
+  for (std::int64_t e = 0; e < 30; ++e) {
+    trace.advance_to(e);
+    for (NodeId u = 0; u < w.topo.size(); ++u) {
+      EXPECT_DOUBLE_EQ(trace.reading(u, 0), trace.at(e, u, 0));
+    }
+  }
+}
+
+TEST(Trace, AdvancePastEndClampsToLastEpoch) {
+  World w(6);
+  Trace trace = record(w.env, w.topo.size(), 10);
+  trace.advance_to(999);
+  EXPECT_EQ(trace.epoch(), 9);
+  EXPECT_DOUBLE_EQ(trace.reading(1, 0), trace.at(9, 1, 0));
+}
+
+TEST(Trace, MonotonicAdvanceEnforced) {
+  World w(6);
+  Trace trace = record(w.env, w.topo.size(), 10);
+  trace.advance_to(5);
+  EXPECT_THROW(trace.advance_to(4), std::invalid_argument);
+}
+
+TEST(Trace, OutOfRangeAccessesThrow) {
+  World w(6);
+  Trace trace = record(w.env, w.topo.size(), 5);
+  EXPECT_THROW((void)trace.at(0, 9999, 0), std::out_of_range);
+  EXPECT_THROW((void)trace.at(0, 0, 99), std::out_of_range);
+  EXPECT_THROW((void)trace.at(99, 0, 0), std::out_of_range);
+}
+
+TEST(Trace, TsvRoundTripIsExact) {
+  World w(7);
+  Trace trace = record(w.env, w.topo.size(), 20);
+  std::ostringstream out;
+  trace.save(out);
+  std::istringstream in(out.str());
+  Trace loaded = Trace::load(in);
+  ASSERT_EQ(loaded.epoch_count(), trace.epoch_count());
+  ASSERT_EQ(loaded.node_count(), trace.node_count());
+  ASSERT_EQ(loaded.type_count(), trace.type_count());
+  for (std::size_t e = 0; e < 20; ++e) {
+    for (NodeId u = 0; u < trace.node_count(); ++u) {
+      for (SensorType t = 0; t < 4; ++t) {
+        EXPECT_DOUBLE_EQ(loaded.at(static_cast<std::int64_t>(e), u, t),
+                         trace.at(static_cast<std::int64_t>(e), u, t));
+      }
+    }
+  }
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  std::istringstream empty("");
+  EXPECT_THROW(Trace::load(empty), std::runtime_error);
+  std::istringstream no_values("epoch\tnode\n");
+  EXPECT_THROW(Trace::load(no_values), std::runtime_error);
+  std::istringstream ragged("epoch\tnode\tv0\n0\t0\t1.5\n0\t1\t2.5\n1\t0\t3.5\n");
+  EXPECT_THROW(Trace::load(ragged), std::runtime_error);
+}
+
+TEST(Trace, DrivesTheProtocolIdenticallyToLiveEnvironment) {
+  // The whole point: replaying a trace must reproduce the exact protocol
+  // behaviour of the live environment it was recorded from.
+  World live(8);
+  Trace trace = [&] {
+    World rec(8);
+    return record(rec.env, rec.topo.size(), 100);
+  }();
+
+  core::NetworkConfig cfg;
+  cfg.fixed_pct = 5.0;
+  net::Topology topo_a = World::make(8);
+  net::Topology topo_b = World::make(8);
+  core::DirqNetwork net_a(topo_a, 0, cfg);
+  core::DirqNetwork net_b(topo_b, 0, cfg);
+  for (std::int64_t e = 0; e < 100; ++e) {
+    live.env.advance_to(e);
+    net_a.process_epoch(live.env, e);
+    trace.advance_to(e);
+    net_b.process_epoch(trace, e);
+  }
+  EXPECT_EQ(net_a.updates_transmitted(), net_b.updates_transmitted());
+  EXPECT_EQ(net_a.costs().update_cost(), net_b.costs().update_cost());
+}
+
+}  // namespace
+}  // namespace dirq::data

@@ -1,0 +1,247 @@
+// LMAC: slot election (2-hop exclusivity), frame loop, delivery, neighbour
+// death detection via control-message timeout, node join.
+#include "mac/lmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "net/placement.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dirq::mac {
+namespace {
+
+net::Topology line(std::size_t n) {
+  std::vector<net::Node> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) nodes[i].x = static_cast<double>(i);
+  return net::Topology(std::move(nodes), 1.1);
+}
+
+TEST(ElectSlots, TwoHopExclusive) {
+  net::Topology t = line(6);
+  const auto slots = elect_slots(t, 0, 8);
+  for (NodeId u = 0; u < t.size(); ++u) {
+    ASSERT_NE(slots[u], kNoSlot);
+    std::set<NodeId> two_hop;
+    for (NodeId v : t.neighbors(u)) {
+      two_hop.insert(v);
+      for (NodeId w : t.neighbors(v)) {
+        if (w != u) two_hop.insert(w);
+      }
+    }
+    for (NodeId v : two_hop) {
+      EXPECT_NE(slots[u], slots[v]) << "nodes " << u << " and " << v;
+    }
+  }
+}
+
+TEST(ElectSlots, LineNeedsOnlyThreeSlots) {
+  net::Topology t = line(10);
+  const auto slots = elect_slots(t, 0, 3);
+  for (NodeId u = 0; u < t.size(); ++u) EXPECT_LT(slots[u], 3);
+}
+
+TEST(ElectSlots, ThrowsWhenFrameTooShort) {
+  net::Topology t = line(10);
+  EXPECT_THROW(elect_slots(t, 0, 2), std::runtime_error);
+}
+
+TEST(ElectSlots, SkipsDeadNodes) {
+  net::Topology t = line(4);
+  t.kill_node(2);
+  const auto slots = elect_slots(t, 0, 8);
+  EXPECT_EQ(slots[2], kNoSlot);
+  EXPECT_NE(slots[0], kNoSlot);
+  // Node 3 is disconnected but alive: still gets a slot.
+  EXPECT_NE(slots[3], kNoSlot);
+}
+
+TEST(ElectSlots, PaperTopologyFitsIn32Slots) {
+  sim::Rng rng(42);
+  net::Topology t = net::random_connected(net::RandomPlacementConfig{}, rng);
+  const auto slots = elect_slots(t, 0, 32);
+  for (NodeId u = 0; u < t.size(); ++u) EXPECT_NE(slots[u], kNoSlot);
+}
+
+struct Recorder final : LinkObserver {
+  std::vector<std::pair<NodeId, std::string>> messages;  // (receiver, payload)
+  std::vector<std::pair<NodeId, NodeId>> lost;            // (self, neighbor)
+  std::vector<std::pair<NodeId, NodeId>> found;
+  void on_message(NodeId self, const Frame& f) override {
+    messages.emplace_back(self, std::any_cast<std::string>(f.payload));
+  }
+  void on_neighbor_lost(NodeId self, NodeId nb) override {
+    lost.emplace_back(self, nb);
+  }
+  void on_neighbor_found(NodeId self, NodeId nb) override {
+    found.emplace_back(self, nb);
+  }
+};
+
+struct Harness {
+  sim::Scheduler sched;
+  net::Topology topo;
+  LmacConfig cfg;
+  LmacNetwork mac;
+  Recorder rec;
+
+  explicit Harness(net::Topology t, LmacConfig c = {})
+      : topo(std::move(t)), cfg(c), mac(sched, topo, cfg) {
+    mac.set_observer(&rec);
+    mac.start();
+  }
+  void run_frames(std::int64_t frames) {
+    sched.run_until(sched.now() + frames * cfg.frame_ticks());
+  }
+};
+
+TEST(Lmac, StartAssignsSlotsToAllAliveNodes) {
+  Harness h(line(5));
+  for (NodeId u = 0; u < 5; ++u) EXPECT_NE(h.mac.slot_of(u), kNoSlot);
+}
+
+TEST(Lmac, UnicastDeliversWithinOneFrame) {
+  Harness h(line(3));
+  h.mac.send(0, 1, std::string("hello"));
+  h.run_frames(1);
+  ASSERT_EQ(h.rec.messages.size(), 1u);
+  EXPECT_EQ(h.rec.messages[0].first, 1u);
+  EXPECT_EQ(h.rec.messages[0].second, "hello");
+}
+
+TEST(Lmac, UnicastToNonNeighborIsLost) {
+  Harness h(line(4));
+  h.mac.send(0, 3, std::string("far"));  // 3 hops away
+  h.run_frames(2);
+  EXPECT_TRUE(h.rec.messages.empty());
+  EXPECT_EQ(h.mac.data_tx(0), 1);  // sender still paid
+}
+
+TEST(Lmac, BroadcastReachesAllNeighbors) {
+  Harness h(line(3));
+  h.mac.send(1, kNoNode, std::string{});  // via send() would unicast; use broadcast
+  h.mac.broadcast(1, std::string("all"));
+  h.run_frames(1);
+  std::set<NodeId> receivers;
+  for (auto& [id, payload] : h.rec.messages) {
+    if (payload == "all") receivers.insert(id);
+  }
+  EXPECT_EQ(receivers, (std::set<NodeId>{0, 2}));
+}
+
+TEST(Lmac, EnergyAccountingPerMessage) {
+  Harness h(line(3));
+  h.mac.send(0, 1, std::string("a"));
+  h.mac.send(0, 1, std::string("b"));
+  h.run_frames(1);
+  EXPECT_EQ(h.mac.data_tx(0), 2);
+  EXPECT_EQ(h.mac.data_rx(1), 2);
+  EXPECT_EQ(h.mac.data_rx(2), 0);  // not addressed
+  EXPECT_EQ(h.mac.total_data_cost(), 4);
+}
+
+TEST(Lmac, ControlTrafficAccrues) {
+  Harness h(line(3));
+  h.run_frames(5);
+  // Every alive node transmits its control section once per frame.
+  EXPECT_GE(h.mac.control_tx(0), 4);
+  EXPECT_GE(h.mac.control_rx(1), 8);  // hears both neighbours
+}
+
+TEST(Lmac, DeadNeighborDetectedByTimeout) {
+  LmacConfig cfg;
+  cfg.timeout_frames = 3;
+  Harness h(line(3), cfg);
+  h.run_frames(2);
+  h.topo.kill_node(2);
+  h.run_frames(cfg.timeout_frames + 2);
+  bool node1_lost_2 = false;
+  for (auto [self, nb] : h.rec.lost) {
+    if (self == 1 && nb == 2) node1_lost_2 = true;
+    EXPECT_EQ(nb, 2u);  // only node 2 died
+  }
+  EXPECT_TRUE(node1_lost_2);
+}
+
+TEST(Lmac, NoFalseDeathsOnHealthyNetwork) {
+  Harness h(line(5));
+  h.run_frames(20);
+  EXPECT_TRUE(h.rec.lost.empty());
+}
+
+TEST(Lmac, DeadNodeSlotIsFreed) {
+  Harness h(line(3));
+  const int old_slot = h.mac.slot_of(2);
+  ASSERT_NE(old_slot, kNoSlot);
+  h.topo.kill_node(2);
+  EXPECT_EQ(h.mac.slot_of(2), kNoSlot);
+}
+
+TEST(Lmac, JoiningNodeClaimsSlotAndIsDiscovered) {
+  Harness h(line(3));
+  h.run_frames(2);
+  net::Node newcomer;
+  newcomer.x = 3.0;
+  newcomer.y = 0.0;
+  const NodeId id = h.topo.add_node(newcomer);  // neighbour of node 2
+  h.run_frames(3);
+  EXPECT_NE(h.mac.slot_of(id), kNoSlot);
+  bool discovered = false;
+  for (auto [self, nb] : h.rec.found) {
+    if (self == 2 && nb == id) discovered = true;
+  }
+  EXPECT_TRUE(discovered);
+  // And it can exchange data.
+  h.mac.send(id, 2, std::string("hi"));
+  h.run_frames(1);
+  bool delivered = false;
+  for (auto& [r, p] : h.rec.messages) {
+    if (r == 2 && p == "hi") delivered = true;
+  }
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Lmac, JoinerAvoidsTwoHopCollisions) {
+  Harness h(line(4));
+  h.run_frames(2);
+  net::Node newcomer;
+  newcomer.x = 2.5;  // neighbour of nodes 2 and 3
+  const NodeId id = h.topo.add_node(newcomer);
+  h.run_frames(3);
+  const int s = h.mac.slot_of(id);
+  ASSERT_NE(s, kNoSlot);
+  for (NodeId v : h.topo.neighbors(id)) {
+    EXPECT_NE(s, h.mac.slot_of(v));
+    for (NodeId w : h.topo.neighbors(v)) {
+      if (w != id) {
+        EXPECT_NE(s, h.mac.slot_of(w));
+      }
+    }
+  }
+}
+
+TEST(Lmac, KnownNeighborsTracksTopology) {
+  Harness h(line(3));
+  h.run_frames(2);
+  EXPECT_EQ(h.mac.known_neighbors(1), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(Lmac, SendBeforeStartThrows) {
+  sim::Scheduler sched;
+  net::Topology topo = line(2);
+  LmacNetwork mac(sched, topo, {});
+  EXPECT_THROW(mac.send(0, 1, std::string{}), std::logic_error);
+  EXPECT_THROW(mac.broadcast(0, std::string{}), std::logic_error);
+}
+
+TEST(Lmac, FrameCounterAdvances) {
+  Harness h(line(2));
+  h.run_frames(7);
+  EXPECT_GE(h.mac.current_frame(), 6);
+}
+
+}  // namespace
+}  // namespace dirq::mac

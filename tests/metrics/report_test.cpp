@@ -1,0 +1,87 @@
+// Reporting helpers: formatting, table alignment, TSV block structure.
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dirq::metrics {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(12.345), "12.35");
+  EXPECT_EQ(fmt(12.345, 1), "12.3");
+  EXPECT_EQ(fmt(12.0, 0), "12");
+  EXPECT_EQ(fmt(-0.5, 2), "-0.50");
+}
+
+TEST(Table, PrintsHeaderSeparatorAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);  // must not crash; missing cells are blank
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"x", "y"});
+  t.add_row({"longvalue", "1"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string header, sep, row;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, row);
+  EXPECT_EQ(header.size(), row.size());  // aligned columns
+}
+
+TEST(TsvBlock, StructureIsParseable) {
+  TsvBlock b("my series", {"epoch", "value"});
+  b.add_row({"0", "1.5"});
+  b.add_row({"100", "2.5"});
+  std::ostringstream os;
+  b.print(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "# my series");
+  std::getline(is, line);
+  EXPECT_EQ(line, "epoch\tvalue");
+  std::getline(is, line);
+  EXPECT_EQ(line, "0\t1.5");
+  std::getline(is, line);
+  EXPECT_EQ(line, "100\t2.5");
+  std::getline(is, line);
+  EXPECT_TRUE(line.empty());  // trailing blank line terminates the block
+}
+
+TEST(TsvBlock, RowsPaddedToColumnCount) {
+  TsvBlock b("t", {"a", "b", "c"});
+  b.add_row({"1"});
+  std::ostringstream os;
+  b.print(os);
+  // The padded row has exactly two tabs.
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);  // title
+  std::getline(is, line);  // header
+  std::getline(is, line);  // row
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\t'), 2);
+}
+
+}  // namespace
+}  // namespace dirq::metrics

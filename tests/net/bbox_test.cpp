@@ -1,0 +1,88 @@
+// BBox: the static location attribute's geometry.
+#include "net/bbox.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dirq::net {
+namespace {
+
+TEST(BBox, PointBoxContainsOnlyItself) {
+  const BBox b = BBox::point(3.0, 4.0);
+  EXPECT_TRUE(b.contains(3.0, 4.0));
+  EXPECT_FALSE(b.contains(3.1, 4.0));
+  EXPECT_DOUBLE_EQ(b.area(), 0.0);
+  EXPECT_FALSE(b.is_empty());
+}
+
+TEST(BBox, EmptyBoxContainsNothing) {
+  const BBox e = BBox::empty();
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_FALSE(e.contains(0.0, 0.0));
+  EXPECT_FALSE(e.contains(1.0, 1.0));
+}
+
+TEST(BBox, ContainmentIsInclusive) {
+  const BBox b{0.0, 0.0, 10.0, 5.0};
+  EXPECT_TRUE(b.contains(0.0, 0.0));
+  EXPECT_TRUE(b.contains(10.0, 5.0));
+  EXPECT_TRUE(b.contains(5.0, 2.5));
+  EXPECT_FALSE(b.contains(10.01, 2.0));
+  EXPECT_FALSE(b.contains(5.0, -0.01));
+}
+
+TEST(BBox, Intersection) {
+  const BBox a{0.0, 0.0, 10.0, 10.0};
+  EXPECT_TRUE(a.intersects(BBox{5.0, 5.0, 15.0, 15.0}));
+  EXPECT_TRUE(a.intersects(BBox{10.0, 10.0, 20.0, 20.0}));  // corner touch
+  EXPECT_FALSE(a.intersects(BBox{10.1, 0.0, 20.0, 10.0}));
+  EXPECT_FALSE(a.intersects(BBox{0.0, 11.0, 10.0, 20.0}));
+  EXPECT_TRUE(a.intersects(BBox{2.0, 2.0, 3.0, 3.0}));  // containment
+}
+
+TEST(BBox, EmptyNeverIntersects) {
+  const BBox a{0.0, 0.0, 10.0, 10.0};
+  EXPECT_FALSE(a.intersects(BBox::empty()));
+  EXPECT_FALSE(BBox::empty().intersects(a));
+  EXPECT_FALSE(BBox::empty().intersects(BBox::empty()));
+}
+
+TEST(BBox, JoinIsLeastUpperBound) {
+  const BBox a{0.0, 0.0, 2.0, 2.0};
+  const BBox b{5.0, 1.0, 6.0, 8.0};
+  const BBox j = a.join(b);
+  EXPECT_DOUBLE_EQ(j.min_x, 0.0);
+  EXPECT_DOUBLE_EQ(j.min_y, 0.0);
+  EXPECT_DOUBLE_EQ(j.max_x, 6.0);
+  EXPECT_DOUBLE_EQ(j.max_y, 8.0);
+}
+
+TEST(BBox, EmptyIsJoinIdentity) {
+  const BBox a{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(a.join(BBox::empty()), a);
+  EXPECT_EQ(BBox::empty().join(a), a);
+  EXPECT_TRUE(BBox::empty().join(BBox::empty()).is_empty());
+}
+
+TEST(BBox, JoinIsCommutativeAndAssociative) {
+  const BBox a{0.0, 0.0, 1.0, 1.0};
+  const BBox b{2.0, -1.0, 3.0, 0.5};
+  const BBox c{-5.0, 4.0, -4.0, 6.0};
+  EXPECT_EQ(a.join(b), b.join(a));
+  EXPECT_EQ(a.join(b).join(c), a.join(b.join(c)));
+}
+
+TEST(BBox, Dimensions) {
+  const BBox b{1.0, 2.0, 4.0, 10.0};
+  EXPECT_DOUBLE_EQ(b.width(), 3.0);
+  EXPECT_DOUBLE_EQ(b.height(), 8.0);
+  EXPECT_DOUBLE_EQ(b.area(), 24.0);
+  EXPECT_DOUBLE_EQ(BBox::empty().area(), 0.0);
+}
+
+TEST(BBox, EqualityTreatsAllEmptiesAlike) {
+  EXPECT_EQ(BBox::empty(), (BBox{9.0, 9.0, 0.0, 0.0}));
+  EXPECT_NE(BBox::point(1.0, 1.0), BBox::point(1.0, 2.0));
+}
+
+}  // namespace
+}  // namespace dirq::net

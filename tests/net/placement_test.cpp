@@ -1,0 +1,158 @@
+// Placement builders: paper-topology invariants, grids, k-ary trees.
+#include "net/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/spanning_tree.hpp"
+#include "sim/rng.hpp"
+
+namespace dirq::net {
+namespace {
+
+TEST(RandomConnected, ProducesPaperTopology) {
+  sim::Rng rng(42);
+  RandomPlacementConfig cfg;  // 50 nodes, k<=8, d<=10, 4 sensor types
+  Topology t = random_connected(cfg, rng);
+  EXPECT_EQ(t.size(), 50u);
+  EXPECT_EQ(t.alive_count(), 50u);
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(RandomConnected, IsDeterministicPerSeed) {
+  sim::Rng rng1(7), rng2(7);
+  RandomPlacementConfig cfg;
+  Topology a = random_connected(cfg, rng1);
+  Topology b = random_connected(cfg, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.node(i).x, b.node(i).x);
+    EXPECT_DOUBLE_EQ(a.node(i).y, b.node(i).y);
+    EXPECT_EQ(a.node(i).sensors, b.node(i).sensors);
+  }
+}
+
+TEST(RandomConnected, DifferentSeedsDifferentLayouts) {
+  sim::Rng rng1(1), rng2(2);
+  RandomPlacementConfig cfg;
+  Topology a = random_connected(cfg, rng1);
+  Topology b = random_connected(cfg, rng2);
+  bool any_diff = false;
+  for (NodeId i = 1; i < a.size(); ++i) {
+    if (a.node(i).x != b.node(i).x) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomConnected, RootIsGatewayWithoutSensors) {
+  sim::Rng rng(42);
+  Topology t = random_connected(RandomPlacementConfig{}, rng);
+  EXPECT_TRUE(t.node(0).sensors.empty());
+}
+
+TEST(RandomConnected, EveryNonRootNodeHasASensor) {
+  sim::Rng rng(42);
+  Topology t = random_connected(RandomPlacementConfig{}, rng);
+  for (NodeId i = 1; i < t.size(); ++i) {
+    EXPECT_FALSE(t.node(i).sensors.empty()) << "node " << i;
+  }
+}
+
+TEST(RandomConnected, SensorTypesWithinConfiguredCount) {
+  sim::Rng rng(42);
+  RandomPlacementConfig cfg;
+  Topology t = random_connected(cfg, rng);
+  for (const Node& n : t.nodes()) {
+    for (SensorType s : n.sensors) EXPECT_LT(s, cfg.sensor_type_count);
+  }
+}
+
+TEST(RandomConnected, HeterogeneousComplements) {
+  // With p = 0.6 over 4 types, complements must differ across nodes.
+  sim::Rng rng(42);
+  Topology t = random_connected(RandomPlacementConfig{}, rng);
+  bool differ = false;
+  for (NodeId i = 2; i < t.size(); ++i) {
+    if (t.node(i).sensors != t.node(1).sensors) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RandomConnected, RespectsTreeBounds) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    sim::Rng rng(seed);
+    RandomPlacementConfig cfg;
+    Topology t = random_connected(cfg, rng);
+    SpanningTree tree(t, 0);
+    EXPECT_LE(tree.max_branching(), cfg.max_children) << "seed " << seed;
+    EXPECT_LE(static_cast<std::size_t>(tree.max_depth()), cfg.max_depth)
+        << "seed " << seed;
+  }
+}
+
+TEST(RandomConnected, ThrowsOnImpossibleConstraints) {
+  sim::Rng rng(1);
+  RandomPlacementConfig cfg;
+  cfg.radio_range = 0.5;  // 50 nodes can never connect at this range
+  cfg.max_attempts = 50;
+  EXPECT_THROW(random_connected(cfg, rng), std::runtime_error);
+}
+
+TEST(RandomConnected, RejectsEmptyNetwork) {
+  sim::Rng rng(1);
+  RandomPlacementConfig cfg;
+  cfg.node_count = 0;
+  EXPECT_THROW(random_connected(cfg, rng), std::invalid_argument);
+}
+
+TEST(Grid, StructureAndRoot) {
+  Topology t = grid(3, 4, 10.0);
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_TRUE(t.is_connected());
+  // 4-neighbourhood only: (3*3 + 2*4)... links = rows*(cols-1) + cols*(rows-1)
+  EXPECT_EQ(t.link_count(), 3u * 3u + 4u * 2u);
+  EXPECT_TRUE(t.node(0).sensors.empty());  // corner root
+  EXPECT_FALSE(t.node(5).sensors.empty());
+}
+
+TEST(Grid, RejectsEmpty) {
+  EXPECT_THROW(grid(0, 3, 1.0), std::invalid_argument);
+}
+
+TEST(KnaryTree, NodeCountAndLinks) {
+  Topology t = knary_tree(2, 3);
+  EXPECT_EQ(t.size(), 15u);
+  EXPECT_EQ(t.link_count(), 14u);
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(KnaryTree, DepthZeroIsSingleRoot) {
+  Topology t = knary_tree(4, 0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.link_count(), 0u);
+}
+
+TEST(KnaryTree, EveryNonRootHasAllSensors) {
+  Topology t = knary_tree(3, 2, 4);
+  for (NodeId i = 1; i < t.size(); ++i) {
+    EXPECT_EQ(t.node(i).sensors.size(), 4u);
+  }
+  EXPECT_TRUE(t.node(0).sensors.empty());
+}
+
+TEST(KnaryTree, RejectsZeroK) {
+  EXPECT_THROW(knary_tree(0, 2), std::invalid_argument);
+}
+
+TEST(KnaryTree, ChildLinksMatchHeapIndexing) {
+  Topology t = knary_tree(3, 2);
+  // Children of node 0 are 1,2,3; children of 1 are 4,5,6.
+  auto n0 = t.neighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(n0.begin(), n0.end()),
+            (std::vector<NodeId>{1, 2, 3}));
+  auto n1 = t.neighbors(1);
+  EXPECT_EQ(std::vector<NodeId>(n1.begin(), n1.end()),
+            (std::vector<NodeId>{0, 4, 5, 6}));
+}
+
+}  // namespace
+}  // namespace dirq::net

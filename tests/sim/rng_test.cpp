@@ -1,0 +1,158 @@
+// Rng determinism, substream independence, and distribution sanity.
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace dirq::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng a(0), b(0);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), 0u);
+}
+
+TEST(Rng, SubstreamsAreIndependentOfDrawCount) {
+  Rng master(7);
+  Rng a1 = master.substream("alpha");
+  // Consuming from one substream must not perturb another derivation.
+  Rng beta = master.substream("beta");
+  for (int i = 0; i < 1000; ++i) beta.next_u64();
+  Rng a2 = master.substream("alpha");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a1.next_u64(), a2.next_u64());
+}
+
+TEST(Rng, NamedSubstreamsDiffer) {
+  Rng master(7);
+  Rng a = master.substream("alpha");
+  Rng b = master.substream("beta");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, IndexedSubstreamsDiffer) {
+  Rng master(7);
+  Rng a = master.substream("node", 1);
+  Rng b = master.substream("node", 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng r(99);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_int(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  Rng r(1234);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliRateIsRoughlyP) {
+  Rng r(6);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositiveWithMeanOneOverLambda) {
+  Rng r(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.exponential(2.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng r(11);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  r.shuffle(std::span<int>(v));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, PickReturnsContainedElement) {
+  Rng r(12);
+  const std::array<int, 4> items{10, 20, 30, 40};
+  for (int i = 0; i < 100; ++i) {
+    const int x = r.pick(std::span<const int>(items));
+    EXPECT_TRUE(std::find(items.begin(), items.end(), x) != items.end());
+  }
+}
+
+TEST(Splitmix64, AvalanchesOnSequentialSeeds) {
+  std::uint64_t s1 = 1, s2 = 2;
+  const std::uint64_t a = splitmix64(s1);
+  const std::uint64_t b = splitmix64(s2);
+  // Hamming distance should be near 32 for a good mixer.
+  const int dist = __builtin_popcountll(a ^ b);
+  EXPECT_GT(dist, 10);
+  EXPECT_LT(dist, 54);
+}
+
+TEST(Fnv1a, DistinctLabelsDistinctHashes) {
+  EXPECT_NE(fnv1a("placement"), fnv1a("workload"));
+  EXPECT_NE(fnv1a(""), fnv1a(" "));
+}
+
+}  // namespace
+}  // namespace dirq::sim

@@ -1,0 +1,179 @@
+// Scheduler semantics: ordering, FIFO tie-break, cancellation, run_until.
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dirq::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.dispatched(), 0u);
+}
+
+TEST(Scheduler, DispatchesInTimestampOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, EqualTimestampsAreFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleInIsRelativeToNow) {
+  Scheduler s;
+  SimTime seen = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_in(50, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Scheduler, StepDispatchesExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(1, [&] { ++count; });
+  s.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, CancelPreventsDispatch) {
+  Scheduler s;
+  bool fired = false;
+  EventHandle h = s.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(h));
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.dispatched(), 0u);
+}
+
+TEST(Scheduler, CancelTwiceReturnsFalse) {
+  Scheduler s;
+  EventHandle h = s.schedule_at(10, [] {});
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_FALSE(s.cancel(h));
+}
+
+TEST(Scheduler, CancelAfterFireReturnsFalse) {
+  Scheduler s;
+  EventHandle h = s.schedule_at(10, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(h));
+}
+
+TEST(Scheduler, CancelInvalidHandleReturnsFalse) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel(EventHandle{}));
+  EXPECT_FALSE(s.cancel(EventHandle{9999}));
+}
+
+TEST(Scheduler, IsPendingTracksLifecycle) {
+  Scheduler s;
+  EventHandle h = s.schedule_at(10, [] {});
+  EXPECT_TRUE(s.is_pending(h));
+  s.run();
+  EXPECT_FALSE(s.is_pending(h));
+}
+
+TEST(Scheduler, PendingCountsLiveEventsOnly) {
+  Scheduler s;
+  EventHandle a = s.schedule_at(1, [] {});
+  s.schedule_at(2, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryInclusive) {
+  Scheduler s;
+  std::vector<SimTime> fired;
+  for (SimTime t : {5, 10, 15, 20}) {
+    s.schedule_at(t, [&fired, &s] { fired.push_back(s.now()); });
+  }
+  EXPECT_EQ(s.run_until(10), 2u);
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 10}));
+  EXPECT_EQ(s.now(), 10);
+  EXPECT_EQ(s.run_until(100), 2u);
+  EXPECT_EQ(s.now(), 100);  // clamps forward even after draining
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeOnEmptyQueue) {
+  Scheduler s;
+  EXPECT_EQ(s.run_until(500), 0u);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Scheduler, EventsScheduledDuringDispatchAtSameTimeRun) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(10, [&] {
+    ++count;
+    s.schedule_at(10, [&] { ++count; });
+  });
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, RunMaxEventsBounds) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 100; ++i) s.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(s.run(10), 10u);
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(s.pending(), 90u);
+}
+
+TEST(Scheduler, SelfReschedulingChainTerminatesWithRunUntil) {
+  Scheduler s;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    s.schedule_in(10, tick);
+  };
+  s.schedule_at(0, tick);
+  s.run_until(95);
+  EXPECT_EQ(ticks, 10);  // t = 0,10,...,90
+}
+
+TEST(Scheduler, DispatchedCounterAccumulates) {
+  Scheduler s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.dispatched(), 5u);
+}
+
+TEST(Scheduler, CancelledEventDoesNotBlockLaterOnes) {
+  Scheduler s;
+  std::vector<int> order;
+  EventHandle h = s.schedule_at(1, [&] { order.push_back(1); });
+  s.schedule_at(2, [&] { order.push_back(2); });
+  s.cancel(h);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+}  // namespace
+}  // namespace dirq::sim
