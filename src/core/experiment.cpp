@@ -1,8 +1,10 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "analysis/cost_model.hpp"
+#include "core/lossy.hpp"
 #include "data/field_model.hpp"
 #include "query/rate_predictor.hpp"
 #include "query/workload.hpp"
@@ -16,6 +18,21 @@ ExperimentResults Experiment::run() {
   data::Environment env(topo, cfg_.placement.sensor_type_count,
                         rng.substream("environment"));
   DirqNetwork network(topo, /*root=*/0, cfg_.network);
+  std::optional<LossySink> lossy;
+  std::optional<InstantTransport> lossy_transport;
+  if (cfg_.loss_rate > 0.0) {
+    lossy.emplace(network, cfg_.loss_rate, rng.substream("loss"));
+    lossy->set_drop_hook([&network](NodeId to, NodeId, const Message&) {
+      network.note_dropped_rx(to);
+    });
+    lossy_transport.emplace(topo, *lossy);
+    // The constructor's bootstrap announce wave ran on the built-in
+    // transport (deployment happens before the channel model applies);
+    // carry its ledger over so swapping transports keeps that cost in
+    // the results.
+    lossy_transport->mutable_costs() = network.costs();
+    network.use_transport(*lossy_transport);
+  }
   query::WorkloadGenerator workload(
       topo, network.tree(), env,
       query::WorkloadConfig{cfg_.relevant_fraction, 0.02},

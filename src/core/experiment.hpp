@@ -30,6 +30,12 @@ struct ExperimentConfig {
   std::int64_t epochs = 20000;             // paper §7
   std::int64_t query_period = 20;          // paper §7
   double relevant_fraction = 0.4;          // 0.2 / 0.4 / 0.6 in the paper
+  /// Channel drop probability in [0, 1). 0 keeps the paper's lossless
+  /// setup; > 0 routes every operational delivery through a LossySink
+  /// (CRC-failed receptions: tx and rx energy are still spent, the frame
+  /// is lost). The constructor's one-off deployment bootstrap (location
+  /// announce wave) always runs lossless; its cost stays in the ledger.
+  double loss_rate = 0.0;
   NetworkConfig network{};
   std::int64_t epochs_per_hour = kEpochsPerHour;
   std::int64_t series_bin = 100;  // Fig. 6's "every 100 epochs"

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "core/transport.hpp"
 #include "sim/rng.hpp"
@@ -20,14 +22,23 @@ namespace dirq::core {
 
 class LossySink final : public MessageSink {
  public:
+  /// Invoked for every dropped frame. The transport has already charged
+  /// the ledger's rx for it; DirqNetwork users hook this to
+  /// note_dropped_rx so the per-node energy distribution stays
+  /// consistent with the ledger.
+  using DropHook = std::function<void(NodeId to, NodeId from, const Message& msg)>;
+
   /// Drops each delivery independently with `drop_probability`.
   LossySink(MessageSink& inner, double drop_probability, sim::Rng rng)
       : inner_(inner), drop_(drop_probability), rng_(rng) {}
+
+  void set_drop_hook(DropHook hook) { on_drop_ = std::move(hook); }
 
   void deliver(NodeId to, NodeId from, const Message& msg) override {
     ++offered_;
     if (rng_.bernoulli(drop_)) {
       ++dropped_;
+      if (on_drop_) on_drop_(to, from, msg);
       return;
     }
     inner_.deliver(to, from, msg);
@@ -41,6 +52,7 @@ class LossySink final : public MessageSink {
   MessageSink& inner_;
   double drop_;
   sim::Rng rng_;
+  DropHook on_drop_;
   std::int64_t offered_ = 0;
   std::int64_t dropped_ = 0;
 };

@@ -136,6 +136,14 @@ class DirqNetwork final : public MessageSink {
     return node_tx_.at(id) + node_rx_.at(id);
   }
 
+  /// Accounts the reception energy of a frame the radio received but the
+  /// protocol never saw (CRC failure — a LossySink drop). The transport's
+  /// ledger already charged this rx; calling it keeps the per-node
+  /// distribution reconciled with the ledger (see core/lossy.hpp).
+  void note_dropped_rx(NodeId to) {
+    if (to < node_rx_.size()) node_rx_[to] += 1;
+  }
+
   /// Hook invoked once per Update Message transmission with the epoch —
   /// the driver records the Fig. 6 time series through this.
   using UpdateHook = std::function<void(std::int64_t epoch)>;

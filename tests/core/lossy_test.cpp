@@ -138,6 +138,28 @@ TEST(LossyProtocol, StaleRangesHealAfterChannelRecovers) {
   EXPECT_GT(cov.mean(), 90.0);
 }
 
+TEST(LossySink, DropHookReconcilesPerNodeRxWithLedger) {
+  // The transport charges the ledger's rx before the drop decision
+  // (CRC-failure semantics); the drop hook must keep the per-node
+  // distribution in step so sum(node_rx) always equals the ledger's rx.
+  LossyWorld w(5, 0.3);
+  w.lossy.set_drop_hook([&w](NodeId to, NodeId, const Message&) {
+    w.net.note_dropped_rx(to);
+  });
+  const auto rx_sum = [&w] {
+    CostUnits s = 0;
+    for (NodeId u = 0; u < w.net.size(); ++u) s += w.net.node_rx(u);
+    return s;
+  };
+  // Delta from here on: the constructor's bootstrap wave ran on the
+  // internal transport whose ledger w.net.costs() no longer reports.
+  const CostUnits before = rx_sum();
+  w.run(0, 200);
+  ASSERT_GT(w.lossy.dropped(), 0);
+  const CostLedger& l = w.net.costs();
+  EXPECT_EQ(rx_sum() - before, l.query_rx + l.update_rx + l.control_rx);
+}
+
 TEST(LossyProtocol, DeterministicGivenSeed) {
   LossyWorld a(9, 0.3), b(9, 0.3);
   a.run(0, 100);

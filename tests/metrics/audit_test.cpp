@@ -1,0 +1,102 @@
+// Per-query accuracy accounting (paper §7.1): set intersection of the
+// should-reach set vs the delivered set, plus the derived Fig. 5/7 ratios.
+#include "metrics/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace dirq::metrics {
+namespace {
+
+QueryAudit audit(const std::vector<NodeId>& should,
+                 const std::vector<NodeId>& received) {
+  return audit_query(should, received);
+}
+
+TEST(QueryAudit, PerfectDelivery) {
+  const QueryAudit a = audit({1, 2, 5}, {1, 2, 5});
+  EXPECT_EQ(a.should_count, 3u);
+  EXPECT_EQ(a.received_count, 3u);
+  EXPECT_EQ(a.correct, 3u);
+  EXPECT_EQ(a.wrong, 0u);
+  EXPECT_EQ(a.missed, 0u);
+  EXPECT_DOUBLE_EQ(a.overshoot_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(a.reach_ratio_pct(), 100.0);
+  EXPECT_DOUBLE_EQ(a.coverage_pct(), 100.0);
+}
+
+TEST(QueryAudit, BothEmpty) {
+  const QueryAudit a = audit({}, {});
+  EXPECT_EQ(a.correct, 0u);
+  EXPECT_EQ(a.wrong, 0u);
+  EXPECT_EQ(a.missed, 0u);
+  // Empty should-set: the ratios use their guarded defaults.
+  EXPECT_DOUBLE_EQ(a.overshoot_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(a.reach_ratio_pct(), 100.0);
+  EXPECT_DOUBLE_EQ(a.coverage_pct(), 100.0);
+}
+
+TEST(QueryAudit, EmptyShouldWithDeliveriesCountsAllWrong) {
+  const QueryAudit a = audit({}, {3, 4});
+  EXPECT_EQ(a.wrong, 2u);
+  EXPECT_EQ(a.correct, 0u);
+  EXPECT_DOUBLE_EQ(a.overshoot_pct(), 0.0);  // guarded: no should-set
+}
+
+TEST(QueryAudit, NothingDeliveredIsAllMissed) {
+  const QueryAudit a = audit({2, 4, 6}, {});
+  EXPECT_EQ(a.missed, 3u);
+  EXPECT_EQ(a.correct, 0u);
+  EXPECT_DOUBLE_EQ(a.coverage_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(a.reach_ratio_pct(), 0.0);
+}
+
+TEST(QueryAudit, DisjointSets) {
+  const QueryAudit a = audit({1, 3}, {2, 4, 6});
+  EXPECT_EQ(a.correct, 0u);
+  EXPECT_EQ(a.wrong, 3u);
+  EXPECT_EQ(a.missed, 2u);
+  EXPECT_DOUBLE_EQ(a.overshoot_pct(), 150.0);
+  EXPECT_DOUBLE_EQ(a.coverage_pct(), 0.0);
+}
+
+TEST(QueryAudit, PartialOverlap) {
+  const QueryAudit a = audit({1, 3, 5, 7}, {3, 4, 5, 8, 9});
+  EXPECT_EQ(a.correct, 2u);
+  EXPECT_EQ(a.wrong, 3u);
+  EXPECT_EQ(a.missed, 2u);
+  EXPECT_DOUBLE_EQ(a.overshoot_pct(), 75.0);
+  EXPECT_DOUBLE_EQ(a.reach_ratio_pct(), 125.0);
+  EXPECT_DOUBLE_EQ(a.coverage_pct(), 50.0);
+}
+
+TEST(QueryAudit, OvershootCanExceedHundredPct) {
+  const QueryAudit a = audit({1, 2}, {1, 2, 3, 4, 5});
+  EXPECT_EQ(a.wrong, 3u);
+  EXPECT_DOUBLE_EQ(a.overshoot_pct(), 150.0);
+  EXPECT_DOUBLE_EQ(a.reach_ratio_pct(), 250.0);
+}
+
+TEST(QueryAudit, CountsReconcileOnRandomSortedSets) {
+  // Structural identities: correct + wrong == |received| and
+  // correct + missed == |should| for arbitrary sorted duplicate-free sets.
+  sim::Rng rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<NodeId> should, received;
+    for (NodeId id = 0; id < 200; ++id) {
+      if (rng.bernoulli(0.3)) should.push_back(id);
+      if (rng.bernoulli(0.3)) received.push_back(id);
+    }
+    const QueryAudit a = audit(should, received);
+    EXPECT_EQ(a.correct + a.wrong, a.received_count);
+    EXPECT_EQ(a.correct + a.missed, a.should_count);
+    EXPECT_LE(a.correct, std::min(a.should_count, a.received_count));
+  }
+}
+
+}  // namespace
+}  // namespace dirq::metrics

@@ -1,0 +1,103 @@
+// Gateway query-rate predictor (paper §3): seasonal-naive + EWMA blend
+// feeding the hourly EHr broadcast. Covers the cold-start extrapolation,
+// the hour-roll bookkeeping (including silent hours), and the EWMA blend.
+#include "query/rate_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/types.hpp"
+
+namespace dirq::query {
+namespace {
+
+TEST(QueryRatePredictor, ColdStartPredictsZero) {
+  QueryRatePredictor p(0.4, 100);
+  EXPECT_DOUBLE_EQ(p.predict_next_hour(), 0.0);
+  EXPECT_EQ(p.completed_hours(), 0u);
+}
+
+TEST(QueryRatePredictor, DefaultPeriodMatchesPaperHour) {
+  QueryRatePredictor p;
+  EXPECT_EQ(p.epochs_per_hour(), kEpochsPerHour);
+}
+
+TEST(QueryRatePredictor, PartialHourExtrapolatesObservedRate) {
+  QueryRatePredictor p(0.4, 100);
+  // 10 queries in the first 10 epochs of a 100-epoch hour -> 100/hour pace.
+  for (std::int64_t e = 0; e < 10; ++e) p.record_query(e);
+  EXPECT_DOUBLE_EQ(p.predict_next_hour(), 100.0);
+  // A single query 50 epochs into the hour -> 2/hour pace.
+  QueryRatePredictor q(0.4, 100);
+  q.record_query(49);
+  EXPECT_DOUBLE_EQ(q.predict_next_hour(), 2.0);
+}
+
+TEST(QueryRatePredictor, FirstCompletedHourSeedsPrediction) {
+  QueryRatePredictor p(0.4, 100);
+  for (std::int64_t e = 0; e < 5; ++e) p.record_query(e * 10);  // hour 0
+  p.record_query(150);                                          // rolls to hour 1
+  ASSERT_EQ(p.completed_hours(), 1u);
+  EXPECT_EQ(p.hour_count(0), 5);
+  EXPECT_DOUBLE_EQ(p.predict_next_hour(), 5.0);
+}
+
+TEST(QueryRatePredictor, EwmaBlendsCompletedHours) {
+  QueryRatePredictor p(0.5, 100);
+  for (std::int64_t e = 0; e < 3; ++e) p.record_query(e);        // hour 0: 3
+  for (std::int64_t e = 100; e < 107; ++e) p.record_query(e);    // hour 1: 7
+  p.record_query(250);                                           // roll to hour 2
+  ASSERT_EQ(p.completed_hours(), 2u);
+  EXPECT_EQ(p.hour_count(0), 3);
+  EXPECT_EQ(p.hour_count(1), 7);
+  // EWMA(alpha=0.5): 0.5*7 + 0.5*3 = 5.
+  EXPECT_DOUBLE_EQ(p.predict_next_hour(), 5.0);
+}
+
+TEST(QueryRatePredictor, SilentHoursDecayThePrediction) {
+  QueryRatePredictor p(0.4, 100);
+  p.record_query(10);   // hour 0: 1 query
+  p.record_query(350);  // hour 3: hours 0..2 complete as {1, 0, 0}
+  ASSERT_EQ(p.completed_hours(), 3u);
+  EXPECT_EQ(p.hour_count(0), 1);
+  EXPECT_EQ(p.hour_count(1), 0);
+  EXPECT_EQ(p.hour_count(2), 0);
+  // 1 -> 0.6*1 -> 0.6*0.6 = 0.36.
+  EXPECT_NEAR(p.predict_next_hour(), 0.36, 1e-12);
+}
+
+TEST(QueryRatePredictor, HourCountOutOfRangeIsZero) {
+  QueryRatePredictor p(0.4, 100);
+  p.record_query(10);
+  EXPECT_EQ(p.hour_count(0), 0);  // hour 0 not yet complete
+  EXPECT_EQ(p.hour_count(99), 0);
+}
+
+TEST(QueryRatePredictor, RejectsDecreasingEpochs) {
+  QueryRatePredictor p(0.4, 100);
+  p.record_query(100);
+  EXPECT_THROW(p.record_query(50), std::invalid_argument);
+  // Equal epochs are fine (several queries can share an injection epoch).
+  EXPECT_NO_THROW(p.record_query(100));
+}
+
+TEST(QueryRatePredictor, TracksLoadTrend) {
+  // Ramping load: the prediction should land between the first and last
+  // hourly counts and above the plain mean's lag, i.e. follow the trend.
+  QueryRatePredictor p(0.4, 100);
+  std::int64_t epoch = 0;
+  for (std::int64_t hour = 0; hour < 6; ++hour) {
+    for (std::int64_t i = 0; i < (hour + 1) * 2; ++i) {
+      p.record_query(epoch = hour * 100 + i);
+    }
+  }
+  p.record_query(epoch + 100);  // complete hour 5 (12 queries)
+  ASSERT_EQ(p.completed_hours(), 6u);
+  const double pred = p.predict_next_hour();
+  EXPECT_GT(pred, 7.0);   // above the all-time mean (7) — tracks recency
+  EXPECT_LT(pred, 12.0);  // below the newest hour — still smoothed
+}
+
+}  // namespace
+}  // namespace dirq::query

@@ -1,0 +1,49 @@
+// Single source of truth for the scenario regression grid: the
+// seeds x topology-size x loss-rate axes and the experiment config every
+// cell runs under. Included by both the golden-checked test
+// (scenario_matrix_test.cpp) and the regenerator tool
+// (tools/scenario_goldens.cpp) so the two can never drift apart.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/experiment.hpp"
+
+namespace dirq::scenarios {
+
+inline constexpr std::uint64_t kSeeds[] = {1, 42, 1337};
+inline constexpr std::size_t kNodeCounts[] = {30, 50};
+inline constexpr double kLossRates[] = {0.0, 0.15};
+
+inline constexpr std::int64_t kEpochs = 1200;
+inline constexpr std::int64_t kQueryPeriod = 20;
+
+inline core::ExperimentConfig make_config(std::uint64_t seed,
+                                          std::size_t nodes, double loss) {
+  core::ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.placement.node_count = nodes;
+  cfg.epochs = kEpochs;
+  cfg.query_period = kQueryPeriod;
+  cfg.loss_rate = loss;
+  cfg.network.mode = core::NetworkConfig::ThetaMode::Fixed;
+  cfg.network.fixed_pct = 5.0;
+  cfg.keep_records = false;
+  return cfg;
+}
+
+/// Visits every grid cell in the canonical order (the order of the golden
+/// table rows): seeds outermost, then node counts, then loss rates.
+template <typename Fn>
+void for_each_cell(Fn&& fn) {
+  for (std::uint64_t seed : kSeeds) {
+    for (std::size_t nodes : kNodeCounts) {
+      for (double loss : kLossRates) {
+        fn(seed, nodes, loss);
+      }
+    }
+  }
+}
+
+}  // namespace dirq::scenarios

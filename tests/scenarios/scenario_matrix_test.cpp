@@ -1,0 +1,201 @@
+// Scenario regression matrix: full DirqExperiment runs across a
+// seeds x topology-size x loss-rate grid, golden-checked on the core
+// metrics (update traffic, energy ledger, flooding baseline, accuracy).
+//
+// Purpose: catch determinism regressions *structurally*. Any change to the
+// RNG substream layout, topology builder, field model, protocol logic, or
+// cost accounting shifts at least one golden value and fails loudly here,
+// instead of silently invalidating every figure bench.
+//
+// The grid axes and per-cell config live in scenario_grid.hpp, shared with
+// the `scenario_goldens` regenerator tool (tools/scenario_goldens.cpp).
+//
+// The exact golden values are tied to libstdc++'s distribution
+// implementations (std::uniform_real_distribution et al. are
+// implementation-defined). On other standard libraries the suite still
+// runs every cell and enforces the structural + determinism assertions,
+// skipping only the exact-value comparison.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "scenarios/scenario_grid.hpp"
+
+namespace dirq::core {
+namespace {
+
+struct ScenarioCase {
+  std::uint64_t seed;
+  std::size_t nodes;
+  double loss;
+  // Goldens (libstdc++, any optimisation level — integer exact):
+  std::int64_t updates;
+  std::int64_t dirq_total_cost;
+  std::int64_t flooding_total;
+  double coverage_mean;
+  double overshoot_mean;
+  double receive_mean;
+};
+
+constexpr std::int64_t kExpectedQueries =
+    scenarios::kEpochs / scenarios::kQueryPeriod - 1;  // 59
+
+// Regenerate with the `scenario_goldens` tool (see tools/scenario_goldens.cpp).
+const std::vector<ScenarioCase>& cases() {
+  static const std::vector<ScenarioCase> kCases = {
+      {1, 30, 0.00, 1953, 5609, 8732, 99.7392438070, 28.7247780468, 54.5879602572},
+      {1, 30, 0.15, 1759, 4838, 8732, 64.9748556528, 18.6049543677, 35.5347749854},
+      {1, 50, 0.00, 3002, 8938, 20178, 99.5843422115, 34.1680144959, 55.4825319958},
+      {1, 50, 0.15, 2668, 7417, 20178, 56.0122277624, 19.3117935859, 31.3040470425},
+      {42, 30, 0.00, 2215, 6271, 7552, 99.7392438070, 27.6756224002, 56.2828755114},
+      {42, 30, 0.15, 1899, 5013, 7552, 55.8802073633, 14.8665952691, 31.2098188194},
+      {42, 50, 0.00, 3123, 9021, 18762, 97.8362315650, 28.9369056392, 52.7499135247},
+      {42, 50, 0.15, 2807, 7698, 18762, 61.5496368039, 16.7383329027, 32.5838810100},
+      {1337, 30, 0.00, 1726, 5114, 11092, 99.8587570621, 26.4481281430, 53.1268264173},
+      {1337, 30, 0.15, 1590, 4505, 11092, 65.0276277395, 17.9595827901, 34.8918760959},
+      {1337, 50, 0.00, 3209, 9330, 21948, 99.3260694108, 25.8676351897, 52.7153234175},
+      {1337, 50, 0.15, 2877, 7884, 21948, 57.6272621998, 14.7578692494, 30.3701141474},
+  };
+  return kCases;
+}
+
+ExperimentConfig make_config(const ScenarioCase& c) {
+  return scenarios::make_config(c.seed, c.nodes, c.loss);
+}
+
+/// Each 1200-epoch cell is simulated once and the results shared by every
+/// assertion suite (runs are deterministic, so caching cannot mask bugs —
+/// RerunIsBitIdentical below proves it with a deliberate fresh run).
+const ExperimentResults& cell_results(const ScenarioCase& c) {
+  using Key = std::tuple<std::uint64_t, std::size_t, std::int64_t>;
+  static std::map<Key, ExperimentResults> cache;
+  const Key key{c.seed, c.nodes, static_cast<std::int64_t>(c.loss * 100)};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, Experiment(make_config(c)).run()).first;
+  }
+  return it->second;
+}
+
+TEST(ScenarioGrid, GoldenTableCoversExactlyTheSharedGrid) {
+  // The golden rows must track the shared grid cell-for-cell, in the
+  // canonical order the regenerator prints.
+  std::size_t i = 0;
+  scenarios::for_each_cell(
+      [&i](std::uint64_t seed, std::size_t nodes, double loss) {
+        ASSERT_LT(i, cases().size());
+        EXPECT_EQ(cases()[i].seed, seed) << "row " << i;
+        EXPECT_EQ(cases()[i].nodes, nodes) << "row " << i;
+        EXPECT_DOUBLE_EQ(cases()[i].loss, loss) << "row " << i;
+        ++i;
+      });
+  EXPECT_EQ(i, cases().size());
+}
+
+class ScenarioMatrix : public ::testing::TestWithParam<ScenarioCase> {};
+
+TEST_P(ScenarioMatrix, StructuralInvariantsHold) {
+  const ScenarioCase& c = GetParam();
+  const ExperimentResults& res = cell_results(c);
+
+  EXPECT_EQ(res.queries, kExpectedQueries);
+  EXPECT_GT(res.updates_transmitted, 0);
+  EXPECT_GT(res.ledger.total(), 0);
+  EXPECT_GT(res.flooding_total, 0);
+  EXPECT_GE(res.coverage_pct.mean(), 0.0);
+  EXPECT_LE(res.coverage_pct.mean(), 100.0);
+  EXPECT_GE(res.overshoot_pct.mean(), 0.0);
+  // The Fig. 6 series always reconciles with the scalar counter.
+  EXPECT_EQ(static_cast<std::int64_t>(res.updates_per_bin.total()),
+            res.updates_transmitted);
+  if (c.loss == 0.0) {
+    // Lossless channel: conservative ranges never skip settled sources.
+    EXPECT_GT(res.coverage_pct.mean(), 97.0);
+  } else {
+    // Lossy channel: the protocol keeps routing something.
+    EXPECT_GT(res.coverage_pct.mean(), 10.0);
+#if defined(__GLIBCXX__)
+    // That loss actually bit (coverage strictly below 100%) is a property
+    // of the pinned realization: in principle no query-path frame need
+    // drop, so only assert it where the goldens pin the stream.
+    EXPECT_LT(res.coverage_pct.mean(), 100.0);
+#endif
+  }
+}
+
+TEST_P(ScenarioMatrix, MetricsMatchGolden) {
+#if !defined(__GLIBCXX__)
+  GTEST_SKIP() << "golden values are recorded against libstdc++'s "
+                  "distribution implementations";
+#else
+  const ScenarioCase& c = GetParam();
+  const ExperimentResults& res = cell_results(c);
+
+  EXPECT_EQ(res.updates_transmitted, c.updates);
+  EXPECT_EQ(res.ledger.total(), c.dirq_total_cost);
+  EXPECT_EQ(res.flooding_total, c.flooding_total);
+  EXPECT_NEAR(res.coverage_pct.mean(), c.coverage_mean, 1e-6);
+  EXPECT_NEAR(res.overshoot_pct.mean(), c.overshoot_mean, 1e-6);
+  EXPECT_NEAR(res.receive_pct.mean(), c.receive_mean, 1e-6);
+#endif
+}
+
+std::string case_name(const ::testing::TestParamInfo<ScenarioCase>& info) {
+  const ScenarioCase& c = info.param;
+  return "seed" + std::to_string(c.seed) + "_n" + std::to_string(c.nodes) +
+         "_loss" + std::to_string(static_cast<int>(c.loss * 100));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ScenarioMatrix, ::testing::ValuesIn(cases()),
+                         case_name);
+
+TEST(ScenarioMatrixCross, RerunIsBitIdentical) {
+  // Full determinism on one representative cell: every tracked metric,
+  // not just the goldened subset, must be identical across runs. The
+  // first run comes from the shared cache, the second is deliberately
+  // fresh — this also guards the cache itself.
+  const ScenarioCase& c = cases()[7];  // 42/50/lossy
+  const ExperimentResults& a = cell_results(c);
+  const ExperimentResults b = Experiment(make_config(c)).run();
+  EXPECT_EQ(a.updates_transmitted, b.updates_transmitted);
+  EXPECT_EQ(a.ledger.total(), b.ledger.total());
+  EXPECT_EQ(a.flooding_total, b.flooding_total);
+  EXPECT_EQ(a.samples_taken, b.samples_taken);
+  EXPECT_DOUBLE_EQ(a.coverage_pct.mean(), b.coverage_pct.mean());
+  EXPECT_DOUBLE_EQ(a.overshoot_pct.mean(), b.overshoot_pct.mean());
+  EXPECT_DOUBLE_EQ(a.receive_pct.mean(), b.receive_pct.mean());
+  EXPECT_DOUBLE_EQ(a.should_pct.mean(), b.should_pct.mean());
+}
+
+TEST(ScenarioMatrixCross, LossReducesCoverageAndCost) {
+  // Within each (seed, nodes) pair: dropping 15% of deliveries lowers both
+  // delivered coverage and DirQ's spent energy (lost frames terminate
+  // dissemination subtrees early), and leaves the analytical flooding
+  // baseline untouched. The flooding equality is structural (it depends
+  // only on the topology realization, which the loss knob never touches);
+  // the strict reductions are properties of the pinned libstdc++ stream —
+  // stale-range dynamics could in principle push either metric the other
+  // way — so they are gated like the goldens.
+  for (std::size_t i = 0; i + 1 < cases().size(); i += 2) {
+    const ScenarioCase& clean = cases()[i];
+    const ScenarioCase& lossy = cases()[i + 1];
+    ASSERT_EQ(clean.seed, lossy.seed);
+    ASSERT_EQ(clean.nodes, lossy.nodes);
+    const ExperimentResults& a = cell_results(clean);
+    const ExperimentResults& b = cell_results(lossy);
+    EXPECT_EQ(a.flooding_total, b.flooding_total);
+#if defined(__GLIBCXX__)
+    EXPECT_LT(b.coverage_pct.mean(), a.coverage_pct.mean())
+        << "seed " << clean.seed << " nodes " << clean.nodes;
+    EXPECT_LT(b.ledger.total(), a.ledger.total());
+#endif
+  }
+}
+
+}  // namespace
+}  // namespace dirq::core

@@ -6,6 +6,7 @@
 //     --epochs N          sensing epochs                   (default 20000)
 //     --query-period N    epochs between queries           (default 20)
 //     --relevant F        target involved fraction 0..1    (default 0.4)
+//     --loss F            channel drop probability [0,1)   (default 0)
 //     --theta PCT         fixed threshold in % of span     (default: ATC)
 //     --atc               adaptive threshold control       (default)
 //     --sampling F        enable §8 sampling suppression with margin F
@@ -30,6 +31,7 @@ namespace {
       "  --epochs N        sensing epochs (default 20000)\n"
       "  --query-period N  epochs between queries (default 20)\n"
       "  --relevant F      target involved fraction in (0,1] (default 0.4)\n"
+      "  --loss F          channel drop probability in [0,1) (default 0)\n"
       "  --theta PCT       fixed threshold, % of sensor span (default: ATC)\n"
       "  --atc             adaptive threshold control (default mode)\n"
       "  --sampling F      enable sampling suppression, margin F of theta\n"
@@ -85,6 +87,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--relevant") {
       cfg.relevant_fraction = parse_double("--relevant", next);
       ++i;
+    } else if (arg == "--loss") {
+      cfg.loss_rate = parse_double("--loss", next);
+      ++i;
     } else if (arg == "--theta") {
       cfg.network.mode = core::NetworkConfig::ThetaMode::Fixed;
       cfg.network.fixed_pct = parse_double("--theta", next);
@@ -102,8 +107,24 @@ int main(int argc, char** argv) {
       usage(2);
     }
   }
-  if (cfg.relevant_fraction <= 0.0 || cfg.relevant_fraction > 1.0) {
+  // Negated comparisons so NaN (std::stod("nan")) is rejected too.
+  if (!(cfg.relevant_fraction > 0.0 && cfg.relevant_fraction <= 1.0)) {
     std::cerr << "--relevant must be in (0, 1]\n";
+    return 2;
+  }
+  if (!(cfg.loss_rate >= 0.0 && cfg.loss_rate < 1.0)) {
+    std::cerr << "--loss must be in [0, 1)\n";
+    return 2;
+  }
+  if (cfg.network.mode == core::NetworkConfig::ThetaMode::Fixed &&
+      !(cfg.network.fixed_pct > 0.0 && cfg.network.fixed_pct <= 100.0)) {
+    std::cerr << "--theta must be in (0, 100]\n";
+    return 2;
+  }
+  if (cfg.network.sampling.enabled &&
+      !(cfg.network.sampling.margin_frac >= 0.0 &&
+        cfg.network.sampling.margin_frac <= 1.0)) {
+    std::cerr << "--sampling must be in [0, 1]\n";
     return 2;
   }
 
@@ -116,6 +137,9 @@ int main(int argc, char** argv) {
                          : "fixed theta=" + metrics::fmt(cfg.network.fixed_pct, 1) + "%"});
   t.add_row({"seed", std::to_string(cfg.seed)});
   t.add_row({"epochs", std::to_string(cfg.epochs)});
+  if (cfg.loss_rate > 0.0) {
+    t.add_row({"loss rate", metrics::fmt(cfg.loss_rate, 2)});
+  }
   t.add_row({"queries injected", std::to_string(res.queries)});
   t.add_row({"update msgs transmitted", std::to_string(res.updates_transmitted)});
   t.add_row({"query cost (units)", std::to_string(res.ledger.query_cost())});
