@@ -2,37 +2,96 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
 
 #include "analysis/cost_model.hpp"
+#include "core/lmac_transport.hpp"
 #include "core/lossy.hpp"
 #include "data/field_model.hpp"
 #include "query/rate_predictor.hpp"
 #include "query/workload.hpp"
 #include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
 
 namespace dirq::core {
 
+void ExperimentConfig::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("ExperimentConfig: " + what);
+  };
+  if (placement.node_count < 1) fail("placement.node_count must be >= 1");
+  if (epochs < 0) fail("epochs must be >= 0");
+  if (query_period < 1) fail("query_period must be >= 1");
+  if (epochs_per_hour < 1) fail("epochs_per_hour must be >= 1");
+  if (series_bin < 1) fail("series_bin must be >= 1");
+  if (!(relevant_fraction > 0.0 && relevant_fraction <= 1.0)) {
+    fail("relevant_fraction must be in (0, 1]");  // negated: rejects NaN
+  }
+  if (!(loss_rate >= 0.0 && loss_rate < 1.0)) {
+    fail("loss_rate must be in [0, 1)");
+  }
+  if (transport == TransportKind::Lmac) {
+    if (lmac.slots_per_frame < 1 || lmac.slots_per_frame > 64) {
+      fail("lmac.slots_per_frame must be in [1, 64]");
+    }
+    if (lmac.ticks_per_slot < 1) fail("lmac.ticks_per_slot must be >= 1");
+    if (lmac.timeout_frames < 1) fail("lmac.timeout_frames must be >= 1");
+  }
+}
+
 ExperimentResults Experiment::run() {
+  cfg_.validate();
   sim::Rng rng(cfg_.seed);
   net::Topology topo = net::random_connected(cfg_.placement, rng);
   data::Environment env(topo, cfg_.placement.sensor_type_count,
                         rng.substream("environment"));
   DirqNetwork network(topo, /*root=*/0, cfg_.network);
+
+  // Backend plumbing. The constructor's bootstrap announce wave ran on the
+  // network's built-in instant transport (deployment happens before the
+  // channel model / MAC applies); whichever transport is swapped in carries
+  // that ledger over so cost is continuous across the swap.
+  const bool use_lmac = cfg_.transport == TransportKind::Lmac;
   std::optional<LossySink> lossy;
   std::optional<InstantTransport> lossy_transport;
+  std::optional<sim::Scheduler> sched;
+  std::optional<mac::LmacNetwork> mac;
+  std::optional<LmacTransport> lmac_transport;
+  std::int64_t current_epoch = 0;
+  std::set<NodeId> mac_repaired;  // nodes already handled by tree repair
+
+  MessageSink* sink = &network;
   if (cfg_.loss_rate > 0.0) {
     lossy.emplace(network, cfg_.loss_rate, rng.substream("loss"));
     lossy->set_drop_hook([&network](NodeId to, NodeId, const Message&) {
       network.note_dropped_rx(to);
     });
+    sink = &*lossy;
+  }
+  if (use_lmac) {
+    sched.emplace();
+    mac.emplace(*sched, topo, cfg_.lmac);
+    lmac_transport.emplace(*mac, *sink);
+    lmac_transport->mutable_costs() = network.costs();
+    network.use_transport(*lmac_transport);
+    // Cross-layer path (§4.2): LMAC's timeout-based death detection drives
+    // DirQ's tree repair. One repair per dead node; LMAC reports the loss
+    // once per surviving neighbour.
+    lmac_transport->set_on_neighbor_lost(
+        [&network, &mac_repaired, &current_epoch](NodeId, NodeId dead) {
+          if (mac_repaired.insert(dead).second) {
+            network.handle_node_death(dead, current_epoch);
+          }
+        });
+    mac->start();
+  } else if (cfg_.loss_rate > 0.0) {
     lossy_transport.emplace(topo, *lossy);
-    // The constructor's bootstrap announce wave ran on the built-in
-    // transport (deployment happens before the channel model applies);
-    // carry its ledger over so swapping transports keeps that cost in
-    // the results.
     lossy_transport->mutable_costs() = network.costs();
     network.use_transport(*lossy_transport);
   }
+
   query::WorkloadGenerator workload(
       topo, network.tree(), env,
       query::WorkloadConfig{cfg_.relevant_fraction, 0.02},
@@ -45,11 +104,61 @@ ExperimentResults Experiment::run() {
   network.set_update_hook(
       [&res](std::int64_t epoch) { res.updates_per_bin.record(epoch); });
 
+  // A query injected on the LMAC backend disseminates across the following
+  // frames; its outcome is collected just before the next injection (or
+  // after the post-run drain). The instant backend collects synchronously.
+  struct PendingQuery {
+    std::int64_t epoch = 0;
+    SensorType type = 0;
+    query::Involvement truth;
+    std::size_t population = 0;
+    CostUnits flooding_cost = 0;
+  };
+  std::optional<PendingQuery> pending;
+
+  const auto finalize_query = [this, &res](const PendingQuery& p,
+                                           const QueryOutcome& outcome) {
+    const metrics::QueryAudit audit =
+        metrics::audit_query(p.truth.involved, outcome.received);
+    const metrics::QueryAudit source_audit =
+        metrics::audit_query(p.truth.sources, outcome.believed_sources);
+    const auto pct = [&p](std::size_t n) {
+      return p.population == 0 ? 0.0
+                               : 100.0 * static_cast<double>(n) /
+                                     static_cast<double>(p.population);
+    };
+    res.overshoot_pct.push(audit.overshoot_pct());
+    res.should_pct.push(pct(audit.should_count));
+    res.receive_pct.push(pct(audit.received_count));
+    res.source_pct.push(pct(p.truth.sources.size()));
+    res.wrong_pct.push(pct(audit.wrong));
+    res.coverage_pct.push(audit.coverage_pct());
+    res.source_overshoot_pct.push(source_audit.overshoot_pct());
+    res.source_coverage_pct.push(source_audit.coverage_pct());
+    res.flooding_total += p.flooding_cost;
+    ++res.queries;
+
+    if (cfg_.keep_records) {
+      QueryRecord rec;
+      rec.epoch = p.epoch;
+      rec.type = p.type;
+      rec.audit = audit;
+      rec.source_audit = source_audit;
+      rec.dirq_query_cost = outcome.cost;
+      rec.flooding_cost = p.flooding_cost;
+      rec.sources = p.truth.sources.size();
+      rec.population = p.population;
+      res.records.push_back(rec);
+    }
+  };
+
   // The operator's prior for hour 0: the advertised query interface rate.
   const double prior_ehr = static_cast<double>(cfg_.epochs_per_hour) /
                            static_cast<double>(cfg_.query_period);
+  const SimTime frame_ticks = cfg_.lmac.frame_ticks();
 
   for (std::int64_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    current_epoch = epoch;
     env.advance_to(epoch);
 
     if (epoch % cfg_.epochs_per_hour == 0) {
@@ -75,45 +184,24 @@ ExperimentResults Experiment::run() {
     network.process_epoch(env, epoch);
 
     if (epoch % cfg_.query_period == 0 && epoch > 0) {
+      if (pending) {
+        finalize_query(*pending, network.collect_outcome());
+        pending.reset();
+      }
       query::RangeQuery q = workload.next(epoch);
       predictor.record_query(epoch);
-      const query::Involvement truth =
-          query::compute_involvement(q, topo, network.tree(), env);
-      const QueryOutcome outcome = network.inject(q, epoch);
-      const metrics::QueryAudit audit =
-          metrics::audit_query(truth.involved, outcome.received);
-      const metrics::QueryAudit source_audit =
-          metrics::audit_query(truth.sources, outcome.believed_sources);
-
-      const std::size_t population =
+      PendingQuery p;
+      p.epoch = epoch;
+      p.type = q.type;
+      p.truth = query::compute_involvement(q, topo, network.tree(), env);
+      p.population =
           network.tree().size() > 0 ? network.tree().size() - 1 : 0;
-      const auto pct = [population](std::size_t n) {
-        return population == 0 ? 0.0
-                               : 100.0 * static_cast<double>(n) /
-                                     static_cast<double>(population);
-      };
-      res.overshoot_pct.push(audit.overshoot_pct());
-      res.should_pct.push(pct(audit.should_count));
-      res.receive_pct.push(pct(audit.received_count));
-      res.source_pct.push(pct(truth.sources.size()));
-      res.wrong_pct.push(pct(audit.wrong));
-      res.coverage_pct.push(audit.coverage_pct());
-      res.source_overshoot_pct.push(source_audit.overshoot_pct());
-      res.source_coverage_pct.push(source_audit.coverage_pct());
-      res.flooding_total += flooding.analytical_cost();
-      ++res.queries;
-
-      if (cfg_.keep_records) {
-        QueryRecord rec;
-        rec.epoch = epoch;
-        rec.type = q.type;
-        rec.audit = audit;
-        rec.source_audit = source_audit;
-        rec.dirq_query_cost = outcome.cost;
-        rec.flooding_cost = flooding.analytical_cost();
-        rec.sources = truth.sources.size();
-        rec.population = population;
-        res.records.push_back(rec);
+      p.flooding_cost = flooding.analytical_cost();
+      if (use_lmac) {
+        network.inject_async(q, epoch);
+        pending = std::move(p);
+      } else {
+        finalize_query(p, network.inject(q, epoch));
       }
     }
 
@@ -128,12 +216,35 @@ ExperimentResults Experiment::run() {
       }
       res.theta_pct_series.push_back(n ? sum / static_cast<double>(n) : 0.0);
     }
+
+    if (use_lmac) {
+      // One sensing epoch = one LMAC frame: deliver every slot of frame
+      // `epoch` but stop short of frame epoch+1's first slot (scheduled at
+      // exactly (epoch+1) * frame_ticks).
+      sched->run_until((epoch + 1) * frame_ticks - 1);
+    }
+  }
+
+  if (pending) {
+    // Drain: audit the final query after exactly the same query_period-frame
+    // dissemination window every mid-run query gets (the loop has already
+    // advanced past this time when epochs is a multiple of query_period, in
+    // which case this is a no-op).
+    sched->run_until((pending->epoch + cfg_.query_period) * frame_ticks - 1);
+    finalize_query(*pending, network.collect_outcome());
+    pending.reset();
   }
 
   res.ledger = network.costs();
   res.updates_transmitted = network.updates_transmitted();
   res.samples_taken = network.samples_taken();
   res.samples_skipped = network.samples_skipped();
+  res.node_tx.resize(network.size());
+  res.node_rx.resize(network.size());
+  for (NodeId u = 0; u < network.size(); ++u) {
+    res.node_tx[u] = network.node_tx(u);
+    res.node_rx[u] = network.node_rx(u);
+  }
   return res;
 }
 

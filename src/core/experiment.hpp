@@ -17,12 +17,22 @@
 
 #include "core/flooding.hpp"
 #include "core/network.hpp"
+#include "mac/lmac.hpp"
 #include "metrics/audit.hpp"
 #include "net/placement.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
 namespace dirq::core {
+
+/// Which transport carries the protocol traffic.
+///   Instant — synchronous unit-cost delivery on the topology graph (the
+///     paper's cost model without MAC latency; fast figure sweeps).
+///   Lmac — the reimplemented TDMA MAC (paper ref [2]): messages ride
+///     slot-synchronously in data sections, one sensing epoch per LMAC
+///     frame, and neighbour death surfaces through the MAC's control
+///     timeout (the §4.2 cross-layer path).
+enum class TransportKind { Instant, Lmac };
 
 struct ExperimentConfig {
   std::uint64_t seed = 42;
@@ -42,6 +52,17 @@ struct ExperimentConfig {
   /// Keep the full per-query record list (1 000 entries for the default
   /// run); benches that only need aggregates can switch it off.
   bool keep_records = true;
+  TransportKind transport = TransportKind::Instant;
+  /// Frame geometry when transport == Lmac. The default (32 slots x 32
+  /// ticks = 1024 ticks) makes one LMAC frame exactly one sensing epoch
+  /// (kTicksPerEpoch); the driver advances the scheduler one frame per
+  /// epoch regardless of the geometry chosen here.
+  mac::LmacConfig lmac{};
+
+  /// Validates every field the driver divides or modulos by (and the
+  /// probability/fraction knobs). Called by Experiment::run; throws
+  /// std::invalid_argument naming the offending field.
+  void validate() const;
 };
 
 /// One injected query's bookkeeping.
@@ -85,6 +106,11 @@ struct ExperimentResults {
   // Mean theta (as % of span, temperature type) per series_bin epochs —
   // shows ATC's autonomous threshold trajectory.
   std::vector<double> theta_pct_series;
+  // Per-node radio energy attribution. The network's lifetime is governed
+  // by its hottest node, and sum(node_tx)/sum(node_rx) must reconcile with
+  // the ledger's tx/rx totals on every backend (the cost-parity tests).
+  std::vector<CostUnits> node_tx;
+  std::vector<CostUnits> node_rx;
   std::vector<QueryRecord> records;
 
   /// Headline ratio: DirQ total cost / flooding total cost (paper:

@@ -43,8 +43,10 @@ void LmacTransport::multicast(NodeId from, std::span<const NodeId> targets,
   // One transmission; the target set rides in the payload (as in LMAC's
   // data section addressing). Delivered via link broadcast; non-addressed
   // hearers discard without charging reception (they sleep through the
-  // data section).
+  // data section). Callers pass targets in arbitrary (tree) order;
+  // on_message looks them up with binary_search, so sort here.
   Addressed a{std::vector<NodeId>(targets.begin(), targets.end()), msg};
+  std::sort(a.targets.begin(), a.targets.end());
   mac_.broadcast(from, std::move(a));
 }
 

@@ -31,6 +31,10 @@ class LmacTransport final : public Transport, public mac::LinkObserver {
                  const Message& msg) override;
   void broadcast(NodeId from, const Message& msg) override;
   [[nodiscard]] const CostLedger& costs() const override { return ledger_; }
+  /// Writable ledger access so a driver swapping transports mid-run can
+  /// carry an earlier transport's accumulated costs over (the same pattern
+  /// InstantTransport offers for the LossySink swap).
+  CostLedger& mutable_costs() noexcept { return ledger_; }
 
   // --- cross-layer notifications ---------------------------------------------
   using NeighborHandler = std::function<void(NodeId self, NodeId neighbor)>;

@@ -88,6 +88,69 @@ TEST(LmacTransport, MulticastOnlyAddressedTargetsDecode) {
   EXPECT_EQ(r.transport.costs().query_rx, 2);
 }
 
+TEST(LmacTransport, MulticastUnsortedTargetsAllReceiveExactlyOnce) {
+  // Regression: multicast used to copy the caller's target list verbatim
+  // into the Addressed payload while on_message filtered hearers with
+  // std::binary_search — undefined behaviour on an unsorted list that in
+  // practice silently dropped deliveries for callers passing children in
+  // tree order. Every addressed node must decode exactly once; every
+  // non-addressed hearer must charge no reception.
+  Rig r(6);  // centre 0 with leaves 1-5
+  const std::vector<NodeId> targets{4, 1, 3};  // deliberately not sorted
+  r.transport.multicast(0, targets, Message{QueryMessage{}});
+  r.run_frames(2);
+  std::vector<NodeId> receivers;
+  for (const auto& rec : r.sink.delivered) receivers.push_back(rec.to);
+  std::sort(receivers.begin(), receivers.end());
+  EXPECT_EQ(receivers, (std::vector<NodeId>{1, 3, 4}));
+  EXPECT_EQ(r.transport.costs().query_tx, 1);
+  EXPECT_EQ(r.transport.costs().query_rx, 3);
+}
+
+TEST(LmacTransport, LedgerClassifiesEveryMessageKind) {
+  // charge_tx/charge_rx routing: Query and MultiQuery feed the query
+  // counters, Update the update counters, and everything else (EhrMessage,
+  // LocationAnnounce) is control traffic.
+  Rig r(3);
+  r.transport.unicast(1, 0, Message{QueryMessage{}});
+  r.transport.unicast(1, 0, Message{MultiQueryMessage{}});
+  r.transport.unicast(1, 0, Message{UpdateMessage{}});
+  r.transport.unicast(1, 0, Message{EhrMessage{}});
+  r.transport.unicast(1, 0, Message{LocationAnnounce{}});
+  r.run_frames(2);
+  const CostLedger& l = r.transport.costs();
+  EXPECT_EQ(l.query_tx, 2);
+  EXPECT_EQ(l.query_rx, 2);
+  EXPECT_EQ(l.update_tx, 1);
+  EXPECT_EQ(l.update_rx, 1);
+  EXPECT_EQ(l.control_tx, 2);
+  EXPECT_EQ(l.control_rx, 2);
+  EXPECT_EQ(r.sink.delivered.size(), 5u);
+}
+
+TEST(LmacTransport, MulticastLedgerClassification) {
+  // The multicast path routes through the same charge helpers: an Update
+  // multicast to two leaves is 1 update_tx + 2 update_rx, no query units.
+  Rig r(4);
+  const std::vector<NodeId> targets{2, 1};
+  r.transport.multicast(0, targets, Message{UpdateMessage{}});
+  r.run_frames(2);
+  const CostLedger& l = r.transport.costs();
+  EXPECT_EQ(l.update_tx, 1);
+  EXPECT_EQ(l.update_rx, 2);
+  EXPECT_EQ(l.query_tx, 0);
+  EXPECT_EQ(l.control_tx, 0);
+}
+
+TEST(LmacTransport, ObserverForwardingStopsWhenHandlersUnset) {
+  // Without handlers installed the adapter must swallow the MAC's
+  // cross-layer notifications (default-constructed std::function).
+  Rig r(3);
+  r.run_frames(2);
+  r.topo.kill_node(2);
+  EXPECT_NO_FATAL_FAILURE(r.run_frames(r.cfg.timeout_frames + 2));
+}
+
 TEST(LmacTransport, EmptyMulticastIsFree) {
   Rig r(3);
   r.transport.multicast(0, {}, Message{QueryMessage{}});

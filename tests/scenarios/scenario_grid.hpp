@@ -46,4 +46,32 @@ void for_each_cell(Fn&& fn) {
   }
 }
 
+// --- LMAC tier ------------------------------------------------------------
+// Same experiment, but queries and updates ride the TDMA slot schedule
+// (TransportKind::Lmac): one sensing epoch per LMAC frame, multi-frame
+// query dissemination, MAC-timeout death detection. A smaller seed axis
+// keeps the tier fast under asan; the loss axis is shared so CRC loss is
+// exercised on both backends.
+
+inline constexpr std::uint64_t kLmacSeeds[] = {1, 42};
+
+inline core::ExperimentConfig make_lmac_config(std::uint64_t seed,
+                                               std::size_t nodes,
+                                               double loss) {
+  core::ExperimentConfig cfg = make_config(seed, nodes, loss);
+  cfg.transport = core::TransportKind::Lmac;
+  return cfg;
+}
+
+template <typename Fn>
+void for_each_lmac_cell(Fn&& fn) {
+  for (std::uint64_t seed : kLmacSeeds) {
+    for (std::size_t nodes : kNodeCounts) {
+      for (double loss : kLossRates) {
+        fn(seed, nodes, loss);
+      }
+    }
+  }
+}
+
 }  // namespace dirq::scenarios

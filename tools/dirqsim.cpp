@@ -7,6 +7,7 @@
 //     --query-period N    epochs between queries           (default 20)
 //     --relevant F        target involved fraction 0..1    (default 0.4)
 //     --loss F            channel drop probability [0,1)   (default 0)
+//     --mac NAME          transport: instant | lmac        (default instant)
 //     --theta PCT         fixed threshold in % of span     (default: ATC)
 //     --atc               adaptive threshold control       (default)
 //     --sampling F        enable §8 sampling suppression with margin F
@@ -15,6 +16,7 @@
 //
 // Prints a run summary (costs, accuracy, cost ratio vs flooding) — the
 // one-command way to reproduce any cell of the paper's evaluation grid.
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -32,6 +34,8 @@ namespace {
       "  --query-period N  epochs between queries (default 20)\n"
       "  --relevant F      target involved fraction in (0,1] (default 0.4)\n"
       "  --loss F          channel drop probability in [0,1) (default 0)\n"
+      "  --mac NAME        transport backend: instant (default) or lmac\n"
+      "                    (queries/updates ride the TDMA slot schedule)\n"
       "  --theta PCT       fixed threshold, % of sensor span (default: ATC)\n"
       "  --atc             adaptive threshold control (default mode)\n"
       "  --sampling F      enable sampling suppression, margin F of theta\n"
@@ -53,8 +57,53 @@ double parse_double(const char* flag, const char* value) {
   }
 }
 
+/// Strict integer parse: the whole token must be a base-10 integer.
+/// Fractions ("2.5"), trailing junk ("10x"), and overflow are errors —
+/// never silently truncated the way a stod-then-cast would.
 std::int64_t parse_int(const char* flag, const char* value) {
-  return static_cast<std::int64_t>(parse_double(flag, value));
+  if (value == nullptr) {
+    std::cerr << "missing value for " << flag << "\n";
+    usage(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    std::cerr << flag << " expects an integer, got: " << value << "\n";
+    usage(2);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+/// parse_int plus a >= 1 check, for counts where 0 or a negative would
+/// otherwise wrap through a size_t/uint64_t cast into a huge value.
+std::int64_t parse_positive_int(const char* flag, const char* value) {
+  const std::int64_t v = parse_int(flag, value);
+  if (v < 1) {
+    std::cerr << flag << " must be a positive integer, got: " << value << "\n";
+    usage(2);
+  }
+  return v;
+}
+
+/// Strict unsigned parse covering the full uint64 seed domain (strtoll
+/// would reject valid seeds above INT64_MAX). Negatives are an error, not
+/// a wrap: strtoull accepts a leading '-', so check for it explicitly.
+std::uint64_t parse_uint(const char* flag, const char* value) {
+  if (value == nullptr) {
+    std::cerr << "missing value for " << flag << "\n";
+    usage(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      std::string(value).find('-') != std::string::npos) {
+    std::cerr << flag << " expects a non-negative integer, got: " << value
+              << "\n";
+    usage(2);
+  }
+  return static_cast<std::uint64_t>(v);
 }
 
 }  // namespace
@@ -72,17 +121,28 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       usage(0);
     } else if (arg == "--seed") {
-      cfg.seed = static_cast<std::uint64_t>(parse_int("--seed", next));
+      cfg.seed = parse_uint("--seed", next);
       ++i;
     } else if (arg == "--nodes") {
       cfg.placement.node_count =
-          static_cast<std::size_t>(parse_int("--nodes", next));
+          static_cast<std::size_t>(parse_positive_int("--nodes", next));
       ++i;
     } else if (arg == "--epochs") {
-      cfg.epochs = parse_int("--epochs", next);
+      cfg.epochs = parse_positive_int("--epochs", next);
       ++i;
     } else if (arg == "--query-period") {
-      cfg.query_period = parse_int("--query-period", next);
+      cfg.query_period = parse_positive_int("--query-period", next);
+      ++i;
+    } else if (arg == "--mac") {
+      const std::string mac = next != nullptr ? next : "";
+      if (mac == "instant") {
+        cfg.transport = core::TransportKind::Instant;
+      } else if (mac == "lmac") {
+        cfg.transport = core::TransportKind::Lmac;
+      } else {
+        std::cerr << "--mac must be 'instant' or 'lmac', got: " << mac << "\n";
+        return 2;
+      }
       ++i;
     } else if (arg == "--relevant") {
       cfg.relevant_fraction = parse_double("--relevant", next);
@@ -129,12 +189,20 @@ int main(int argc, char** argv) {
   }
 
   cfg.keep_records = false;
-  const core::ExperimentResults res = core::Experiment(cfg).run();
+  core::ExperimentResults res;
+  try {
+    res = core::Experiment(cfg).run();
+  } catch (const std::exception& e) {
+    std::cerr << "dirqsim: " << e.what() << "\n";
+    return 1;
+  }
 
   metrics::Table t({"metric", "value"});
   t.add_row({"mode", cfg.network.mode == core::NetworkConfig::ThetaMode::Atc
                          ? "ATC"
                          : "fixed theta=" + metrics::fmt(cfg.network.fixed_pct, 1) + "%"});
+  t.add_row({"mac", cfg.transport == core::TransportKind::Lmac ? "lmac"
+                                                               : "instant"});
   t.add_row({"seed", std::to_string(cfg.seed)});
   t.add_row({"epochs", std::to_string(cfg.epochs)});
   if (cfg.loss_rate > 0.0) {

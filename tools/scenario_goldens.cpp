@@ -1,31 +1,50 @@
-// Regenerates the golden table embedded in
-// tests/scenarios/scenario_matrix_test.cpp. Run after any *intentional*
-// change to the RNG layout, topology builder, field model, protocol logic,
-// or cost accounting, and paste the output over the kCases initialiser:
+// Regenerates the golden tables embedded in
+// tests/scenarios/scenario_matrix_test.cpp (instant tier) and
+// tests/scenarios/lmac_matrix_test.cpp (LMAC tier). Run after any
+// *intentional* change to the RNG layout, topology builder, field model,
+// protocol logic, MAC behaviour, or cost accounting, and paste each table
+// over the matching kCases initialiser:
 //
 //   cmake --build build --target scenario_goldens
 //   ./build/tools/scenario_goldens
 //
-// The grid and per-cell config come from tests/scenarios/scenario_grid.hpp,
-// shared with the test, so the two cannot drift apart.
+// The grids and per-cell configs come from tests/scenarios/scenario_grid.hpp,
+// shared with the tests, so the three cannot drift apart.
 #include <cstdio>
 
 #include "core/experiment.hpp"
 #include "scenarios/scenario_grid.hpp"
 
+namespace {
+
+void print_row(std::uint64_t seed, std::size_t nodes, double loss,
+               const dirq::core::ExperimentResults& r) {
+  std::printf(
+      "      {%llu, %zu, %.2f, %lld, %lld, %lld, %.10f, %.10f, %.10f},\n",
+      static_cast<unsigned long long>(seed), nodes, loss,
+      static_cast<long long>(r.updates_transmitted),
+      static_cast<long long>(r.ledger.total()),
+      static_cast<long long>(r.flooding_total), r.coverage_pct.mean(),
+      r.overshoot_pct.mean(), r.receive_pct.mean());
+}
+
+}  // namespace
+
 int main() {
   using namespace dirq;
+  std::printf("// instant tier — paste over kCases in scenario_matrix_test.cpp\n");
   scenarios::for_each_cell([](std::uint64_t seed, std::size_t nodes,
                               double loss) {
     const core::ExperimentResults r =
         core::Experiment(scenarios::make_config(seed, nodes, loss)).run();
-    std::printf(
-        "      {%llu, %zu, %.2f, %lld, %lld, %lld, %.10f, %.10f, %.10f},\n",
-        static_cast<unsigned long long>(seed), nodes, loss,
-        static_cast<long long>(r.updates_transmitted),
-        static_cast<long long>(r.ledger.total()),
-        static_cast<long long>(r.flooding_total), r.coverage_pct.mean(),
-        r.overshoot_pct.mean(), r.receive_pct.mean());
+    print_row(seed, nodes, loss, r);
+  });
+  std::printf("// lmac tier — paste over kCases in lmac_matrix_test.cpp\n");
+  scenarios::for_each_lmac_cell([](std::uint64_t seed, std::size_t nodes,
+                                   double loss) {
+    const core::ExperimentResults r =
+        core::Experiment(scenarios::make_lmac_config(seed, nodes, loss)).run();
+    print_row(seed, nodes, loss, r);
   });
   return 0;
 }
