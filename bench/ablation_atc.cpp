@@ -9,37 +9,53 @@ int main() {
   bench::print_header("Ablation A1 — ATC control law",
                       "DESIGN.md Section 4 (design-choice ablation)");
 
-  metrics::Table table({"law", "ratio_vs_flood", "steady_vs_Umax",
-                        "first_hour_updates", "steady_jitter",
-                        "avg_overshoot_%"});
-  for (const bool multiplicative : {true, false}) {
-    core::ExperimentConfig cfg = bench::with_atc(bench::paper_config(), 0.4);
-    cfg.network.atc.law = multiplicative ? core::AtcLaw::Multiplicative
-                                         : core::AtcLaw::Additive;
+  sweep::ExperimentPlan plan("ablation-atc-law", [] {
+    core::ExperimentConfig cfg = sweep::paper_config();
+    sweep::atc().apply(cfg);
+    sweep::relevant(0.4).apply(cfg);
     cfg.keep_records = false;
-    const core::ExperimentResults res = core::Experiment(cfg).run();
+    return cfg;
+  }());
+  plan.axis(sweep::custom_axis(
+      "law", {{"multiplicative",
+               [](core::ExperimentConfig& cfg) {
+                 cfg.network.atc.law = core::AtcLaw::Multiplicative;
+               }},
+              {"additive", [](core::ExperimentConfig& cfg) {
+                 cfg.network.atc.law = core::AtcLaw::Additive;
+               }}}));
 
-    const double umax_per_100 =
-        res.umax_per_hour.back() * 100.0 / kEpochsPerHour;
-    const std::size_t steady_first = kEpochsPerHour / 100;
-    const std::size_t bins = res.updates_per_bin.bin_count();
-    const double steady = res.updates_per_bin.mean_over(steady_first, bins);
-    // Jitter: RMS deviation of per-bin counts from the steady mean.
-    sim::RunningStat dev;
-    for (std::size_t b = steady_first; b < bins; ++b) {
-      dev.push(res.updates_per_bin.bin(b) - steady);
-    }
-    double first_hour = 0.0;
-    for (std::size_t b = 0; b < steady_first && b < bins; ++b) {
-      first_hour += res.updates_per_bin.bin(b);
-    }
-    table.add_row({multiplicative ? "multiplicative" : "additive",
-                   metrics::fmt(res.cost_ratio(), 3),
-                   metrics::fmt(steady / umax_per_100, 3),
-                   metrics::fmt(first_hour, 0), metrics::fmt(dev.stddev(), 1),
-                   metrics::fmt(res.overshoot_pct.mean())});
-  }
-  table.print(std::cout);
+  const std::vector<sweep::CellResult> results = sweep::require_ok(sweep::SweepRunner().run(plan));
+
+  sweep::ConsoleTableSink console(std::cout);
+  sweep::report(
+      {"ablation ATC control law", plan.name(),
+       {"law", "ratio_vs_flood", "steady_vs_Umax", "first_hour_updates",
+        "steady_jitter", "avg_overshoot_%"}},
+      results,
+      [](const sweep::CellResult& r) {
+        const core::ExperimentResults& res = r.results;
+        const double umax_per_100 =
+            res.umax_per_hour.back() * 100.0 / kEpochsPerHour;
+        const std::size_t steady_first = kEpochsPerHour / 100;
+        const std::size_t bins = res.updates_per_bin.bin_count();
+        const double steady = res.updates_per_bin.mean_over(steady_first, bins);
+        // Jitter: RMS deviation of per-bin counts from the steady mean.
+        sim::RunningStat dev;
+        for (std::size_t b = steady_first; b < bins; ++b) {
+          dev.push(res.updates_per_bin.bin(b) - steady);
+        }
+        double first_hour = 0.0;
+        for (std::size_t b = 0; b < steady_first && b < bins; ++b) {
+          first_hour += res.updates_per_bin.bin(b);
+        }
+        return std::vector<std::string>{
+            *r.cell.coordinate("law"), metrics::fmt(res.cost_ratio(), 3),
+            metrics::fmt(steady / umax_per_100, 3), metrics::fmt(first_hour, 0),
+            metrics::fmt(dev.stddev(), 1),
+            metrics::fmt(res.overshoot_pct.mean())};
+      },
+      {&console});
   std::cout << "\n(steady_vs_Umax inside [0.45, 0.55] reproduces Fig. 6's "
                "band for either law)\n";
   return 0;

@@ -10,36 +10,48 @@ int main() {
   bench::print_header("Extension — sampling suppression (paper Section 8)",
                       "the paper's stated future work, implemented");
 
-  core::ExperimentConfig base =
-      bench::with_fixed_theta(bench::paper_config(), 5.0, 0.4);
-  base.keep_records = false;
-  const core::ExperimentResults off = core::Experiment(base).run();
-
-  metrics::Table table({"margin_frac", "samples", "sampling_saved_%",
-                        "updates", "coverage_%", "overshoot_%",
-                        "radio_ratio_vs_flood"});
-  table.add_row({"off", std::to_string(off.samples_taken), "0.00",
-                 std::to_string(off.updates_transmitted),
-                 metrics::fmt(off.coverage_pct.mean()),
-                 metrics::fmt(off.overshoot_pct.mean()),
-                 metrics::fmt(off.cost_ratio(), 3)});
-
+  sweep::ExperimentPlan plan("sampling-margin", [] {
+    core::ExperimentConfig cfg = sweep::paper_config();
+    sweep::fixed_theta(5.0).apply(cfg);
+    sweep::relevant(0.4).apply(cfg);
+    cfg.keep_records = false;
+    return cfg;
+  }());
+  std::vector<sweep::AxisValue> margins{
+      {"off", [](core::ExperimentConfig&) {}}};
   for (double margin : {0.25, 0.5, 1.0, 2.0}) {
-    core::ExperimentConfig cfg = base;
-    cfg.network.sampling.enabled = true;
-    cfg.network.sampling.margin_frac = margin;
-    const core::ExperimentResults res = core::Experiment(cfg).run();
-    const double saved =
-        100.0 * (1.0 - static_cast<double>(res.samples_taken) /
-                           static_cast<double>(off.samples_taken));
-    table.add_row({metrics::fmt(margin), std::to_string(res.samples_taken),
-                   metrics::fmt(saved),
-                   std::to_string(res.updates_transmitted),
-                   metrics::fmt(res.coverage_pct.mean()),
-                   metrics::fmt(res.overshoot_pct.mean()),
-                   metrics::fmt(res.cost_ratio(), 3)});
+    margins.push_back({metrics::fmt(margin), [margin](core::ExperimentConfig& cfg) {
+                         cfg.network.sampling.enabled = true;
+                         cfg.network.sampling.margin_frac = margin;
+                       }});
   }
-  table.print(std::cout);
+  plan.axis(sweep::custom_axis("margin_frac", std::move(margins)));
+
+  const std::vector<sweep::CellResult> results = sweep::require_ok(sweep::SweepRunner().run(plan));
+  // The always-sample baseline is the first cell (margin axis value "off").
+  const double off_samples =
+      static_cast<double>(results.front().results.samples_taken);
+
+  sweep::ConsoleTableSink console(std::cout);
+  sweep::report(
+      {"sampling suppression", plan.name(),
+       {"margin_frac", "samples", "sampling_saved_%", "updates", "coverage_%",
+        "overshoot_%", "radio_ratio_vs_flood"}},
+      results,
+      [off_samples](const sweep::CellResult& r) {
+        const core::ExperimentResults& res = r.results;
+        const double saved =
+            100.0 *
+            (1.0 - static_cast<double>(res.samples_taken) / off_samples);
+        return std::vector<std::string>{
+            *r.cell.coordinate("margin_frac"),
+            std::to_string(res.samples_taken), metrics::fmt(saved),
+            std::to_string(res.updates_transmitted),
+            metrics::fmt(res.coverage_pct.mean()),
+            metrics::fmt(res.overshoot_pct.mean()),
+            metrics::fmt(res.cost_ratio(), 3)};
+      },
+      {&console});
   std::cout << "\nThe predictor trades ADC energy against detection fidelity: "
                "small margins keep\ncoverage at the always-sample level while "
                "already skipping most samples on the\nslow-moving sensor "

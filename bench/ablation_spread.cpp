@@ -10,6 +10,10 @@
 //   clustered-shallow — the 27 nodes nearest the root (depths 1-3, one arm)
 //   clustered-deep    — all 27 leaves of one depth-1 subtree
 //   spread-deep       — 27 leaves spread evenly across the whole leaf level
+//
+// The scenarios run as an explicit-cell ExperimentPlan with a bespoke cell
+// body (a crafted-reading world, not the stochastic §7 experiment); the
+// runner still schedules them and the sinks render the rows.
 #include <vector>
 
 #include "bench_util.hpp"
@@ -20,10 +24,15 @@ namespace {
 
 using namespace dirq;
 
+struct SpreadOutcome {
+  std::size_t sources = 0;
+  std::size_t received = 0;
+  CostUnits cost = 0;
+};
+
 /// Samples crafted readings (sources get 100+i, everyone else 50) and
-/// injects a query covering exactly the sources. Returns (cost, received).
-std::pair<CostUnits, std::size_t> run_scenario(
-    const std::vector<NodeId>& sources) {
+/// injects a query covering exactly the sources.
+SpreadOutcome run_scenario(const std::vector<NodeId>& sources) {
   net::Topology topo = net::knary_tree(3, 4);
   core::NetworkConfig cfg;
   cfg.mode = core::NetworkConfig::ThetaMode::Fixed;
@@ -42,7 +51,7 @@ std::pair<CostUnits, std::size_t> run_scenario(
   }
   const core::QueryOutcome out = net.inject(
       query::RangeQuery{1, kSensorTemperature, 99.0, 300.0, 1}, 1);
-  return {out.cost, out.received.size()};
+  return {sources.size(), out.received.size(), out.cost};
 }
 
 }  // namespace
@@ -71,18 +80,34 @@ int main() {
     spread.push_back(leaves[i]);
   }
 
-  metrics::Table table(
-      {"scenario", "sources", "received", "dissemination_cost"});
-  for (const auto& [label, set] :
-       std::vector<std::pair<const char*, std::vector<NodeId>>>{
-           {"clustered-shallow", shallow},
-           {"clustered-deep", clustered},
-           {"spread-deep", spread}}) {
-    const auto [cost, received] = run_scenario(set);
-    table.add_row({label, std::to_string(set.size()),
-                   std::to_string(received), std::to_string(cost)});
+  const std::vector<std::pair<std::string, std::vector<NodeId>>> scenarios{
+      {"clustered-shallow", shallow},
+      {"clustered-deep", clustered},
+      {"spread-deep", spread}};
+
+  sweep::ExperimentPlan plan("ablation-spread", core::ExperimentConfig{});
+  for (const auto& scenario : scenarios) {
+    plan.cell(scenario.first, [](core::ExperimentConfig&) {});
   }
-  table.print(std::cout);
+
+  const std::vector<SpreadOutcome> outcomes = sweep::SweepRunner().map(
+      plan, [&scenarios](const sweep::PlanCell& cell) {
+        return run_scenario(scenarios[cell.index].second);
+      });
+
+  const sweep::SweepHeader header{
+      "source spread vs cost", plan.name(),
+      {"scenario", "sources", "received", "dissemination_cost"}};
+  sweep::ConsoleTableSink console(std::cout);
+  console.begin(header);
+  const std::vector<sweep::PlanCell> cells = plan.cells();
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    console.row({cells[i].label, std::to_string(outcomes[i].sources),
+                 std::to_string(outcomes[i].received),
+                 std::to_string(outcomes[i].cost)},
+                &cells[i], nullptr);
+  }
+  console.end();
   std::cout << "\nExpected ordering (paper Section 5.2): clustered-shallow < "
                "clustered-deep < spread-deep\n";
   return 0;

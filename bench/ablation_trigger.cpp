@@ -12,28 +12,45 @@ int main() {
   bench::print_header("Ablation A2 — update trigger hysteresis",
                       "DESIGN.md Section 4; paper Section 4.1 / Fig. 3");
 
-  metrics::Table table({"trigger", "updates_total", "update_cost",
-                        "dirq_total", "ratio_vs_flood", "avg_overshoot_%",
-                        "avg_coverage_%"});
-  struct Row {
-    const char* label;
-    double pct;
-  };
-  // 0.05 % of span ~ "any visible change"; the paper sweeps 3/5/9 %.
-  for (const Row row : {Row{"naive (theta~0)", 0.05}, Row{"theta=3%", 3.0},
-                        Row{"theta=5%", 5.0}, Row{"theta=9%", 9.0}}) {
-    core::ExperimentConfig cfg =
-        bench::with_fixed_theta(bench::paper_config(), row.pct, 0.4);
+  sweep::ExperimentPlan plan("ablation-trigger", [] {
+    core::ExperimentConfig cfg = sweep::paper_config();
+    sweep::relevant(0.4).apply(cfg);
     cfg.epochs = 10000;  // half-length run: the contrast is enormous anyway
     cfg.keep_records = false;
-    const core::ExperimentResults res = core::Experiment(cfg).run();
-    table.add_row({row.label, std::to_string(res.updates_transmitted),
-                   std::to_string(res.ledger.update_cost()),
-                   std::to_string(res.ledger.total()),
-                   metrics::fmt(res.cost_ratio(), 3),
-                   metrics::fmt(res.overshoot_pct.mean()),
-                   metrics::fmt(res.coverage_pct.mean())});
-  }
-  table.print(std::cout);
+    return cfg;
+  }());
+  // 0.05 % of span ~ "any visible change"; the paper sweeps 3/5/9 %.
+  plan.axis(sweep::custom_axis(
+      "trigger",
+      {{"naive (theta~0)",
+        [](core::ExperimentConfig& cfg) { sweep::fixed_theta(0.05).apply(cfg); }},
+       {"theta=3%",
+        [](core::ExperimentConfig& cfg) { sweep::fixed_theta(3.0).apply(cfg); }},
+       {"theta=5%",
+        [](core::ExperimentConfig& cfg) { sweep::fixed_theta(5.0).apply(cfg); }},
+       {"theta=9%", [](core::ExperimentConfig& cfg) {
+          sweep::fixed_theta(9.0).apply(cfg);
+        }}}));
+
+  const std::vector<sweep::CellResult> results = sweep::require_ok(sweep::SweepRunner().run(plan));
+
+  sweep::ConsoleTableSink console(std::cout);
+  sweep::report(
+      {"ablation update trigger", plan.name(),
+       {"trigger", "updates_total", "update_cost", "dirq_total",
+        "ratio_vs_flood", "avg_overshoot_%", "avg_coverage_%"}},
+      results,
+      [](const sweep::CellResult& r) {
+        const core::ExperimentResults& res = r.results;
+        return std::vector<std::string>{
+            *r.cell.coordinate("trigger"),
+            std::to_string(res.updates_transmitted),
+            std::to_string(res.ledger.update_cost()),
+            std::to_string(res.ledger.total()),
+            metrics::fmt(res.cost_ratio(), 3),
+            metrics::fmt(res.overshoot_pct.mean()),
+            metrics::fmt(res.coverage_pct.mean())};
+      },
+      {&console});
   return 0;
 }

@@ -1,6 +1,11 @@
 // E5 — Section 5 analytical model: CFTotal, CQDmax, CUDmax and fMax over a
 // (k, d) grid, the paper's worked example (k=2, d=4 -> fMax ~ 0.76), and a
 // cross-check of the closed forms against the simulated flooding baseline.
+//
+// The (k, d) grid runs as an explicit-cell plan through SweepRunner::map —
+// each cell evaluates the closed forms and floods the matching k-ary tree.
+#include <vector>
+
 #include "analysis/cost_model.hpp"
 #include "bench_util.hpp"
 #include "core/flooding.hpp"
@@ -8,35 +13,78 @@
 #include "net/spanning_tree.hpp"
 #include "sim/rng.hpp"
 
+namespace {
+
+using namespace dirq;
+
+struct ModelCell {
+  std::int64_t k = 0, d = 0;
+  std::int64_t nodes = 0;
+  CostUnits cf_total = 0, cqd_max = 0, cud_max = 0;
+  double f_max = 0.0;
+  CostUnits sim_flood = 0;
+};
+
+}  // namespace
+
 int main() {
   using namespace dirq;
   bench::print_header("Section 5 — analytical cost model",
                       "ICPPW'06 DirQ paper, Eqs. (3)-(8), Section 5");
 
-  metrics::Table table({"k", "d", "nodes", "CFTotal", "CQDmax", "CUDmax",
-                        "fMax", "sim_flood"});
+  std::vector<std::pair<std::int64_t, std::int64_t>> grid;
   for (std::int64_t k : {2, 3, 4, 8}) {
     for (std::int64_t d : {1, 2, 3, 4}) {
       if (analysis::tree_nodes(k, d) > 5000) continue;
-      net::Topology topo = net::knary_tree(static_cast<std::size_t>(k),
-                                           static_cast<std::size_t>(d));
-      const core::FloodOutcome flood = core::FloodingScheme(topo).flood_from(0);
-      table.add_row({std::to_string(k), std::to_string(d),
-                     std::to_string(analysis::tree_nodes(k, d)),
-                     std::to_string(analysis::flooding_cost(k, d)),
-                     std::to_string(analysis::cqd_max(k, d)),
-                     std::to_string(analysis::cud_max(k, d)),
-                     metrics::fmt(analysis::f_max(k, d), 4),
-                     std::to_string(flood.cost())});
+      grid.emplace_back(k, d);
     }
   }
-  table.print(std::cout);
+
+  sweep::ExperimentPlan plan("analytical-model", core::ExperimentConfig{});
+  for (const auto& kd : grid) {
+    plan.cell("k=" + std::to_string(kd.first) + " d=" + std::to_string(kd.second),
+              [](core::ExperimentConfig&) {});
+  }
+
+  const std::vector<ModelCell> cells = sweep::SweepRunner().map(
+      plan, [&grid](const sweep::PlanCell& cell) {
+        const auto [k, d] = grid[cell.index];
+        ModelCell out;
+        out.k = k;
+        out.d = d;
+        out.nodes = analysis::tree_nodes(k, d);
+        out.cf_total = analysis::flooding_cost(k, d);
+        out.cqd_max = analysis::cqd_max(k, d);
+        out.cud_max = analysis::cud_max(k, d);
+        out.f_max = analysis::f_max(k, d);
+        net::Topology topo = net::knary_tree(static_cast<std::size_t>(k),
+                                             static_cast<std::size_t>(d));
+        out.sim_flood = core::FloodingScheme(topo).flood_from(0).cost();
+        return out;
+      });
+
+  sweep::ConsoleTableSink console(std::cout);
+  const sweep::SweepHeader header{
+      "analytical cost model (k, d) grid", plan.name(),
+      {"k", "d", "nodes", "CFTotal", "CQDmax", "CUDmax", "fMax", "sim_flood"}};
+  console.begin(header);
+  const std::vector<sweep::PlanCell> plan_cells = plan.cells();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ModelCell& c = cells[i];
+    console.row({std::to_string(c.k), std::to_string(c.d),
+                 std::to_string(c.nodes), std::to_string(c.cf_total),
+                 std::to_string(c.cqd_max), std::to_string(c.cud_max),
+                 metrics::fmt(c.f_max, 4), std::to_string(c.sim_flood)},
+                &plan_cells[i], nullptr);
+  }
+  console.end();
 
   std::cout << "\nPaper worked example (Section 5.3): k=2, d=4 -> fMax = "
             << metrics::fmt(analysis::f_max(2, 4), 4)
             << "  (paper reports ~0.76)\n\n";
 
-  // The runtime bound for the actual evaluation topology (50 random nodes).
+  // The runtime bound for the actual evaluation topology (50 random nodes)
+  // — a single derived listing, not a grid.
   sim::Rng rng(42);
   net::Topology topo = net::random_connected(net::RandomPlacementConfig{}, rng);
   net::SpanningTree tree(topo, 0);

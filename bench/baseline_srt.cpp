@@ -6,72 +6,107 @@
 // sensor values, so selective queries sweep every capable subtree; DirQ
 // pays continuous update traffic to prune by value and wins overall when
 // queries are frequent.
+//
+// Two plans share the relevant-fraction axis: the DirQ cells run the full
+// experiment through the default runner body; the SRT cells replay the
+// identical query stream (same seed -> same topology, environment,
+// workload) against the static index with a bespoke cell body, folding
+// (per-query cost, build cost, flooding total) into the result ledger.
 #include "bench_util.hpp"
 #include "core/srt.hpp"
 #include "net/placement.hpp"
 #include "query/workload.hpp"
 #include "sim/rng.hpp"
 
+namespace {
+
+using namespace dirq;
+
+/// Replays the §7 query stream against the SRT static index. Ledger
+/// mapping: query_tx = per-query dissemination cost, control_tx = one-time
+/// index build cost, flooding_total = the flooding equivalent.
+core::ExperimentResults replay_srt(const core::ExperimentConfig& cfg) {
+  sim::Rng rng(cfg.seed);
+  net::Topology topo = net::random_connected(cfg.placement, rng);
+  data::Environment env(topo, 4, rng.substream("environment"));
+  net::SpanningTree tree(topo, 0);
+  core::SrtScheme srt(topo, tree);
+  query::WorkloadGenerator workload(
+      topo, tree, env, query::WorkloadConfig{cfg.relevant_fraction, 0.02},
+      rng.substream("workload"));
+  const core::FloodingScheme flooding(topo);
+  core::ExperimentResults res;
+  for (std::int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    env.advance_to(epoch);
+    if (epoch % cfg.query_period == 0 && epoch > 0) {
+      const query::RangeQuery q = workload.next(epoch);
+      res.ledger.query_tx += srt.disseminate(q).cost;
+      res.flooding_total += flooding.analytical_cost();
+      ++res.queries;
+    }
+  }
+  res.ledger.control_tx = srt.build_cost();
+  return res;
+}
+
+}  // namespace
+
 int main() {
   using namespace dirq;
   bench::print_header("Baseline — DirQ vs SRT static index vs flooding",
                       "paper Section 2 related-work comparison");
 
-  metrics::Table table({"relevant_%", "scheme", "per_query_cost",
-                        "maintenance_total", "total_cost", "vs_flooding"});
-
-  for (double fraction : {0.2, 0.4, 0.6}) {
-    // DirQ with ATC: full 20k-epoch experiment.
-    core::ExperimentConfig cfg = bench::with_atc(bench::paper_config(), fraction);
+  sweep::ExperimentPlan plan("baseline-srt", [] {
+    core::ExperimentConfig cfg = sweep::paper_config();
+    sweep::atc().apply(cfg);
     cfg.keep_records = false;
-    const core::ExperimentResults dirq = core::Experiment(cfg).run();
-    const double queries = static_cast<double>(dirq.queries);
+    return cfg;
+  }());
+  plan.axis(sweep::paper_relevant_axis());
 
-    // SRT on the identical world: replay the same query stream against the
-    // static index (same seed -> same topology, environment, workload).
-    sim::Rng rng(cfg.seed);
-    net::Topology topo = net::random_connected(cfg.placement, rng);
-    data::Environment env(topo, 4, rng.substream("environment"));
-    net::SpanningTree tree(topo, 0);
-    core::SrtScheme srt(topo, tree);
-    query::WorkloadGenerator workload(topo, tree, env,
-                                      query::WorkloadConfig{fraction, 0.02},
-                                      rng.substream("workload"));
-    CostUnits srt_query_cost = 0;
-    CostUnits flood_total = 0;
-    const core::FloodingScheme flooding(topo);
-    for (std::int64_t epoch = 0; epoch < cfg.epochs; ++epoch) {
-      env.advance_to(epoch);
-      if (epoch % cfg.query_period == 0 && epoch > 0) {
-        const query::RangeQuery q = workload.next(epoch);
-        srt_query_cost += srt.disseminate(q).cost;
-        flood_total += flooding.analytical_cost();
-      }
-    }
+  const sweep::SweepRunner runner;
+  const std::vector<sweep::CellResult> dirq = sweep::require_ok(runner.run(plan));
+  const std::vector<sweep::CellResult> srt = sweep::require_ok(runner.run(
+      plan,
+      [](const sweep::PlanCell& cell) { return replay_srt(cell.config); }));
 
-    const auto pct = metrics::fmt(fraction * 100.0, 0);
-    const CostUnits dirq_total = dirq.ledger.total();
-    const CostUnits srt_total = srt_query_cost + srt.build_cost();
-    table.add_row({pct, "DirQ (ATC)",
-                   metrics::fmt(static_cast<double>(dirq.ledger.query_cost()) / queries),
-                   std::to_string(dirq.ledger.update_cost() +
-                                  dirq.ledger.control_cost()),
-                   std::to_string(dirq_total),
-                   metrics::fmt(static_cast<double>(dirq_total) /
-                                    static_cast<double>(flood_total),
-                                3)});
-    table.add_row({pct, "SRT (static index)",
-                   metrics::fmt(static_cast<double>(srt_query_cost) / queries),
-                   std::to_string(srt.build_cost()),
-                   std::to_string(srt_total),
-                   metrics::fmt(static_cast<double>(srt_total) /
-                                    static_cast<double>(flood_total),
-                                3)});
-    table.add_row({pct, "flooding",
-                   metrics::fmt(static_cast<double>(flood_total) / queries),
-                   "0", std::to_string(flood_total), "1.000"});
+  sweep::ConsoleTableSink console(std::cout);
+  const sweep::SweepHeader header{
+      "DirQ vs SRT vs flooding", plan.name(),
+      {"relevant_%", "scheme", "per_query_cost", "maintenance_total",
+       "total_cost", "vs_flooding"}};
+  console.begin(header);
+  for (std::size_t i = 0; i < dirq.size(); ++i) {
+    const std::string pct = *dirq[i].cell.coordinate("relevant");
+    const core::ExperimentResults& d = dirq[i].results;
+    const core::ExperimentResults& s = srt[i].results;
+    const auto queries = static_cast<double>(d.queries);
+    const CostUnits flood_total = s.flooding_total;
+    const CostUnits dirq_total = d.ledger.total();
+    const CostUnits srt_total = s.ledger.query_cost() + s.ledger.control_cost();
+    console.row(
+        {pct, "DirQ (ATC)",
+         metrics::fmt(static_cast<double>(d.ledger.query_cost()) / queries),
+         std::to_string(d.ledger.update_cost() + d.ledger.control_cost()),
+         std::to_string(dirq_total),
+         metrics::fmt(static_cast<double>(dirq_total) /
+                          static_cast<double>(flood_total),
+                      3)},
+        &dirq[i].cell, &dirq[i]);
+    console.row(
+        {pct, "SRT (static index)",
+         metrics::fmt(static_cast<double>(s.ledger.query_cost()) / queries),
+         std::to_string(s.ledger.control_cost()), std::to_string(srt_total),
+         metrics::fmt(static_cast<double>(srt_total) /
+                          static_cast<double>(flood_total),
+                      3)},
+        &srt[i].cell, &srt[i]);
+    console.row({pct, "flooding",
+                 metrics::fmt(static_cast<double>(flood_total) / queries), "0",
+                 std::to_string(flood_total), "1.000"},
+                &srt[i].cell, nullptr);
   }
-  table.print(std::cout);
+  console.end();
   std::cout << "\nSRT pays almost nothing in maintenance but sweeps every "
                "type-capable subtree per\nquery; DirQ's update traffic buys "
                "value-based pruning. The paper's §2 positioning\n(SRT for "

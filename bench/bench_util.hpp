@@ -1,4 +1,9 @@
 // Shared helpers for the figure-reproduction benches.
+//
+// The §7 configuration vocabulary (paper_config, theta/relevant axes) lives
+// in sweep/plan.hpp so the grid is defined in exactly one place; benches
+// declare an ExperimentPlan, run it through SweepRunner, and render rows
+// through ResultSinks.
 #pragma once
 
 #include <iostream>
@@ -6,33 +11,11 @@
 
 #include "core/experiment.hpp"
 #include "metrics/report.hpp"
+#include "sweep/plan.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/sink.hpp"
 
 namespace dirq::bench {
-
-/// The paper's §7 configuration: 50 nodes, 20 000 epochs, one query per
-/// 20 epochs. Callers override the theta mode and relevant fraction.
-inline core::ExperimentConfig paper_config(std::uint64_t seed = 42) {
-  core::ExperimentConfig cfg;
-  cfg.seed = seed;
-  cfg.epochs = 20000;
-  cfg.query_period = 20;
-  return cfg;
-}
-
-inline core::ExperimentConfig with_fixed_theta(core::ExperimentConfig cfg,
-                                               double pct, double fraction) {
-  cfg.network.mode = core::NetworkConfig::ThetaMode::Fixed;
-  cfg.network.fixed_pct = pct;
-  cfg.relevant_fraction = fraction;
-  return cfg;
-}
-
-inline core::ExperimentConfig with_atc(core::ExperimentConfig cfg,
-                                       double fraction) {
-  cfg.network.mode = core::NetworkConfig::ThetaMode::Atc;
-  cfg.relevant_fraction = fraction;
-  return cfg;
-}
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
   std::cout << "==============================================================\n"

@@ -7,6 +7,8 @@
 // control) against flooding the identical query stream. Fixed-theta rows
 // are included to show why ATC is needed (a small fixed theta can exceed
 // flooding, paper §7.2).
+#include <algorithm>
+
 #include "bench_util.hpp"
 
 int main() {
@@ -15,47 +17,59 @@ int main() {
       "Headline — DirQ cost as a fraction of flooding",
       "ICPPW'06 DirQ paper abstract, Sections 6-7 (45-55% band)");
 
-  metrics::Table table({"mode", "relevant_%", "query_cost", "update_cost",
-                        "control_cost", "dirq_total", "flood_total",
-                        "ratio", "avg_overshoot_%"});
-  metrics::TsvBlock tsv("cost ratio vs flooding",
-                        {"mode", "relevant_pct", "ratio", "overshoot_pct"});
-
-  auto run_row = [&](const std::string& mode, core::ExperimentConfig cfg,
-                     double fraction) {
+  sweep::ExperimentPlan plan("cost-ratio", [] {
+    core::ExperimentConfig cfg = sweep::paper_config();
     cfg.keep_records = false;
-    const core::ExperimentResults res = core::Experiment(cfg).run();
-    table.add_row({mode, metrics::fmt(fraction * 100.0, 0),
-                   std::to_string(res.ledger.query_cost()),
-                   std::to_string(res.ledger.update_cost()),
-                   std::to_string(res.ledger.control_cost()),
-                   std::to_string(res.ledger.total()),
-                   std::to_string(res.flooding_total),
-                   metrics::fmt(res.cost_ratio(), 3),
-                   metrics::fmt(res.overshoot_pct.mean())});
-    tsv.add_row({mode, metrics::fmt(fraction * 100.0, 0),
-                 metrics::fmt(res.cost_ratio(), 4),
-                 metrics::fmt(res.overshoot_pct.mean(), 4)});
-    return res.cost_ratio();
+    return cfg;
+  }());
+  plan.axis(sweep::theta_axis({sweep::atc(), sweep::fixed_theta(3.0)}))
+      .axis(sweep::paper_relevant_axis());
+
+  const std::vector<sweep::CellResult> results = sweep::require_ok(sweep::SweepRunner().run(plan));
+
+  const auto mapper = [](const sweep::CellResult& r) {
+    const core::ExperimentResults& res = r.results;
+    return std::vector<std::string>{
+        *r.cell.coordinate("theta"),
+        *r.cell.coordinate("relevant"),
+        std::to_string(res.ledger.query_cost()),
+        std::to_string(res.ledger.update_cost()),
+        std::to_string(res.ledger.control_cost()),
+        std::to_string(res.ledger.total()),
+        std::to_string(res.flooding_total),
+        metrics::fmt(res.cost_ratio(), 3),
+        metrics::fmt(res.overshoot_pct.mean())};
   };
 
+  sweep::ConsoleTableSink console(std::cout);
+  sweep::report({"cost ratio vs flooding", plan.name(),
+                 {"mode", "relevant_%", "query_cost", "update_cost",
+                  "control_cost", "dirq_total", "flood_total", "ratio",
+                  "avg_overshoot_%"}},
+                results, mapper, {&console});
+
   double atc_lo = 1e9, atc_hi = 0.0;
-  for (double fraction : {0.2, 0.4, 0.6}) {
-    const double r = run_row(
-        "ATC", bench::with_atc(bench::paper_config(), fraction), fraction);
-    atc_lo = std::min(atc_lo, r);
-    atc_hi = std::max(atc_hi, r);
+  for (const sweep::CellResult& r : results) {
+    if (r.ok() && *r.cell.coordinate("theta") == "ATC") {
+      atc_lo = std::min(atc_lo, r.results.cost_ratio());
+      atc_hi = std::max(atc_hi, r.results.cost_ratio());
+    }
   }
-  for (double fraction : {0.2, 0.4, 0.6}) {
-    run_row("fixed delta=3%",
-            bench::with_fixed_theta(bench::paper_config(), 3.0, fraction),
-            fraction);
-  }
-  table.print(std::cout);
   std::cout << "\nPaper: DirQ (ATC) spends 45-55% the cost of flooding -> "
                "measured ATC ratios span ["
             << metrics::fmt(atc_lo, 3) << ", " << metrics::fmt(atc_hi, 3)
             << "]\n\n";
-  tsv.print(std::cout);
+
+  sweep::TsvSink tsv(std::cout);
+  sweep::report({"cost ratio vs flooding", plan.name(),
+                 {"mode", "relevant_pct", "ratio", "overshoot_pct"}},
+                results,
+                [](const sweep::CellResult& r) {
+                  return std::vector<std::string>{
+                      *r.cell.coordinate("theta"), *r.cell.coordinate("relevant"),
+                      metrics::fmt(r.results.cost_ratio(), 4),
+                      metrics::fmt(r.results.overshoot_pct.mean(), 4)};
+                },
+                {&tsv});
   return 0;
 }

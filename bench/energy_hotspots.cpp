@@ -2,22 +2,23 @@
 //
 // A sensor network dies when its hottest node does, so the shape of the
 // energy distribution matters as much as the total. This bench runs the
-// standard ATC workload and compares DirQ's per-node radio energy against
-// the flooding equivalent (where every node pays 1 tx + degree rx per
-// query, uniformly mandatory).
+// standard ATC workload (one plan cell through the sweep runner — the
+// per-node radio attribution now lives in ExperimentResults::node_tx/rx)
+// and compares DirQ's per-node radio energy against the flooding
+// equivalent (where every node pays 1 tx + degree rx per query, uniformly
+// mandatory).
 //
 // Expected shape: DirQ concentrates load near the root (forwarders relay
 // both queries and updates), but its hottest node still spends far less
 // than flooding's uniform per-node cost — so lifetime improves by more
 // than the average saving alone would suggest.
 #include <algorithm>
+#include <tuple>
+#include <vector>
 
 #include "bench_util.hpp"
-#include "core/flooding.hpp"
-#include "data/field_model.hpp"
 #include "net/placement.hpp"
-#include "query/rate_predictor.hpp"
-#include "query/workload.hpp"
+#include "net/spanning_tree.hpp"
 #include "sim/rng.hpp"
 
 int main() {
@@ -25,43 +26,33 @@ int main() {
   bench::print_header("Extension — per-node energy / network lifetime",
                       "DirQ motivation (energy): hottest-node comparison");
 
-  // Run the driver manually so we can read per-node counters at the end.
-  const std::uint64_t seed = 42;
-  sim::Rng rng(seed);
-  net::Topology topo = net::random_connected(net::RandomPlacementConfig{}, rng);
-  data::Environment env(topo, 4, rng.substream("environment"));
-  core::NetworkConfig ncfg;
-  ncfg.mode = core::NetworkConfig::ThetaMode::Atc;
-  core::DirqNetwork net(topo, 0, ncfg);
-  query::WorkloadGenerator workload(topo, net.tree(), env,
-                                    query::WorkloadConfig{0.4, 0.02},
-                                    rng.substream("workload"));
-  query::QueryRatePredictor predictor(0.4, kEpochsPerHour);
-  const std::int64_t epochs = 20000;
-  std::int64_t queries = 0;
-  for (std::int64_t e = 0; e < epochs; ++e) {
-    env.advance_to(e);
-    if (e % kEpochsPerHour == 0) {
-      net.broadcast_ehr(predictor.completed_hours() > 0
-                            ? predictor.predict_next_hour()
-                            : 180.0,
-                        e);
-    }
-    net.process_epoch(env, e);
-    if (e % 20 == 0 && e > 0) {
-      (void)net.inject(workload.next(e), e);
-      predictor.record_query(e);
-      ++queries;
-    }
-  }
+  sweep::ExperimentPlan plan("energy-hotspots", [] {
+    core::ExperimentConfig cfg = sweep::paper_config();
+    sweep::atc().apply(cfg);
+    sweep::relevant(0.4).apply(cfg);
+    cfg.keep_records = false;
+    return cfg;
+  }());
+  plan.cell("ATC relevant=40%", [](core::ExperimentConfig&) {});
+
+  const std::vector<sweep::CellResult> results = sweep::require_ok(sweep::SweepRunner().run(plan));
+  const core::ExperimentResults& res = results.front().results;
+  const core::ExperimentConfig& cfg = results.front().cell.config;
+
+  // The experiment derives its world deterministically from the seed;
+  // rebuild the same topology/tree for the degree and depth breakdowns.
+  sim::Rng rng(cfg.seed);
+  net::Topology topo = net::random_connected(cfg.placement, rng);
+  net::SpanningTree tree(topo, 0);
 
   // Flooding equivalent per node: every query costs each node 1 tx +
   // degree(n) rx (every neighbour's broadcast is heard).
   std::vector<double> dirq_energy, flood_energy;
   for (NodeId u = 0; u < topo.size(); ++u) {
-    dirq_energy.push_back(static_cast<double>(net.node_energy(u)));
-    flood_energy.push_back(static_cast<double>(queries) *
-                           (1.0 + static_cast<double>(topo.neighbors(u).size())));
+    dirq_energy.push_back(static_cast<double>(res.node_tx[u] + res.node_rx[u]));
+    flood_energy.push_back(
+        static_cast<double>(res.queries) *
+        (1.0 + static_cast<double>(topo.neighbors(u).size())));
   }
 
   auto stats = [](std::vector<double> v) {
@@ -77,22 +68,27 @@ int main() {
   const auto [d_mean, d_med, d_max] = stats(dirq_energy);
   const auto [f_mean, f_med, f_max] = stats(flood_energy);
 
-  metrics::Table t({"scheme", "mean/node", "median/node", "hottest node",
-                    "lifetime_gain"});
-  t.add_row({"flooding", metrics::fmt(f_mean, 0), metrics::fmt(f_med, 0),
-             metrics::fmt(f_max, 0), "1.00x"});
-  t.add_row({"DirQ (ATC)", metrics::fmt(d_mean, 0), metrics::fmt(d_med, 0),
-             metrics::fmt(d_max, 0), metrics::fmt(f_max / d_max, 2) + "x"});
-  t.print(std::cout);
+  sweep::ConsoleTableSink console(std::cout);
+  const sweep::SweepHeader header{
+      "per-node energy", plan.name(),
+      {"scheme", "mean/node", "median/node", "hottest node", "lifetime_gain"}};
+  console.begin(header);
+  console.row({"flooding", metrics::fmt(f_mean, 0), metrics::fmt(f_med, 0),
+               metrics::fmt(f_max, 0), "1.00x"},
+              &results.front().cell, nullptr);
+  console.row({"DirQ (ATC)", metrics::fmt(d_mean, 0), metrics::fmt(d_med, 0),
+               metrics::fmt(d_max, 0), metrics::fmt(f_max / d_max, 2) + "x"},
+              &results.front().cell, &results.front());
+  console.end();
 
   // Energy by tree depth: where the hotspots live.
   std::cout << "\nDirQ energy by tree depth (relay burden concentrates near "
                "the root):\n";
   metrics::Table d({"depth", "nodes", "mean_energy", "max_energy"});
-  for (int depth = 0; depth <= net.tree().max_depth(); ++depth) {
+  for (int depth = 0; depth <= tree.max_depth(); ++depth) {
     sim::RunningStat s;
-    for (NodeId u : net.tree().nodes_at_depth(depth)) {
-      s.push(static_cast<double>(net.node_energy(u)));
+    for (NodeId u : tree.nodes_at_depth(depth)) {
+      s.push(static_cast<double>(res.node_tx[u] + res.node_rx[u]));
     }
     if (s.count() == 0) continue;
     d.add_row({std::to_string(depth), std::to_string(s.count()),

@@ -19,33 +19,62 @@ int main() {
                       "ICPPW'06 DirQ paper, Figure 5(a)/(b), Section 7.1");
 
   for (double fraction : {0.2, 0.4, 0.6}) {
-    metrics::Table table({"theta_pct", "should_%", "receive_%", "source_%",
-                          "should_not_%", "overshoot_%"});
-    metrics::TsvBlock tsv(
-        "fig5 relevant=" + metrics::fmt(fraction * 100.0, 0) + "%",
-        {"theta_pct", "should_pct", "receive_pct", "source_pct", "wrong_pct",
-         "overshoot_pct"});
+    sweep::ExperimentPlan plan(
+        "fig5-relevant-" + metrics::fmt(fraction * 100.0, 0), [fraction] {
+          core::ExperimentConfig cfg = sweep::paper_config();
+          sweep::relevant(fraction).apply(cfg);
+          cfg.keep_records = false;
+          return cfg;
+        }());
+    std::vector<sweep::AxisValue> thetas;
     for (int theta = 1; theta <= 9; ++theta) {
-      core::ExperimentConfig cfg = bench::with_fixed_theta(
-          bench::paper_config(), static_cast<double>(theta), fraction);
-      cfg.keep_records = false;
-      const core::ExperimentResults res = core::Experiment(cfg).run();
-      table.add_row({metrics::fmt(theta, 0), metrics::fmt(res.should_pct.mean()),
-                     metrics::fmt(res.receive_pct.mean()),
-                     metrics::fmt(res.source_pct.mean()),
-                     metrics::fmt(res.wrong_pct.mean()),
-                     metrics::fmt(res.overshoot_pct.mean())});
-      tsv.add_row({metrics::fmt(theta, 0), metrics::fmt(res.should_pct.mean(), 4),
-                   metrics::fmt(res.receive_pct.mean(), 4),
-                   metrics::fmt(res.source_pct.mean(), 4),
-                   metrics::fmt(res.wrong_pct.mean(), 4),
-                   metrics::fmt(res.overshoot_pct.mean(), 4)});
+      thetas.push_back(sweep::fixed_theta(static_cast<double>(theta)));
     }
+    plan.axis(sweep::theta_axis(std::move(thetas)));
+
+    const std::vector<sweep::CellResult> results =
+        sweep::require_ok(sweep::SweepRunner().run(plan));
+
     std::cout << "Percentage of relevant nodes = "
               << metrics::fmt(fraction * 100.0, 0) << "%\n";
-    table.print(std::cout);
+    sweep::ConsoleTableSink console(std::cout);
+    sweep::report(
+        {"fig5 relevant=" + metrics::fmt(fraction * 100.0, 0) + "%",
+         plan.name(),
+         {"theta_pct", "should_%", "receive_%", "source_%", "should_not_%",
+          "overshoot_%"}},
+        results,
+        [](const sweep::CellResult& r) {
+          const core::ExperimentResults& res = r.results;
+          return std::vector<std::string>{
+              metrics::fmt(r.cell.config.network.fixed_pct, 0),
+              metrics::fmt(res.should_pct.mean()),
+              metrics::fmt(res.receive_pct.mean()),
+              metrics::fmt(res.source_pct.mean()),
+              metrics::fmt(res.wrong_pct.mean()),
+              metrics::fmt(res.overshoot_pct.mean())};
+        },
+        {&console});
     std::cout << '\n';
-    tsv.print(std::cout);
+
+    sweep::TsvSink tsv(std::cout);
+    sweep::report(
+        {"fig5 relevant=" + metrics::fmt(fraction * 100.0, 0) + "%",
+         plan.name(),
+         {"theta_pct", "should_pct", "receive_pct", "source_pct", "wrong_pct",
+          "overshoot_pct"}},
+        results,
+        [](const sweep::CellResult& r) {
+          const core::ExperimentResults& res = r.results;
+          return std::vector<std::string>{
+              metrics::fmt(r.cell.config.network.fixed_pct, 0),
+              metrics::fmt(res.should_pct.mean(), 4),
+              metrics::fmt(res.receive_pct.mean(), 4),
+              metrics::fmt(res.source_pct.mean(), 4),
+              metrics::fmt(res.wrong_pct.mean(), 4),
+              metrics::fmt(res.overshoot_pct.mean(), 4)};
+        },
+        {&tsv});
   }
   return 0;
 }

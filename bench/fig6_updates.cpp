@@ -5,8 +5,6 @@
 //
 // Paper shape: small fixed thetas run far above the budget lines; ATC
 // settles the transmission rate into the 45-55 % band.
-#include <map>
-
 #include "bench_util.hpp"
 
 int main() {
@@ -15,30 +13,34 @@ int main() {
                       "ICPPW'06 DirQ paper, Figure 6, Section 7.2");
 
   constexpr double kFraction = 0.4;
-  const std::vector<std::string> labels{"delta=3%", "delta=5%", "delta=9%",
-                                        "delta=ATC"};
-  std::map<std::string, core::ExperimentResults> results;
-  results.emplace(labels[0],
-                  core::Experiment(bench::with_fixed_theta(
-                                       bench::paper_config(), 3.0, kFraction))
-                      .run());
-  results.emplace(labels[1],
-                  core::Experiment(bench::with_fixed_theta(
-                                       bench::paper_config(), 5.0, kFraction))
-                      .run());
-  results.emplace(labels[2],
-                  core::Experiment(bench::with_fixed_theta(
-                                       bench::paper_config(), 9.0, kFraction))
-                      .run());
-  results.emplace(labels[3],
-                  core::Experiment(
-                      bench::with_atc(bench::paper_config(), kFraction))
-                      .run());
+  // One plan covers both outputs: the theta comparison at 40 % relevant
+  // nodes and the ATC band position across 20/40/60 %. The fixed-theta
+  // cells run at 40 % only; the ATC cells run at all three fractions.
+  sweep::ExperimentPlan plan("fig6-updates", sweep::paper_config());
+  for (double pct : {3.0, 5.0, 9.0}) {
+    plan.cell("delta=" + metrics::fmt(pct, 0) + "%",
+              [pct](core::ExperimentConfig& cfg) {
+                sweep::fixed_theta(pct).apply(cfg);
+                sweep::relevant(kFraction).apply(cfg);
+              });
+  }
+  for (double fraction : {0.2, 0.4, 0.6}) {
+    plan.cell("delta=ATC relevant=" + metrics::fmt(fraction * 100.0, 0) + "%",
+              [fraction](core::ExperimentConfig& cfg) {
+                sweep::atc().apply(cfg);
+                sweep::relevant(fraction).apply(cfg);
+              });
+  }
 
-  const core::ExperimentResults& atc = results.at(labels[3]);
+  const std::vector<sweep::CellResult> results = sweep::require_ok(sweep::SweepRunner().run(plan));
+  const auto& delta3 = results[0].results;
+  const auto& delta5 = results[1].results;
+  const auto& delta9 = results[2].results;
+  const auto& atc40 = results[4].results;  // ATC at the 40 % setting
+
   // Hour-1+ Umax: the hour-0 value uses the operator prior; later hours use
   // the predictor. They coincide when the workload is steady.
-  const double umax_hr = atc.umax_per_hour.back();
+  const double umax_hr = atc40.umax_per_hour.back();
   const double umax_per_100 = umax_hr * 100.0 / kEpochsPerHour;
 
   std::cout << "Percentage of relevant nodes = 40%\n"
@@ -50,54 +52,65 @@ int main() {
             << "0.45*Umax/Hr      = " << metrics::fmt(0.45 * umax_per_100)
             << " per 100 epochs\n\n";
 
-  metrics::Table summary({"series", "updates_total", "mean_per_100ep",
-                          "steady_mean_per_100ep", "vs_Umax"});
   // "Steady" skips the first simulated hour (ATC convergence window).
   const std::size_t steady_first = kEpochsPerHour / 100;
-  for (const std::string& label : labels) {
-    const core::ExperimentResults& r = results.at(label);
-    const std::size_t bins = r.updates_per_bin.bin_count();
-    const double mean = r.updates_per_bin.mean_over(0, bins);
-    const double steady = r.updates_per_bin.mean_over(steady_first, bins);
-    summary.add_row({label, metrics::fmt(r.updates_per_bin.total(), 0),
-                     metrics::fmt(mean), metrics::fmt(steady),
-                     metrics::fmt(steady / umax_per_100, 3)});
-  }
-  summary.print(std::cout);
+  const std::vector<sweep::CellResult> forty{results[0], results[1],
+                                             results[2], results[4]};
+  sweep::ConsoleTableSink console(std::cout);
+  sweep::report(
+      {"fig6 update traffic, relevant=40%", plan.name(),
+       {"series", "updates_total", "mean_per_100ep", "steady_mean_per_100ep",
+        "vs_Umax"}},
+      forty,
+      [&](const sweep::CellResult& r) {
+        const core::ExperimentResults& res = r.results;
+        const std::size_t bins = res.updates_per_bin.bin_count();
+        const double mean = res.updates_per_bin.mean_over(0, bins);
+        const double steady = res.updates_per_bin.mean_over(steady_first, bins);
+        const std::string series =
+            r.cell.label.substr(0, r.cell.label.find(' '));
+        return std::vector<std::string>{
+            series, metrics::fmt(res.updates_per_bin.total(), 0),
+            metrics::fmt(mean), metrics::fmt(steady),
+            metrics::fmt(steady / umax_per_100, 3)};
+      },
+      {&console});
   std::cout << "\n(vs_Umax is the steady-state fraction of the Umax/Hr "
                "budget; the paper's ATC band is 0.45-0.55)\n\n";
 
   // Paper: "The performance remains constant for varying percentages of
   // relevant nodes" — the ATC band does not depend on the query mix.
-  metrics::Table across({"relevant_%", "atc_steady_per_100ep", "vs_Umax"});
-  for (double fraction : {0.2, 0.4, 0.6}) {
-    const core::ExperimentResults r =
-        fraction == kFraction
-            ? core::ExperimentResults{}  // placeholder, replaced below
-            : core::Experiment(bench::with_atc(bench::paper_config(), fraction))
-                  .run();
-    const core::ExperimentResults& use =
-        fraction == kFraction ? results.at(labels[3]) : r;
-    const double steady = use.updates_per_bin.mean_over(
-        steady_first, use.updates_per_bin.bin_count());
-    across.add_row({metrics::fmt(fraction * 100.0, 0), metrics::fmt(steady),
-                    metrics::fmt(steady / umax_per_100, 3)});
-  }
+  const std::vector<sweep::CellResult> atc_cells{results[3], results[4],
+                                                 results[5]};
   std::cout << "ATC band position across relevant-node percentages (paper: "
                "constant):\n";
-  across.print(std::cout);
+  sweep::report(
+      {"fig6 ATC band vs relevant fraction", plan.name(),
+       {"relevant_%", "atc_steady_per_100ep", "vs_Umax"}},
+      atc_cells,
+      [&](const sweep::CellResult& r) {
+        const core::ExperimentResults& res = r.results;
+        const double steady = res.updates_per_bin.mean_over(
+            steady_first, res.updates_per_bin.bin_count());
+        return std::vector<std::string>{
+            metrics::fmt(r.cell.config.relevant_fraction * 100.0, 0),
+            metrics::fmt(steady), metrics::fmt(steady / umax_per_100, 3)};
+      },
+      {&console});
   std::cout << '\n';
 
+  // Figure series: per-bin values across the four 40 %-relevant runs — a
+  // transposed (one column per cell) emission, not a grid loop.
   metrics::TsvBlock tsv("fig6 update msgs per 100 epochs, relevant=40%",
                         {"epoch", "delta3", "delta5", "delta9", "atc",
                          "umax", "umax055", "umax045"});
   const std::size_t nbins = 20000 / 100;
   for (std::size_t b = 0; b < nbins; ++b) {
     tsv.add_row({std::to_string(b * 100),
-                 metrics::fmt(results.at(labels[0]).updates_per_bin.bin(b), 0),
-                 metrics::fmt(results.at(labels[1]).updates_per_bin.bin(b), 0),
-                 metrics::fmt(results.at(labels[2]).updates_per_bin.bin(b), 0),
-                 metrics::fmt(results.at(labels[3]).updates_per_bin.bin(b), 0),
+                 metrics::fmt(delta3.updates_per_bin.bin(b), 0),
+                 metrics::fmt(delta5.updates_per_bin.bin(b), 0),
+                 metrics::fmt(delta9.updates_per_bin.bin(b), 0),
+                 metrics::fmt(atc40.updates_per_bin.bin(b), 0),
                  metrics::fmt(umax_per_100), metrics::fmt(0.55 * umax_per_100),
                  metrics::fmt(0.45 * umax_per_100)});
   }

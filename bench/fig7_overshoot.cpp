@@ -4,7 +4,7 @@
 //
 // Paper shape: overshoot ordering 9% > 5% > 3% ~ ATC; ATC's average stays
 // in the low single digits despite its update throttling.
-#include <map>
+#include <vector>
 
 #include "bench_util.hpp"
 
@@ -14,39 +14,32 @@ int main() {
                       "ICPPW'06 DirQ paper, Figure 7, Section 7.2");
 
   constexpr double kFraction = 0.2;
-  const std::vector<std::string> labels{"delta=3%", "delta=5%", "delta=9%",
-                                        "delta=ATC"};
-  std::map<std::string, core::ExperimentResults> results;
-  results.emplace(labels[0],
-                  core::Experiment(bench::with_fixed_theta(
-                                       bench::paper_config(), 3.0, kFraction))
-                      .run());
-  results.emplace(labels[1],
-                  core::Experiment(bench::with_fixed_theta(
-                                       bench::paper_config(), 5.0, kFraction))
-                      .run());
-  results.emplace(labels[2],
-                  core::Experiment(bench::with_fixed_theta(
-                                       bench::paper_config(), 9.0, kFraction))
-                      .run());
-  results.emplace(labels[3],
-                  core::Experiment(
-                      bench::with_atc(bench::paper_config(), kFraction))
-                      .run());
+  sweep::ExperimentPlan plan("fig7-overshoot", [] {
+    core::ExperimentConfig cfg = sweep::paper_config();
+    sweep::relevant(kFraction).apply(cfg);
+    return cfg;  // keep_records stays on: the time series needs per-query rows
+  }());
+  plan.axis(sweep::paper_theta_axis());
+
+  const std::vector<sweep::CellResult> results = sweep::require_ok(sweep::SweepRunner().run(plan));
 
   std::cout << "Percentage of relevant nodes = 20%\n\n";
-  metrics::Table summary({"series", "delivery_overshoot_%", "wrong_of_pop_%",
-                          "src_overshoot_%", "delivery_coverage_%",
-                          "src_coverage_%"});
-  for (const std::string& label : labels) {
-    const core::ExperimentResults& r = results.at(label);
-    summary.add_row({label, metrics::fmt(r.overshoot_pct.mean()),
-                     metrics::fmt(r.wrong_pct.mean()),
-                     metrics::fmt(r.source_overshoot_pct.mean()),
-                     metrics::fmt(r.coverage_pct.mean()),
-                     metrics::fmt(r.source_coverage_pct.mean())});
-  }
-  summary.print(std::cout);
+  sweep::ConsoleTableSink console(std::cout);
+  sweep::report(
+      {"fig7 overshoot summary, relevant=20%", plan.name(),
+       {"series", "delivery_overshoot_%", "wrong_of_pop_%", "src_overshoot_%",
+        "delivery_coverage_%", "src_coverage_%"}},
+      results,
+      [](const sweep::CellResult& r) {
+        const core::ExperimentResults& res = r.results;
+        return std::vector<std::string>{
+            *r.cell.coordinate("theta"), metrics::fmt(res.overshoot_pct.mean()),
+            metrics::fmt(res.wrong_pct.mean()),
+            metrics::fmt(res.source_overshoot_pct.mean()),
+            metrics::fmt(res.coverage_pct.mean()),
+            metrics::fmt(res.source_coverage_pct.mean())};
+      },
+      {&console});
   std::cout
       << "\nPaper headline: ATC average overshoot ~3.6%. Overshoot metric "
          "definitions are\ndiscussed in EXPERIMENTS.md (the paper's exact "
@@ -54,26 +47,28 @@ int main() {
          "is the ordering delta=9% > 5% > ATC ~ 3% and the\npopulation-"
          "normalised column staying in single digits for small theta.\n\n";
 
-  // Time series: mean overshoot per 500-epoch window (25 queries each).
-  metrics::TsvBlock tsv("fig7 overshoot %, relevant=20%",
-                        {"epoch", "delta3", "delta5", "delta9", "atc"});
+  // Time series: mean overshoot per 500-epoch window (25 queries each) —
+  // one column per cell, from the kept per-query records.
   constexpr std::int64_t kWindow = 500;
-  std::map<std::string, std::vector<double>> series;
-  std::map<std::string, std::vector<int>> counts;
-  for (const std::string& label : labels) {
-    series[label].assign(20000 / kWindow, 0.0);
-    counts[label].assign(20000 / kWindow, 0);
-    for (const core::QueryRecord& rec : results.at(label).records) {
+  const std::size_t windows = 20000 / kWindow;
+  std::vector<std::vector<double>> sums(results.size());
+  std::vector<std::vector<int>> counts(results.size());
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    sums[c].assign(windows, 0.0);
+    counts[c].assign(windows, 0);
+    for (const core::QueryRecord& rec : results[c].results.records) {
       const auto w = static_cast<std::size_t>(rec.epoch / kWindow);
-      series[label][w] += rec.audit.overshoot_pct();
-      counts[label][w] += 1;
+      sums[c][w] += rec.audit.overshoot_pct();
+      counts[c][w] += 1;
     }
   }
-  for (std::size_t w = 0; w < 20000 / kWindow; ++w) {
+  metrics::TsvBlock tsv("fig7 overshoot %, relevant=20%",
+                        {"epoch", "atc", "delta3", "delta5", "delta9"});
+  for (std::size_t w = 0; w < windows; ++w) {
     std::vector<std::string> row{std::to_string(w * kWindow)};
-    for (const std::string& label : labels) {
-      const int n = counts[label][w];
-      row.push_back(metrics::fmt(n ? series[label][w] / n : 0.0, 3));
+    for (std::size_t c = 0; c < results.size(); ++c) {
+      const int n = counts[c][w];
+      row.push_back(metrics::fmt(n ? sums[c][w] / n : 0.0, 3));
     }
     tsv.add_row(std::move(row));
   }

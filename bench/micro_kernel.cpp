@@ -11,6 +11,8 @@
 #include "query/workload.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
+#include "sweep/plan.hpp"
+#include "sweep/runner.hpp"
 
 namespace {
 
@@ -130,6 +132,29 @@ void BM_Flooding50Nodes(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Flooding50Nodes);
+
+void BM_SweepRunnerGrid(benchmark::State& state) {
+  // A small §7-shaped grid (2 theta modes × 2 seeds of a 300-epoch,
+  // 20-node run) through the sweep runner — measures the orchestration
+  // overhead plus the scaling across worker threads (Arg = pool size).
+  sweep::ExperimentPlan plan("micro-grid", [] {
+    core::ExperimentConfig cfg = sweep::paper_config();
+    cfg.placement.node_count = 20;
+    cfg.epochs = 300;
+    cfg.keep_records = false;
+    return cfg;
+  }());
+  plan.axis(sweep::theta_axis({sweep::atc(), sweep::fixed_theta(5.0)}))
+      .axis(sweep::seed_axis({1, 2}));
+  sweep::SweepOptions opts;
+  opts.threads = static_cast<unsigned>(state.range(0));
+  const sweep::SweepRunner runner(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(plan));
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_SweepRunnerGrid)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

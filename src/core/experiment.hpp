@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/flooding.hpp"
@@ -115,9 +116,15 @@ struct ExperimentResults {
 
   /// Headline ratio: DirQ total cost / flooding total cost (paper:
   /// "DirQ spends between 45% and 55% the cost of flooding").
+  ///
+  /// Degenerate case: a run that injected no queries has no flooding
+  /// baseline (flooding_total == 0), so there is no ratio — the result is
+  /// quiet NaN, never a fake 0.0 a sweep aggregation could mistake for
+  /// "DirQ was free". Callers that aggregate ratios must filter with
+  /// std::isfinite (the JSON sink emits null).
   [[nodiscard]] double cost_ratio() const noexcept {
     return flooding_total == 0
-               ? 0.0
+               ? std::numeric_limits<double>::quiet_NaN()
                : static_cast<double>(ledger.total()) /
                      static_cast<double>(flooding_total);
   }

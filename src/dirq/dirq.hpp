@@ -11,6 +11,9 @@
 //   core::FloodingScheme           — the baseline
 //   analysis::*                    — Section-5 closed-form cost model
 //   metrics::audit_query           — accuracy / overshoot accounting
+//   sweep::ExperimentPlan          — declarative evaluation grids
+//   sweep::SweepRunner             — parallel plan execution
+//   sweep::ResultSink              — console / TSV / JSON reporting
 #pragma once
 
 #include "analysis/cost_model.hpp"
@@ -43,3 +46,6 @@
 #include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
+#include "sweep/plan.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/sink.hpp"

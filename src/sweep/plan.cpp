@@ -1,0 +1,219 @@
+#include "sweep/plan.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dirq::sweep {
+
+std::string format_double(double value) {
+#if defined(__cpp_lib_to_chars)
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec == std::errc()) return std::string(buf, ptr);
+#endif
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << value;
+  return oss.str();
+}
+
+const std::string* PlanCell::coordinate(std::string_view axis) const {
+  for (const auto& [name, value] : coordinates) {
+    if (name == axis) return &value;
+  }
+  return nullptr;
+}
+
+ExperimentPlan::ExperimentPlan(std::string name, core::ExperimentConfig base)
+    : name_(std::move(name)), base_(base) {}
+
+ExperimentPlan& ExperimentPlan::axis(Axis a) {
+  axes_.push_back(std::move(a));
+  return *this;
+}
+
+ExperimentPlan& ExperimentPlan::cell(std::string label,
+                                     core::ExperimentConfig cfg) {
+  PlanCell c;
+  c.label = std::move(label);
+  c.config = cfg;
+  explicit_cells_.push_back(std::move(c));
+  return *this;
+}
+
+ExperimentPlan& ExperimentPlan::cell(
+    std::string label, const std::function<void(core::ExperimentConfig&)>& apply) {
+  core::ExperimentConfig cfg = base_;
+  if (apply) apply(cfg);
+  return cell(std::move(label), cfg);
+}
+
+void ExperimentPlan::validate() const {
+  const auto fail = [this](const std::string& what) {
+    throw std::invalid_argument("ExperimentPlan '" + name_ + "': " + what);
+  };
+  if (axes_.empty() && explicit_cells_.empty()) {
+    fail("plan has no axes and no cells");
+  }
+  if (!axes_.empty() && !explicit_cells_.empty()) {
+    fail("mixing cartesian axes with an explicit cell list");
+  }
+  std::unordered_set<std::string> axis_names;
+  for (const Axis& a : axes_) {
+    if (a.name.empty()) fail("axis with an empty name");
+    if (!axis_names.insert(a.name).second) {
+      fail("duplicate axis name '" + a.name + "'");
+    }
+    if (a.values.empty()) fail("axis '" + a.name + "' has no values");
+    std::unordered_set<std::string> labels;
+    for (const AxisValue& v : a.values) {
+      if (v.label.empty()) fail("axis '" + a.name + "' has a value with an empty label");
+      if (!v.apply) fail("axis '" + a.name + "' value '" + v.label + "' has no mutation");
+      if (!labels.insert(v.label).second) {
+        fail("axis '" + a.name + "' has duplicate value label '" + v.label + "'");
+      }
+    }
+  }
+  for (const PlanCell& c : explicit_cells_) {
+    if (c.label.empty()) fail("explicit cell with an empty label");
+  }
+}
+
+std::size_t ExperimentPlan::size() const {
+  validate();
+  if (!explicit_cells_.empty()) return explicit_cells_.size();
+  std::size_t n = 1;
+  for (const Axis& a : axes_) n *= a.values.size();
+  return n;
+}
+
+std::vector<PlanCell> ExperimentPlan::cells() const {
+  validate();
+  std::vector<PlanCell> out;
+  if (!explicit_cells_.empty()) {
+    out = explicit_cells_;
+    for (std::size_t i = 0; i < out.size(); ++i) out[i].index = i;
+    return out;
+  }
+  // Row-major cartesian product: odometer over axis value indices, the
+  // last axis varying fastest.
+  std::vector<std::size_t> at(axes_.size(), 0);
+  const std::size_t total = size();
+  out.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    PlanCell c;
+    c.index = i;
+    c.config = base_;
+    for (std::size_t ax = 0; ax < axes_.size(); ++ax) {
+      const AxisValue& v = axes_[ax].values[at[ax]];
+      v.apply(c.config);
+      c.coordinates.emplace_back(axes_[ax].name, v.label);
+      if (!c.label.empty()) c.label += ' ';
+      c.label += axes_[ax].name + '=' + v.label;
+    }
+    out.push_back(std::move(c));
+    for (std::size_t ax = axes_.size(); ax-- > 0;) {
+      if (++at[ax] < axes_[ax].values.size()) break;
+      at[ax] = 0;
+    }
+  }
+  return out;
+}
+
+core::ExperimentConfig paper_config(std::uint64_t seed) {
+  core::ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.epochs = 20000;     // paper §7
+  cfg.query_period = 20;  // paper §7
+  return cfg;
+}
+
+AxisValue atc() {
+  return {"ATC", [](core::ExperimentConfig& cfg) {
+            cfg.network.mode = core::NetworkConfig::ThetaMode::Atc;
+          }};
+}
+
+AxisValue fixed_theta(double pct) {
+  return {"delta=" + format_double(pct) + "%",
+          [pct](core::ExperimentConfig& cfg) {
+            cfg.network.mode = core::NetworkConfig::ThetaMode::Fixed;
+            cfg.network.fixed_pct = pct;
+          }};
+}
+
+AxisValue relevant(double fraction) {
+  return {format_double(fraction * 100.0) + "%",
+          [fraction](core::ExperimentConfig& cfg) {
+            cfg.relevant_fraction = fraction;
+          }};
+}
+
+Axis theta_axis(std::vector<AxisValue> modes) {
+  return {"theta", std::move(modes)};
+}
+
+Axis relevant_axis(const std::vector<double>& fractions) {
+  Axis a{"relevant", {}};
+  for (double f : fractions) a.values.push_back(relevant(f));
+  return a;
+}
+
+Axis seed_axis(const std::vector<std::uint64_t>& seeds) {
+  Axis a{"seed", {}};
+  for (std::uint64_t s : seeds) {
+    a.values.push_back({std::to_string(s), [s](core::ExperimentConfig& cfg) {
+                          cfg.seed = s;
+                        }});
+  }
+  return a;
+}
+
+Axis loss_axis(const std::vector<double>& rates) {
+  Axis a{"loss", {}};
+  for (double r : rates) {
+    a.values.push_back({format_double(r), [r](core::ExperimentConfig& cfg) {
+                          cfg.loss_rate = r;
+                        }});
+  }
+  return a;
+}
+
+Axis transport_axis(const std::vector<core::TransportKind>& transports) {
+  Axis a{"mac", {}};
+  for (core::TransportKind t : transports) {
+    a.values.push_back({t == core::TransportKind::Lmac ? "lmac" : "instant",
+                        [t](core::ExperimentConfig& cfg) { cfg.transport = t; }});
+  }
+  return a;
+}
+
+Axis nodes_axis(const std::vector<std::size_t>& node_counts) {
+  Axis a{"nodes", {}};
+  for (std::size_t n : node_counts) {
+    a.values.push_back({std::to_string(n), [n](core::ExperimentConfig& cfg) {
+                          cfg.placement.node_count = n;
+                        }});
+  }
+  return a;
+}
+
+Axis custom_axis(std::string name, std::vector<AxisValue> values) {
+  return {std::move(name), std::move(values)};
+}
+
+Axis paper_theta_axis() {
+  return theta_axis({atc(), fixed_theta(3.0), fixed_theta(5.0), fixed_theta(9.0)});
+}
+
+Axis paper_relevant_axis() { return relevant_axis({0.2, 0.4, 0.6}); }
+
+ExperimentPlan paper_grid(std::uint64_t seed) {
+  ExperimentPlan plan("paper-s7-grid", paper_config(seed));
+  plan.axis(paper_theta_axis()).axis(paper_relevant_axis());
+  return plan;
+}
+
+}  // namespace dirq::sweep

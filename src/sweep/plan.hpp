@@ -1,0 +1,142 @@
+// Declarative experiment sweeps: the paper's §7 evaluation grids as data.
+//
+// The evaluation (Figs. 5-7) is a grid of (theta-mode × relevant-fraction ×
+// seed) cells; each bench used to hand-roll its own sequential loop over
+// ExperimentConfig copies. An ExperimentPlan instead *describes* a grid:
+// named axes (theta mode, relevant fraction, seed, loss rate, transport,
+// topology size, or any custom knob) whose cartesian product — or an
+// explicit cell list — materialises into labelled, fully-resolved
+// ExperimentConfigs. SweepRunner (runner.hpp) executes a plan on a worker
+// pool; ResultSinks (sink.hpp) render the outcome.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace dirq::sweep {
+
+/// One setting of a single experiment knob: a display label ("ATC",
+/// "seed=7") plus the config mutation it stands for.
+struct AxisValue {
+  std::string label;
+  std::function<void(core::ExperimentConfig&)> apply;
+};
+
+/// A named list of settings — one dimension of the grid.
+struct Axis {
+  std::string name;
+  std::vector<AxisValue> values;
+};
+
+/// One fully-resolved cell of a materialised plan.
+struct PlanCell {
+  std::size_t index = 0;  // position in plan order
+  std::string label;      // "theta=ATC relevant=40%" (axis-joined) or custom
+  /// (axis name, value label) pairs in axis-declaration order; empty for
+  /// cells added explicitly without coordinates.
+  std::vector<std::pair<std::string, std::string>> coordinates;
+  core::ExperimentConfig config;
+
+  /// Value label for a named axis, or nullptr when the cell has no such
+  /// coordinate.
+  [[nodiscard]] const std::string* coordinate(std::string_view axis) const;
+};
+
+/// Declarative description of an experiment grid. Compose either with
+/// `axis()` calls (cartesian product, cells in row-major axis order) or
+/// with explicit `cell()` calls (exactly the listed cells, in order) —
+/// mixing the two styles is rejected at materialisation time.
+///
+/// Determinism: every cell carries its own fully-resolved config, and
+/// Experiment derives all randomness from config.seed, so cells are
+/// independent by construction — no seed state leaks across cells no
+/// matter what order (or thread) runs them.
+class ExperimentPlan {
+ public:
+  /// `base` is the config every axis mutation starts from.
+  explicit ExperimentPlan(std::string name, core::ExperimentConfig base);
+
+  /// Adds one cartesian dimension. Axes apply in declaration order; the
+  /// last-added axis varies fastest.
+  ExperimentPlan& axis(Axis a);
+
+  /// Adds one explicit cell with a fully-resolved config.
+  ExperimentPlan& cell(std::string label, core::ExperimentConfig cfg);
+
+  /// Adds one explicit cell as a mutation of the plan's base config.
+  ExperimentPlan& cell(std::string label,
+                       const std::function<void(core::ExperimentConfig&)>& apply);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const core::ExperimentConfig& base() const noexcept {
+    return base_;
+  }
+
+  /// Cell count after validation (throws like cells()).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Validates and materialises the grid. Throws std::invalid_argument on
+  /// degenerate plans: no axes and no cells, an axis with no values or an
+  /// empty/duplicate name, a value with an empty label or no mutation,
+  /// duplicate value labels within an axis, or axes mixed with explicit
+  /// cells.
+  [[nodiscard]] std::vector<PlanCell> cells() const;
+
+ private:
+  void validate() const;
+
+  std::string name_;
+  core::ExperimentConfig base_;
+  std::vector<Axis> axes_;
+  std::vector<PlanCell> explicit_cells_;
+};
+
+/// Shortest round-trip representation of a double ("0.5", "42", "nan").
+/// Axis-value labels use it so distinct values never share (or lie about)
+/// a label; the JSON sink and the canonical summary share it so both are
+/// byte-stable.
+std::string format_double(double value);
+
+// --- the §7 vocabulary -------------------------------------------------------
+//
+// The paper's evaluated configurations, defined exactly once so every
+// bench, the CLI, and the tests agree on what "the §7 grid" means.
+
+/// §7 base: 50 nodes, 20 000 epochs, one query per 20 epochs.
+core::ExperimentConfig paper_config(std::uint64_t seed = 42);
+
+/// Theta-mode settings ("ATC" / "delta=3%").
+AxisValue atc();
+AxisValue fixed_theta(double pct);
+
+/// Relevant-fraction setting ("40%").
+AxisValue relevant(double fraction);
+
+/// Named axes over the six standard dimensions.
+Axis theta_axis(std::vector<AxisValue> modes);
+Axis relevant_axis(const std::vector<double>& fractions);
+Axis seed_axis(const std::vector<std::uint64_t>& seeds);
+Axis loss_axis(const std::vector<double>& rates);
+Axis transport_axis(const std::vector<core::TransportKind>& transports);
+Axis nodes_axis(const std::vector<std::size_t>& node_counts);
+
+/// Any other knob: name + explicit values.
+Axis custom_axis(std::string name, std::vector<AxisValue> values);
+
+/// The paper's evaluated theta settings: ATC plus fixed 3/5/9 %.
+Axis paper_theta_axis();
+
+/// The paper's relevant-node fractions: 20/40/60 %.
+Axis paper_relevant_axis();
+
+/// The full §7 ATC evaluation grid: paper_theta_axis × paper_relevant_axis
+/// over paper_config(seed).
+ExperimentPlan paper_grid(std::uint64_t seed = 42);
+
+}  // namespace dirq::sweep

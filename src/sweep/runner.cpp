@@ -1,0 +1,80 @@
+#include "sweep/runner.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+namespace dirq::sweep {
+
+unsigned SweepRunner::thread_count(std::size_t cells) const {
+  unsigned n = opts_.threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<std::size_t>(n, std::max<std::size_t>(cells, 1)));
+}
+
+void SweepRunner::for_each_index(
+    std::size_t count, const std::function<void(std::size_t)>& work) const {
+  const unsigned threads = thread_count(count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) work(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      work(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is part of the pool
+  for (std::thread& t : pool) t.join();
+}
+
+std::vector<CellResult> SweepRunner::run(const ExperimentPlan& plan) const {
+  return run(plan, [](const PlanCell& cell) {
+    return core::Experiment(cell.config).run();
+  });
+}
+
+std::vector<CellResult> SweepRunner::run(const ExperimentPlan& plan,
+                                         const CellFn& fn) const {
+  const std::vector<PlanCell> cells = plan.cells();
+  std::vector<CellResult> results(cells.size());
+  std::mutex progress_mutex;
+  for_each_index(cells.size(), [&](std::size_t i) {
+    CellResult& r = results[i];
+    r.cell = cells[i];
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      r.results = fn(cells[i]);
+    } catch (const std::exception& e) {
+      r.error = e.what();
+      if (r.error.empty()) r.error = "unknown error";
+    } catch (...) {
+      r.error = "unknown error";
+    }
+    r.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (opts_.progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      opts_.progress(r.cell, r.ok());
+    }
+  });
+  return results;
+}
+
+std::vector<CellResult> require_ok(std::vector<CellResult> results) {
+  for (const CellResult& r : results) {
+    if (!r.ok()) {
+      throw std::runtime_error("sweep cell '" + r.cell.label +
+                               "' failed: " + r.error);
+    }
+  }
+  return results;
+}
+
+}  // namespace dirq::sweep

@@ -1,0 +1,107 @@
+// SweepRunner: executes an ExperimentPlan on a worker pool.
+//
+// Cells of the evaluation grid are independent (Experiment derives every
+// bit of randomness from its config's seed), so the runner fans them out
+// over N threads and still returns results in plan order regardless of
+// completion order. `threads = 1` reproduces the historical sequential
+// bench loops bit-for-bit — the sweep determinism test asserts exactly
+// that against a multi-threaded run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "sweep/plan.hpp"
+
+namespace dirq::sweep {
+
+struct SweepOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency() (at
+  /// least 1). The pool never exceeds the cell count.
+  unsigned threads = 0;
+  /// Optional completion callback, invoked serialised (under a mutex) as
+  /// cells finish — progress reporting from the CLI. `ok` is false when
+  /// the cell's experiment threw.
+  std::function<void(const PlanCell&, bool ok)> progress;
+};
+
+/// One executed cell: the resolved cell, its results, and timing. When the
+/// experiment threw, `error` holds the message and `results` is
+/// default-constructed.
+struct CellResult {
+  PlanCell cell;
+  core::ExperimentResults results;
+  double wall_seconds = 0.0;
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+class SweepRunner {
+ public:
+  SweepRunner() = default;
+  explicit SweepRunner(SweepOptions opts) : opts_(std::move(opts)) {}
+
+  /// Per-cell body for bespoke sweeps (custom worlds, replays); the
+  /// default body is core::Experiment(cell.config).run().
+  using CellFn = std::function<core::ExperimentResults(const PlanCell&)>;
+
+  /// Runs the full experiment for every cell; per-cell exceptions are
+  /// captured into CellResult::error, never lost or reordered.
+  [[nodiscard]] std::vector<CellResult> run(const ExperimentPlan& plan) const;
+  [[nodiscard]] std::vector<CellResult> run(const ExperimentPlan& plan,
+                                            const CellFn& fn) const;
+
+  /// Generic fan-out: applies `fn` to every cell on the pool and returns
+  /// the mapped values in plan order. The lowest-indexed exception (if
+  /// any) is rethrown after all workers join.
+  template <typename Fn>
+  [[nodiscard]] auto map(const ExperimentPlan& plan, Fn&& fn) const {
+    using R = std::invoke_result_t<Fn&, const PlanCell&>;
+    static_assert(!std::is_void_v<R>, "map requires a value-returning fn");
+    const std::vector<PlanCell> cells = plan.cells();
+    std::vector<std::optional<R>> slots(cells.size());
+    std::vector<std::exception_ptr> errors(cells.size());
+    for_each_index(cells.size(), [&](std::size_t i) {
+      try {
+        slots[i].emplace(fn(cells[i]));
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    std::vector<R> out;
+    out.reserve(slots.size());
+    for (std::optional<R>& s : slots) out.push_back(std::move(*s));
+    return out;
+  }
+
+  /// Effective pool size for a grid of `cells` cells.
+  [[nodiscard]] unsigned thread_count(std::size_t cells) const;
+
+ private:
+  /// Runs work(i) for i in [0, count) across the pool. Each index writes
+  /// only its own result slot, so workers need no synchronisation beyond
+  /// the shared claim counter; `work` must not throw.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& work) const;
+
+  SweepOptions opts_;
+};
+
+/// Throws std::runtime_error naming the first failed cell. The benches
+/// run all-or-nothing grids and used to let Experiment exceptions
+/// propagate; with the runner capturing per-cell errors, this restores
+/// that fail-fast behaviour before any result is dereferenced.
+std::vector<CellResult> require_ok(std::vector<CellResult> results);
+
+}  // namespace dirq::sweep

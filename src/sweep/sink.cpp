@@ -1,0 +1,283 @@
+#include "sweep/sink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace dirq::sweep {
+
+namespace {
+
+/// JSON string escaping (control characters, quote, backslash).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_str(const std::string& s) { return '"' + json_escape(s) + '"'; }
+
+/// JSON number; non-finite doubles become null (cost_ratio() is NaN on
+/// the query-less degenerate run — null keeps aggregators honest).
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  return format_double(v);
+}
+
+}  // namespace
+
+// --- ConsoleTableSink --------------------------------------------------------
+
+void ConsoleTableSink::begin(const SweepHeader& header) {
+  table_.clear();
+  table_.emplace_back(header.columns);
+}
+
+void ConsoleTableSink::row(const std::vector<std::string>& values,
+                           const PlanCell*, const CellResult*) {
+  table_.back().add_row(values);
+}
+
+void ConsoleTableSink::end() {
+  table_.back().print(os_);
+  table_.clear();
+}
+
+// --- TsvSink -----------------------------------------------------------------
+
+void TsvSink::begin(const SweepHeader& header) {
+  block_.clear();
+  block_.emplace_back(header.title, header.columns);
+}
+
+void TsvSink::row(const std::vector<std::string>& values, const PlanCell*,
+                  const CellResult*) {
+  block_.back().add_row(values);
+}
+
+void TsvSink::end() {
+  block_.back().print(os_);
+  block_.clear();
+}
+
+// --- JsonSink ----------------------------------------------------------------
+
+void JsonSink::begin(const SweepHeader& header) {
+  header_ = header;
+  cells_.str({});
+  rows_ = 0;
+}
+
+void JsonSink::row(const std::vector<std::string>& values, const PlanCell* cell,
+                   const CellResult* result) {
+  if (rows_++ > 0) cells_ << ",";
+  cells_ << "\n    {";
+  if (cell != nullptr) {
+    cells_ << "\"label\": " << json_str(cell->label) << ", \"coordinates\": {";
+    for (std::size_t i = 0; i < cell->coordinates.size(); ++i) {
+      if (i) cells_ << ", ";
+      cells_ << json_str(cell->coordinates[i].first) << ": "
+             << json_str(cell->coordinates[i].second);
+    }
+    cells_ << "}, ";
+  }
+  cells_ << "\"row\": {";
+  for (std::size_t i = 0; i < values.size() && i < header_.columns.size(); ++i) {
+    if (i) cells_ << ", ";
+    cells_ << json_str(header_.columns[i]) << ": " << json_str(values[i]);
+  }
+  cells_ << "}";
+  if (result != nullptr && result->ok()) {
+    const core::ExperimentResults& r = result->results;
+    CostUnits hottest = 0;
+    for (std::size_t u = 0; u < r.node_tx.size(); ++u) {
+      hottest = std::max(hottest, r.node_tx[u] + r.node_rx[u]);
+    }
+    cells_ << ", \"metrics\": {"
+           << "\"query_cost\": " << r.ledger.query_cost()
+           << ", \"update_cost\": " << r.ledger.update_cost()
+           << ", \"control_cost\": " << r.ledger.control_cost()
+           << ", \"dirq_total\": " << r.ledger.total()
+           << ", \"flooding_total\": " << r.flooding_total
+           << ", \"cost_ratio\": " << json_num(r.cost_ratio())
+           << ", \"queries\": " << r.queries
+           << ", \"updates_transmitted\": " << r.updates_transmitted
+           << ", \"samples_taken\": " << r.samples_taken
+           << ", \"samples_skipped\": " << r.samples_skipped
+           << ", \"mean_overshoot_pct\": " << json_num(r.overshoot_pct.mean())
+           << ", \"mean_coverage_pct\": " << json_num(r.coverage_pct.mean())
+           << ", \"mean_should_pct\": " << json_num(r.should_pct.mean())
+           << ", \"mean_receive_pct\": " << json_num(r.receive_pct.mean())
+           << ", \"hottest_node_energy\": " << hottest << "}";
+  }
+  if (result != nullptr && !result->ok()) {
+    cells_ << ", \"error\": " << json_str(result->error);
+  }
+  if (result != nullptr && include_timing_) {
+    cells_ << ", \"wall_seconds\": " << json_num(result->wall_seconds);
+  }
+  cells_ << "}";
+}
+
+void JsonSink::end() {
+  os_ << "{\n  \"schema\": \"dirq.sweep.v1\",\n  \"plan\": "
+      << json_str(header_.plan) << ",\n  \"title\": " << json_str(header_.title)
+      << ",\n  \"columns\": [";
+  for (std::size_t i = 0; i < header_.columns.size(); ++i) {
+    if (i) os_ << ", ";
+    os_ << json_str(header_.columns[i]);
+  }
+  os_ << "],\n  \"cells\": [" << cells_.str() << "\n  ]";
+  if (include_timing_) {
+    const long rss = peak_rss_kib();
+    os_ << ",\n  \"peak_rss_kib\": ";
+    if (rss > 0) {
+      os_ << rss;
+    } else {
+      os_ << "null";
+    }
+  }
+  os_ << "\n}\n";
+  cells_.str({});
+  rows_ = 0;
+}
+
+// --- report driver -----------------------------------------------------------
+
+void report(const SweepHeader& header, const std::vector<CellResult>& results,
+            const RowMapper& mapper, std::initializer_list<ResultSink*> sinks) {
+  report(header, results, mapper, std::vector<ResultSink*>(sinks));
+}
+
+void report(const SweepHeader& header, const std::vector<CellResult>& results,
+            const RowMapper& mapper, const std::vector<ResultSink*>& sinks) {
+  for (ResultSink* s : sinks) s->begin(header);
+  for (const CellResult& r : results) {
+    std::vector<std::string> values;
+    if (r.ok()) {
+      values = mapper(r);
+    } else {
+      // Failed cells still occupy their plan-order row: label first, the
+      // error where the first metric would go.
+      values.assign(header.columns.size(), "-");
+      if (!values.empty()) values[0] = r.cell.label;
+      if (values.size() > 1) values[1] = "<error: " + r.error + ">";
+    }
+    for (ResultSink* s : sinks) s->row(values, &r.cell, &r);
+  }
+  for (ResultSink* s : sinks) s->end();
+}
+
+// --- canonical summary -------------------------------------------------------
+
+namespace {
+
+void put(std::ostringstream& os, const char* key, double v) {
+  os << key << '=' << format_double(v) << '\n';
+}
+
+void put_stat(std::ostringstream& os, const char* key,
+              const sim::RunningStat& s) {
+  os << key << "=count:" << s.count() << ",mean:" << format_double(s.mean())
+     << ",stddev:" << format_double(s.stddev())
+     << ",min:" << format_double(s.min()) << ",max:" << format_double(s.max())
+     << '\n';
+}
+
+void put_series(std::ostringstream& os, const char* key,
+                const std::vector<double>& v) {
+  os << key << '=';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ',';
+    os << format_double(v[i]);
+  }
+  os << '\n';
+}
+
+void put_audit(std::ostringstream& os, const metrics::QueryAudit& a) {
+  os << a.should_count << '/' << a.received_count << '/' << a.correct << '/'
+     << a.wrong << '/' << a.missed;
+}
+
+}  // namespace
+
+std::string summarize(const core::ExperimentResults& r) {
+  std::ostringstream os;
+  os << "ledger=" << r.ledger.query_tx << ',' << r.ledger.query_rx << ','
+     << r.ledger.update_tx << ',' << r.ledger.update_rx << ','
+     << r.ledger.control_tx << ',' << r.ledger.control_rx << '\n';
+  os << "flooding_total=" << r.flooding_total << '\n';
+  put(os, "cost_ratio", r.cost_ratio());
+  os << "queries=" << r.queries << '\n';
+  os << "updates_transmitted=" << r.updates_transmitted << '\n';
+  os << "samples=" << r.samples_taken << '/' << r.samples_skipped << '\n';
+  put_stat(os, "overshoot_pct", r.overshoot_pct);
+  put_stat(os, "should_pct", r.should_pct);
+  put_stat(os, "receive_pct", r.receive_pct);
+  put_stat(os, "source_pct", r.source_pct);
+  put_stat(os, "wrong_pct", r.wrong_pct);
+  put_stat(os, "coverage_pct", r.coverage_pct);
+  put_stat(os, "source_overshoot_pct", r.source_overshoot_pct);
+  put_stat(os, "source_coverage_pct", r.source_coverage_pct);
+  put_series(os, "updates_per_bin", r.updates_per_bin.bins());
+  put_series(os, "umax_per_hour", r.umax_per_hour);
+  put_series(os, "ehr_per_hour", r.ehr_per_hour);
+  put_series(os, "theta_pct_series", r.theta_pct_series);
+  os << "node_tx=";
+  for (std::size_t u = 0; u < r.node_tx.size(); ++u) {
+    os << (u ? "," : "") << r.node_tx[u];
+  }
+  os << "\nnode_rx=";
+  for (std::size_t u = 0; u < r.node_rx.size(); ++u) {
+    os << (u ? "," : "") << r.node_rx[u];
+  }
+  os << "\nrecords=" << r.records.size() << '\n';
+  for (const core::QueryRecord& rec : r.records) {
+    os << "record=" << rec.epoch << ',' << static_cast<int>(rec.type) << ','
+       << rec.dirq_query_cost << ',' << rec.flooding_cost << ',' << rec.sources
+       << ',' << rec.population << ",audit:";
+    put_audit(os, rec.audit);
+    os << ",source_audit:";
+    put_audit(os, rec.source_audit);
+    os << '\n';
+  }
+  return os.str();
+}
+
+long peak_rss_kib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / 1024;  // macOS reports bytes
+#else
+  return usage.ru_maxrss;  // Linux reports KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace dirq::sweep

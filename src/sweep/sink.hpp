@@ -1,0 +1,120 @@
+// Pluggable result sinks for sweep reports.
+//
+// A sweep report is tabular: a header (title + column names) followed by
+// one rendered row per cell. Sinks receive both the rendered strings and
+// the structured CellResult, so the console/TSV sinks can reproduce the
+// historical bench output byte-for-byte while the JSON sink emits the
+// machine-readable document (schema "dirq.sweep.v1", see README) that the
+// perf-baseline tooling checks in.
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/report.hpp"
+#include "sweep/runner.hpp"
+
+namespace dirq::sweep {
+
+/// Report metadata handed to every sink before the first row.
+struct SweepHeader {
+  std::string title;                 // human heading / TSV block title
+  std::string plan;                  // ExperimentPlan name
+  std::vector<std::string> columns;  // rendered row columns
+};
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  virtual void begin(const SweepHeader& header) = 0;
+
+  /// One rendered row. `cell` and `result` may be null for synthetic rows
+  /// (e.g. an analytic baseline alongside measured cells, or a bespoke
+  /// sweep mapped to a custom value type); structured sinks emit only
+  /// what is present.
+  virtual void row(const std::vector<std::string>& values, const PlanCell* cell,
+                   const CellResult* result) = 0;
+
+  virtual void end() = 0;
+};
+
+/// Aligned console table (metrics::Table), printed on end().
+class ConsoleTableSink final : public ResultSink {
+ public:
+  explicit ConsoleTableSink(std::ostream& os) : os_(os) {}
+
+  void begin(const SweepHeader& header) override;
+  void row(const std::vector<std::string>& values, const PlanCell* cell,
+           const CellResult* result) override;
+  void end() override;
+
+ private:
+  std::ostream& os_;
+  std::vector<metrics::Table> table_;  // 0 or 1; rebuilt per report
+};
+
+/// TSV series block (metrics::TsvBlock), printed on end().
+class TsvSink final : public ResultSink {
+ public:
+  explicit TsvSink(std::ostream& os) : os_(os) {}
+
+  void begin(const SweepHeader& header) override;
+  void row(const std::vector<std::string>& values, const PlanCell* cell,
+           const CellResult* result) override;
+  void end() override;
+
+ private:
+  std::ostream& os_;
+  std::vector<metrics::TsvBlock> block_;  // 0 or 1; rebuilt per report
+};
+
+/// JSON document emitter (schema "dirq.sweep.v1"). One document per
+/// begin()/end() pair, written on end(). `include_timing` adds per-cell
+/// wall_seconds and the process peak-RSS footer; switch it off to get
+/// byte-identical documents across runs and thread counts (the CLI's
+/// --no-timing, used by the determinism checks).
+class JsonSink final : public ResultSink {
+ public:
+  explicit JsonSink(std::ostream& os, bool include_timing = true)
+      : os_(os), include_timing_(include_timing) {}
+
+  void begin(const SweepHeader& header) override;
+  void row(const std::vector<std::string>& values, const PlanCell* cell,
+           const CellResult* result) override;
+  void end() override;
+
+ private:
+  std::ostream& os_;
+  bool include_timing_;
+  SweepHeader header_;
+  std::ostringstream cells_;
+  std::size_t rows_ = 0;
+};
+
+/// Maps one executed cell to its rendered row (aligned with the header's
+/// columns).
+using RowMapper = std::function<std::vector<std::string>(const CellResult&)>;
+
+/// Drives a full report: begin, one mapped row per result (failed cells
+/// render as "<error>" rows — the mapper only sees successful cells), end.
+void report(const SweepHeader& header, const std::vector<CellResult>& results,
+            const RowMapper& mapper, const std::vector<ResultSink*>& sinks);
+void report(const SweepHeader& header, const std::vector<CellResult>& results,
+            const RowMapper& mapper, std::initializer_list<ResultSink*> sinks);
+
+/// Canonical plain-text serialisation of the complete ExperimentResults —
+/// every ledger field, statistic, series, per-node counter, and record.
+/// Byte-identical summaries across thread counts are exactly what the
+/// sweep determinism test asserts.
+std::string summarize(const core::ExperimentResults& results);
+
+/// Process peak resident set size in KiB, or 0 when the platform doesn't
+/// expose it (getrusage on POSIX).
+long peak_rss_kib();
+
+}  // namespace dirq::sweep

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 #include "support/ledger_parity.hpp"
@@ -29,6 +30,21 @@ TEST(Experiment, RunsAndInjectsExpectedQueryCount) {
   EXPECT_EQ(res.records.size(), 99u);
   EXPECT_GT(res.updates_transmitted, 0);
   EXPECT_GT(res.flooding_total, 0);
+}
+
+TEST(Experiment, CostRatioIsNaNWhenNoQueriesRan) {
+  // A run shorter than one query period injects nothing, so there is no
+  // flooding baseline to compare against. The ratio must be explicitly
+  // not-a-number — a silent 0.0 would read as "DirQ was free" to any
+  // sweep aggregation averaging ratios across cells.
+  ExperimentConfig cfg = short_cfg(/*epochs=*/10);
+  ASSERT_GT(cfg.query_period, cfg.epochs);
+  ExperimentResults res = Experiment(cfg).run();
+  EXPECT_EQ(res.queries, 0);
+  EXPECT_EQ(res.flooding_total, 0);
+  EXPECT_TRUE(std::isnan(res.cost_ratio()));
+  // The normal path is unaffected: any run with queries has a finite ratio.
+  EXPECT_TRUE(std::isfinite(Experiment(short_cfg(100)).run().cost_ratio()));
 }
 
 TEST(Experiment, DeterministicAcrossRuns) {

@@ -1,0 +1,145 @@
+// ExperimentPlan: declarative grid materialisation and validation.
+#include "sweep/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dirq::sweep {
+namespace {
+
+TEST(SweepPlan, CartesianProductRowMajorLastAxisFastest) {
+  ExperimentPlan plan("p", paper_config());
+  plan.axis(theta_axis({atc(), fixed_theta(5.0)}));
+  plan.axis(relevant_axis({0.2, 0.4, 0.6}));
+  const std::vector<PlanCell> cells = plan.cells();
+  ASSERT_EQ(cells.size(), 6u);
+  EXPECT_EQ(plan.size(), 6u);
+  // First three cells: ATC at 20/40/60 %; then fixed theta.
+  EXPECT_EQ(cells[0].label, "theta=ATC relevant=20%");
+  EXPECT_EQ(cells[1].label, "theta=ATC relevant=40%");
+  EXPECT_EQ(cells[3].label, "theta=delta=5% relevant=20%");
+  EXPECT_EQ(cells[5].index, 5u);
+  // Config resolution matches the coordinates.
+  EXPECT_EQ(cells[0].config.network.mode, core::NetworkConfig::ThetaMode::Atc);
+  EXPECT_DOUBLE_EQ(cells[1].config.relevant_fraction, 0.4);
+  EXPECT_EQ(cells[3].config.network.mode,
+            core::NetworkConfig::ThetaMode::Fixed);
+  EXPECT_DOUBLE_EQ(cells[3].config.network.fixed_pct, 5.0);
+  // Coordinate lookup by axis name.
+  ASSERT_NE(cells[4].coordinate("relevant"), nullptr);
+  EXPECT_EQ(*cells[4].coordinate("relevant"), "40%");
+  EXPECT_EQ(cells[4].coordinate("no-such-axis"), nullptr);
+}
+
+TEST(SweepPlan, ExplicitCellListKeepsOrderAndConfigs) {
+  ExperimentPlan plan("p", paper_config(7));
+  plan.cell("a", [](core::ExperimentConfig& cfg) { cfg.epochs = 100; });
+  core::ExperimentConfig direct = paper_config(9);
+  plan.cell("b", direct);
+  const std::vector<PlanCell> cells = plan.cells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].label, "a");
+  EXPECT_EQ(cells[0].config.epochs, 100);
+  EXPECT_EQ(cells[0].config.seed, 7u);  // mutation starts from the base
+  EXPECT_EQ(cells[1].config.seed, 9u);
+  EXPECT_TRUE(cells[1].coordinates.empty());
+}
+
+TEST(SweepPlan, SeedAxisGivesEachCellItsOwnSeed) {
+  ExperimentPlan plan("p", paper_config());
+  plan.axis(seed_axis({1, 2, 3}));
+  const std::vector<PlanCell> cells = plan.cells();
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].config.seed, 1u);
+  EXPECT_EQ(cells[2].config.seed, 3u);
+}
+
+TEST(SweepPlan, SixStandardAxesCompose) {
+  ExperimentPlan plan("p", paper_config());
+  plan.axis(theta_axis({atc()}))
+      .axis(relevant_axis({0.4}))
+      .axis(seed_axis({42}))
+      .axis(loss_axis({0.0, 0.1}))
+      .axis(transport_axis(
+          {core::TransportKind::Instant, core::TransportKind::Lmac}))
+      .axis(nodes_axis({20, 50}));
+  const std::vector<PlanCell> cells = plan.cells();
+  ASSERT_EQ(cells.size(), 8u);
+  EXPECT_EQ(cells[0].config.transport, core::TransportKind::Instant);
+  EXPECT_EQ(cells[2].config.transport, core::TransportKind::Lmac);
+  EXPECT_DOUBLE_EQ(cells[4].config.loss_rate, 0.1);
+  EXPECT_EQ(cells[1].config.placement.node_count, 50u);
+}
+
+TEST(SweepPlan, PaperGridIsTheSection7Grid) {
+  const std::vector<PlanCell> cells = paper_grid().cells();
+  ASSERT_EQ(cells.size(), 12u);  // {ATC, 3, 5, 9} x {20, 40, 60}%
+  EXPECT_EQ(cells[0].config.epochs, 20000);
+  EXPECT_EQ(cells[0].config.query_period, 20);
+  EXPECT_EQ(*cells[0].coordinate("theta"), "ATC");
+  EXPECT_EQ(*cells[11].coordinate("theta"), "delta=9%");
+  EXPECT_EQ(*cells[11].coordinate("relevant"), "60%");
+}
+
+TEST(SweepPlan, LabelsAreExactForNonRoundValues) {
+  // Labels are cell identity in every sink's output: rounding must never
+  // make two distinct values collide or misreport a configuration.
+  EXPECT_EQ(fixed_theta(2.5).label, "delta=2.5%");
+  EXPECT_EQ(fixed_theta(3.0).label, "delta=3%");
+  const Axis a = loss_axis({0.201, 0.204});
+  EXPECT_EQ(a.values[0].label, "0.201");
+  EXPECT_EQ(a.values[1].label, "0.204");
+  ExperimentPlan plan("p", paper_config());
+  plan.axis(loss_axis({0.201, 0.204}));
+  EXPECT_EQ(plan.size(), 2u);  // close-but-distinct rates no longer collide
+}
+
+TEST(SweepPlanValidation, ThrowsOnDegeneratePlans) {
+  // No axes and no cells.
+  EXPECT_THROW((void)ExperimentPlan("p", paper_config()).cells(),
+               std::invalid_argument);
+  // Axis with no values.
+  {
+    ExperimentPlan plan("p", paper_config());
+    plan.axis(custom_axis("empty", {}));
+    EXPECT_THROW((void)plan.cells(), std::invalid_argument);
+  }
+  // Axis with an empty name.
+  {
+    ExperimentPlan plan("p", paper_config());
+    plan.axis(custom_axis("", {atc()}));
+    EXPECT_THROW((void)plan.cells(), std::invalid_argument);
+  }
+  // Duplicate axis names.
+  {
+    ExperimentPlan plan("p", paper_config());
+    plan.axis(relevant_axis({0.2})).axis(relevant_axis({0.4}));
+    EXPECT_THROW((void)plan.cells(), std::invalid_argument);
+  }
+  // Duplicate value labels within an axis.
+  {
+    ExperimentPlan plan("p", paper_config());
+    plan.axis(relevant_axis({0.4, 0.4}));
+    EXPECT_THROW((void)plan.cells(), std::invalid_argument);
+  }
+  // Value with no mutation.
+  {
+    ExperimentPlan plan("p", paper_config());
+    plan.axis(custom_axis("k", {{"v", nullptr}}));
+    EXPECT_THROW((void)plan.cells(), std::invalid_argument);
+  }
+  // Mixing axes with explicit cells.
+  {
+    ExperimentPlan plan("p", paper_config());
+    plan.axis(relevant_axis({0.4}));
+    plan.cell("x", paper_config());
+    EXPECT_THROW((void)plan.cells(), std::invalid_argument);
+  }
+  // size() validates too.
+  EXPECT_THROW((void)ExperimentPlan("p", paper_config()).size(),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dirq::sweep

@@ -1,0 +1,185 @@
+// SweepRunner: parallel execution must be observationally identical to
+// sequential execution — same cells, same order, byte-identical results.
+#include "sweep/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "sweep/sink.hpp"
+
+namespace dirq::sweep {
+namespace {
+
+/// A small but non-trivial grid: both theta modes, two fractions, loss,
+/// and two seeds — 16 cells of a 300-epoch 20-node run.
+ExperimentPlan small_grid() {
+  ExperimentPlan plan("determinism-grid", [] {
+    core::ExperimentConfig cfg = paper_config();
+    cfg.placement.node_count = 20;
+    cfg.epochs = 300;
+    return cfg;  // keep_records on: summaries cover per-query records too
+  }());
+  plan.axis(theta_axis({atc(), fixed_theta(5.0)}))
+      .axis(relevant_axis({0.2, 0.4}))
+      .axis(loss_axis({0.0, 0.2}))
+      .axis(seed_axis({7, 42}));
+  return plan;
+}
+
+TEST(SweepRunner, ParallelRunsAreByteIdenticalToSequential) {
+  const ExperimentPlan plan = small_grid();
+  SweepOptions seq;
+  seq.threads = 1;
+  SweepOptions par;
+  par.threads = 4;
+  const std::vector<CellResult> a = SweepRunner(seq).run(plan);
+  const std::vector<CellResult> b = SweepRunner(par).run(plan);
+  ASSERT_EQ(a.size(), 16u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ok()) << a[i].cell.label << ": " << a[i].error;
+    ASSERT_TRUE(b[i].ok()) << b[i].cell.label << ": " << b[i].error;
+    // Results arrive in plan order regardless of completion order.
+    EXPECT_EQ(a[i].cell.label, b[i].cell.label);
+    EXPECT_EQ(a[i].cell.index, i);
+    // The canonical summary covers every ledger field, statistic, series,
+    // per-node counter, and record: byte equality means no seed or state
+    // leaked across cells or threads.
+    EXPECT_EQ(summarize(a[i].results), summarize(b[i].results))
+        << "cell " << a[i].cell.label
+        << " diverged between 1 and 4 threads";
+  }
+}
+
+TEST(SweepRunner, MorethreadsThanCellsAndHardwareDefaultWork) {
+  ExperimentPlan plan("tiny", [] {
+    core::ExperimentConfig cfg = paper_config();
+    cfg.placement.node_count = 10;
+    cfg.epochs = 50;
+    cfg.keep_records = false;
+    return cfg;
+  }());
+  plan.axis(seed_axis({1, 2}));
+  SweepOptions opts;
+  opts.threads = 16;  // pool must clamp to the cell count
+  const SweepRunner runner(opts);
+  EXPECT_EQ(runner.thread_count(2), 2u);
+  EXPECT_GE(SweepRunner().thread_count(8), 1u);  // hardware default
+  const std::vector<CellResult> results = runner.run(plan);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_GT(results[0].wall_seconds, 0.0);
+}
+
+TEST(SweepRunner, PerCellErrorsAreCapturedInPlanOrder) {
+  ExperimentPlan plan("mixed", [] {
+    core::ExperimentConfig cfg = paper_config();
+    cfg.placement.node_count = 10;
+    cfg.epochs = 50;
+    cfg.keep_records = false;
+    return cfg;
+  }());
+  plan.cell("good", [](core::ExperimentConfig&) {});
+  plan.cell("bad", [](core::ExperimentConfig& cfg) {
+    cfg.relevant_fraction = -1.0;  // rejected by ExperimentConfig::validate
+  });
+  plan.cell("good2", [](core::ExperimentConfig&) {});
+  SweepOptions opts;
+  opts.threads = 3;
+  const std::vector<CellResult> results = SweepRunner(opts).run(plan);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_NE(results[1].error.find("relevant_fraction"), std::string::npos);
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST(SweepRunner, RequireOkRestoresFailFast) {
+  ExperimentPlan plan("mixed", paper_config());
+  plan.cell("bad", [](core::ExperimentConfig& cfg) { cfg.loss_rate = 2.0; });
+  SweepOptions opts;
+  opts.threads = 1;
+  EXPECT_THROW((void)require_ok(SweepRunner(opts).run(plan)),
+               std::runtime_error);
+  ExperimentPlan good("good", [] {
+    core::ExperimentConfig cfg = paper_config();
+    cfg.placement.node_count = 10;
+    cfg.epochs = 50;
+    cfg.keep_records = false;
+    return cfg;
+  }());
+  good.cell("ok", [](core::ExperimentConfig&) {});
+  EXPECT_EQ(require_ok(SweepRunner(opts).run(good)).size(), 1u);
+}
+
+TEST(SweepRunner, ProgressCallbackFiresOncePerCellSerialised) {
+  ExperimentPlan plan("progress", [] {
+    core::ExperimentConfig cfg = paper_config();
+    cfg.placement.node_count = 10;
+    cfg.epochs = 50;
+    cfg.keep_records = false;
+    return cfg;
+  }());
+  plan.axis(seed_axis({1, 2, 3, 4}));
+  std::set<std::string> seen;
+  SweepOptions opts;
+  opts.threads = 4;
+  opts.progress = [&seen](const PlanCell& cell, bool ok) {
+    EXPECT_TRUE(ok);
+    seen.insert(cell.label);  // mutex-protected by the runner
+  };
+  (void)SweepRunner(opts).run(plan);
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(SweepRunner, MapReturnsValuesInPlanOrderAndRethrows) {
+  ExperimentPlan plan("map", [] {
+    core::ExperimentConfig cfg = paper_config();
+    return cfg;
+  }());
+  plan.axis(seed_axis({10, 20, 30}));
+  SweepOptions opts;
+  opts.threads = 3;
+  const SweepRunner runner(opts);
+  const std::vector<std::uint64_t> seeds = runner.map(
+      plan, [](const PlanCell& cell) { return cell.config.seed; });
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{10, 20, 30}));
+
+  EXPECT_THROW(
+      (void)runner.map(plan,
+                       [](const PlanCell& cell) -> int {
+                         if (cell.index == 1) throw std::runtime_error("boom");
+                         return 0;
+                       }),
+      std::runtime_error);
+}
+
+TEST(SweepRunner, CustomCellBodyRunsThroughTheSamePool) {
+  ExperimentPlan plan("custom", [] {
+    core::ExperimentConfig cfg = paper_config();
+    return cfg;
+  }());
+  plan.axis(seed_axis({5, 6}));
+  SweepOptions opts;
+  opts.threads = 2;
+  std::atomic<int> calls{0};
+  const std::vector<CellResult> results = SweepRunner(opts).run(
+      plan, [&calls](const PlanCell& cell) {
+        ++calls;
+        core::ExperimentResults res;
+        res.queries = static_cast<std::int64_t>(cell.config.seed);
+        return res;
+      });
+  EXPECT_EQ(calls.load(), 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].results.queries, 5);
+  EXPECT_EQ(results[1].results.queries, 6);
+}
+
+}  // namespace
+}  // namespace dirq::sweep

@@ -1,0 +1,135 @@
+// ResultSink implementations: console table, TSV block, JSON document.
+#include "sweep/sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace dirq::sweep {
+namespace {
+
+std::vector<CellResult> tiny_results() {
+  ExperimentPlan plan("tiny", [] {
+    core::ExperimentConfig cfg = paper_config();
+    cfg.placement.node_count = 12;
+    cfg.epochs = 100;
+    cfg.keep_records = false;
+    return cfg;
+  }());
+  plan.axis(seed_axis({1, 2}));
+  SweepOptions opts;
+  opts.threads = 1;
+  return SweepRunner(opts).run(plan);
+}
+
+RowMapper ratio_mapper() {
+  return [](const CellResult& r) {
+    return std::vector<std::string>{*r.cell.coordinate("seed"),
+                                    format_double(r.results.cost_ratio())};
+  };
+}
+
+TEST(SweepSink, ConsoleTableRendersHeaderAndRows) {
+  std::ostringstream os;
+  ConsoleTableSink sink(os);
+  report({"t", "tiny", {"seed", "ratio"}}, tiny_results(), ratio_mapper(),
+         {&sink});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("seed"), std::string::npos);
+  EXPECT_NE(out.find("ratio"), std::string::npos);
+  EXPECT_NE(out.find('1'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+TEST(SweepSink, TsvBlockHasTitleHeaderAndTabs) {
+  std::ostringstream os;
+  TsvSink sink(os);
+  report({"my series", "tiny", {"seed", "ratio"}}, tiny_results(),
+         ratio_mapper(), {&sink});
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("# my series", 0), 0u);
+  EXPECT_NE(out.find("seed\tratio"), std::string::npos);
+}
+
+TEST(SweepSink, JsonDocumentHasSchemaCoordinatesAndMetrics) {
+  std::ostringstream os;
+  JsonSink sink(os, /*include_timing=*/true);
+  report({"t", "tiny", {"seed", "ratio"}}, tiny_results(), ratio_mapper(),
+         {&sink});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"schema\": \"dirq.sweep.v1\""), std::string::npos);
+  EXPECT_NE(out.find("\"plan\": \"tiny\""), std::string::npos);
+  EXPECT_NE(out.find("\"coordinates\": {\"seed\": \"1\"}"), std::string::npos);
+  EXPECT_NE(out.find("\"dirq_total\""), std::string::npos);
+  EXPECT_NE(out.find("\"flooding_total\""), std::string::npos);
+  EXPECT_NE(out.find("\"wall_seconds\""), std::string::npos);
+  EXPECT_NE(out.find("\"peak_rss_kib\""), std::string::npos);
+}
+
+TEST(SweepSink, JsonWithoutTimingIsByteStableAcrossRuns) {
+  const auto render = [] {
+    std::ostringstream os;
+    JsonSink sink(os, /*include_timing=*/false);
+    report({"t", "tiny", {"seed", "ratio"}}, tiny_results(), ratio_mapper(),
+           {&sink});
+    return os.str();
+  };
+  const std::string a = render();
+  const std::string b = render();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.find("wall_seconds"), std::string::npos);
+  EXPECT_EQ(a.find("peak_rss_kib"), std::string::npos);
+}
+
+TEST(SweepSink, JsonEmitsNullForDegenerateCostRatio) {
+  // A run without queries has no flooding baseline: cost_ratio() is NaN
+  // and the JSON must say null, not 0.
+  CellResult r;
+  r.cell.label = "no-queries";
+  ASSERT_TRUE(std::isnan(r.results.cost_ratio()));
+  std::ostringstream os;
+  JsonSink sink(os, /*include_timing=*/false);
+  sink.begin({"t", "p", {"label"}});
+  sink.row({"no-queries"}, &r.cell, &r);
+  sink.end();
+  EXPECT_NE(os.str().find("\"cost_ratio\": null"), std::string::npos);
+}
+
+TEST(SweepSink, FailedCellsRenderAnErrorRow) {
+  ExperimentPlan plan("err", paper_config());
+  plan.cell("bad", [](core::ExperimentConfig& cfg) { cfg.loss_rate = 2.0; });
+  SweepOptions opts;
+  opts.threads = 1;
+  const std::vector<CellResult> results = SweepRunner(opts).run(plan);
+  ASSERT_FALSE(results[0].ok());
+  std::ostringstream os;
+  ConsoleTableSink sink(os);
+  report({"t", "err", {"cell", "ratio"}}, results, ratio_mapper(), {&sink});
+  EXPECT_NE(os.str().find("<error:"), std::string::npos);
+  std::ostringstream js;
+  JsonSink jsink(js, false);
+  report({"t", "err", {"cell", "ratio"}}, results, ratio_mapper(), {&jsink});
+  EXPECT_NE(js.str().find("\"error\":"), std::string::npos);
+}
+
+TEST(SweepSink, SummarizeIsStableAndCoversStructure) {
+  const std::vector<CellResult> results = tiny_results();
+  const std::string s = summarize(results[0].results);
+  EXPECT_EQ(s, summarize(results[0].results));
+  EXPECT_NE(s.find("ledger="), std::string::npos);
+  EXPECT_NE(s.find("node_tx="), std::string::npos);
+  EXPECT_NE(s.find("updates_per_bin="), std::string::npos);
+  // Different seeds produce different summaries.
+  EXPECT_NE(s, summarize(results[1].results));
+}
+
+TEST(SweepSink, FormatDoubleRoundTrips) {
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(42.0), "42");
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(format_double(v)), v);
+}
+
+}  // namespace
+}  // namespace dirq::sweep

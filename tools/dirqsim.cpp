@@ -14,12 +14,21 @@
 //     --series            also print the per-100-epoch update TSV series
 //     --help
 //
+//   dirqsim sweep [options]   — declarative grid on a worker pool
+//     list-valued axis flags (--theta atc,3,5 --relevant 0.2,0.4 ...),
+//     --threads N, --json FILE; see `dirqsim sweep --help`.
+//
 // Prints a run summary (costs, accuracy, cost ratio vs flooding) — the
 // one-command way to reproduce any cell of the paper's evaluation grid.
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "dirq/dirq.hpp"
 
@@ -40,9 +49,15 @@ namespace {
       "  --atc             adaptive threshold control (default mode)\n"
       "  --sampling F      enable sampling suppression, margin F of theta\n"
       "  --series          print the update-per-100-epoch TSV series\n"
-      "  --help            this text\n";
+      "  --help            this text\n"
+      "\n"
+      "subcommand: dirqsim sweep — run a declarative grid of cells on a\n"
+      "worker pool (list-valued axis flags, --threads N, --json FILE);\n"
+      "see `dirqsim sweep --help`.\n";
   std::exit(code);
 }
+
+using UsageFn = void (*)(int);
 
 double parse_double(const char* flag, const char* value) {
   if (value == nullptr) {
@@ -60,28 +75,30 @@ double parse_double(const char* flag, const char* value) {
 /// Strict integer parse: the whole token must be a base-10 integer.
 /// Fractions ("2.5"), trailing junk ("10x"), and overflow are errors —
 /// never silently truncated the way a stod-then-cast would.
-std::int64_t parse_int(const char* flag, const char* value) {
+std::int64_t parse_int(const char* flag, const char* value,
+                       UsageFn on_error = usage) {
   if (value == nullptr) {
     std::cerr << "missing value for " << flag << "\n";
-    usage(2);
+    on_error(2);
   }
   errno = 0;
   char* end = nullptr;
   const long long v = std::strtoll(value, &end, 10);
   if (end == value || *end != '\0' || errno == ERANGE) {
     std::cerr << flag << " expects an integer, got: " << value << "\n";
-    usage(2);
+    on_error(2);
   }
   return static_cast<std::int64_t>(v);
 }
 
 /// parse_int plus a >= 1 check, for counts where 0 or a negative would
 /// otherwise wrap through a size_t/uint64_t cast into a huge value.
-std::int64_t parse_positive_int(const char* flag, const char* value) {
-  const std::int64_t v = parse_int(flag, value);
+std::int64_t parse_positive_int(const char* flag, const char* value,
+                                UsageFn on_error = usage) {
+  const std::int64_t v = parse_int(flag, value, on_error);
   if (v < 1) {
     std::cerr << flag << " must be a positive integer, got: " << value << "\n";
-    usage(2);
+    on_error(2);
   }
   return v;
 }
@@ -89,10 +106,11 @@ std::int64_t parse_positive_int(const char* flag, const char* value) {
 /// Strict unsigned parse covering the full uint64 seed domain (strtoll
 /// would reject valid seeds above INT64_MAX). Negatives are an error, not
 /// a wrap: strtoull accepts a leading '-', so check for it explicitly.
-std::uint64_t parse_uint(const char* flag, const char* value) {
+std::uint64_t parse_uint(const char* flag, const char* value,
+                         UsageFn on_error = usage) {
   if (value == nullptr) {
     std::cerr << "missing value for " << flag << "\n";
-    usage(2);
+    on_error(2);
   }
   errno = 0;
   char* end = nullptr;
@@ -101,15 +119,305 @@ std::uint64_t parse_uint(const char* flag, const char* value) {
       std::string(value).find('-') != std::string::npos) {
     std::cerr << flag << " expects a non-negative integer, got: " << value
               << "\n";
-    usage(2);
+    on_error(2);
   }
   return static_cast<std::uint64_t>(v);
+}
+
+[[noreturn]] void sweep_usage(int code) {
+  std::cout <<
+      "dirqsim sweep — run a declarative experiment grid on a worker pool\n"
+      "\n"
+      "Axis flags take comma-separated lists; the plan is the cartesian\n"
+      "product of every axis. Results print in plan order regardless of\n"
+      "which thread finished first.\n"
+      "  --theta LIST      theta modes: 'atc' and/or fixed percents\n"
+      "                    (e.g. atc,3,5,9; default atc)\n"
+      "  --relevant LIST   involved fractions in (0,1] (default 0.4)\n"
+      "  --seeds LIST      master seeds (default 42)\n"
+      "  --loss LIST       drop probabilities in [0,1) (default 0)\n"
+      "  --mac LIST        transports: instant,lmac (default instant)\n"
+      "  --nodes LIST      network sizes (default 50)\n"
+      "  --paper-grid      the paper's Section-7 grid: theta atc,3,5,9 x\n"
+      "                    relevant 0.2,0.4,0.6 (overrides those two axes)\n"
+      "  --epochs N        sensing epochs per cell (default 20000)\n"
+      "  --query-period N  epochs between queries (default 20)\n"
+      "  --threads N       worker pool size (default: hardware concurrency)\n"
+      "  --json FILE       write the dirq.sweep.v1 JSON document to FILE\n"
+      "  --no-timing       omit wall-clock/RSS from the JSON (byte-stable\n"
+      "                    across runs and thread counts)\n"
+      "  --tsv             also print the grid as a TSV block\n"
+      "  --help            this text\n";
+  std::exit(code);
+}
+
+std::vector<std::string> split_list(const char* flag, const char* value) {
+  if (value == nullptr || *value == '\0') {
+    std::cerr << "missing value for " << flag << "\n";
+    sweep_usage(2);
+  }
+  const std::size_t len = std::strlen(value);
+  if (value[len - 1] == ',') {
+    std::cerr << flag << ": trailing comma in list '" << value << "'\n";
+    sweep_usage(2);
+  }
+  std::vector<std::string> out;
+  std::istringstream in(value);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) {
+      std::cerr << flag << ": empty element in list '" << value << "'\n";
+      sweep_usage(2);
+    }
+    out.push_back(item);
+  }
+  if (out.empty()) {
+    std::cerr << flag << ": empty list\n";
+    sweep_usage(2);
+  }
+  return out;
+}
+
+double parse_list_double(const char* flag, const std::string& item) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(item.c_str(), &end);
+  if (end == item.c_str() || *end != '\0' || errno == ERANGE) {
+    std::cerr << flag << " expects numbers, got: " << item << "\n";
+    sweep_usage(2);
+  }
+  return v;
+}
+
+int run_sweep(int argc, char** argv) {
+  using namespace dirq;
+
+  std::vector<std::string> theta_list{"atc"};
+  std::vector<double> relevant_list{0.4};
+  std::vector<std::uint64_t> seed_list{42};
+  std::vector<double> loss_list{0.0};
+  std::vector<std::string> mac_list{"instant"};
+  std::vector<std::size_t> nodes_list{50};
+  bool paper = false;
+  std::int64_t epochs = 20000;
+  std::int64_t query_period = 20;
+  unsigned threads = 0;
+  std::string json_path;
+  bool timing = true;
+  bool tsv = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--help" || arg == "-h") {
+      sweep_usage(0);
+    } else if (arg == "--theta") {
+      theta_list = split_list("--theta", next);
+      ++i;
+    } else if (arg == "--relevant") {
+      relevant_list.clear();
+      for (const std::string& s : split_list("--relevant", next)) {
+        relevant_list.push_back(parse_list_double("--relevant", s));
+      }
+      ++i;
+    } else if (arg == "--seeds") {
+      seed_list.clear();
+      for (const std::string& s : split_list("--seeds", next)) {
+        seed_list.push_back(parse_uint("--seeds", s.c_str(), sweep_usage));
+      }
+      ++i;
+    } else if (arg == "--loss") {
+      loss_list.clear();
+      for (const std::string& s : split_list("--loss", next)) {
+        loss_list.push_back(parse_list_double("--loss", s));
+      }
+      ++i;
+    } else if (arg == "--mac") {
+      mac_list = split_list("--mac", next);
+      ++i;
+    } else if (arg == "--nodes") {
+      nodes_list.clear();
+      for (const std::string& s : split_list("--nodes", next)) {
+        nodes_list.push_back(static_cast<std::size_t>(
+            parse_positive_int("--nodes", s.c_str(), sweep_usage)));
+      }
+      ++i;
+    } else if (arg == "--paper-grid") {
+      paper = true;
+    } else if (arg == "--epochs") {
+      epochs = parse_positive_int("--epochs", next, sweep_usage);
+      ++i;
+    } else if (arg == "--query-period") {
+      query_period = parse_positive_int("--query-period", next, sweep_usage);
+      ++i;
+    } else if (arg == "--threads") {
+      // 0 is meaningful: use hardware concurrency (the documented default).
+      const std::int64_t v = parse_int("--threads", next, sweep_usage);
+      if (v < 0 || v > 4096) {
+        std::cerr << "--threads must be in [0, 4096], got: " << next << "\n";
+        sweep_usage(2);
+      }
+      threads = static_cast<unsigned>(v);
+      ++i;
+    } else if (arg == "--json") {
+      if (next == nullptr) {
+        std::cerr << "missing value for --json\n";
+        sweep_usage(2);
+      }
+      json_path = next;
+      ++i;
+    } else if (arg == "--no-timing") {
+      timing = false;
+    } else if (arg == "--tsv") {
+      tsv = true;
+    } else {
+      std::cerr << "unknown sweep option: " << arg << "\n";
+      sweep_usage(2);
+    }
+  }
+
+  // Axis construction. Every axis is always present (single-valued axes
+  // still label their coordinate) so the output schema is uniform.
+  sweep::ExperimentPlan plan("dirqsim-sweep", [&] {
+    core::ExperimentConfig base = sweep::paper_config(seed_list.front());
+    base.epochs = epochs;
+    base.query_period = query_period;
+    base.keep_records = false;
+    return base;
+  }());
+  if (paper) {
+    plan.axis(sweep::paper_theta_axis());
+    plan.axis(sweep::paper_relevant_axis());
+  } else {
+    std::vector<sweep::AxisValue> thetas;
+    for (const std::string& t : theta_list) {
+      if (t == "atc" || t == "ATC") {
+        thetas.push_back(sweep::atc());
+      } else {
+        const double pct = parse_list_double("--theta", t);
+        if (!(pct > 0.0 && pct <= 100.0)) {
+          std::cerr << "--theta fixed percents must be in (0, 100]\n";
+          return 2;
+        }
+        thetas.push_back(sweep::fixed_theta(pct));
+      }
+    }
+    plan.axis(sweep::theta_axis(std::move(thetas)));
+    for (const double f : relevant_list) {
+      if (!(f > 0.0 && f <= 1.0)) {
+        std::cerr << "--relevant fractions must be in (0, 1]\n";
+        return 2;
+      }
+    }
+    plan.axis(sweep::relevant_axis(relevant_list));
+  }
+  plan.axis(sweep::seed_axis(seed_list));
+  for (const double l : loss_list) {
+    if (!(l >= 0.0 && l < 1.0)) {
+      std::cerr << "--loss rates must be in [0, 1)\n";
+      return 2;
+    }
+  }
+  plan.axis(sweep::loss_axis(loss_list));
+  std::vector<core::TransportKind> transports;
+  for (const std::string& m : mac_list) {
+    if (m == "instant") {
+      transports.push_back(core::TransportKind::Instant);
+    } else if (m == "lmac") {
+      transports.push_back(core::TransportKind::Lmac);
+    } else {
+      std::cerr << "--mac must list 'instant' and/or 'lmac', got: " << m << "\n";
+      return 2;
+    }
+  }
+  plan.axis(sweep::transport_axis(transports));
+  plan.axis(sweep::nodes_axis(nodes_list));
+
+  std::size_t total = 0;
+  try {
+    total = plan.size();
+  } catch (const std::exception& e) {
+    std::cerr << "dirqsim sweep: " << e.what() << "\n";
+    return 2;
+  }
+
+  sweep::SweepOptions opts;
+  opts.threads = threads;
+  std::size_t done = 0;
+  opts.progress = [&done, total](const sweep::PlanCell& cell, bool ok) {
+    ++done;
+    std::cerr << "[" << done << "/" << total << "] " << cell.label
+              << (ok ? "" : "  <failed>") << "\n";
+  };
+
+  // Open the JSON target before spending any compute: an unwritable path
+  // must fail in milliseconds, not after the whole grid has run.
+  sweep::ConsoleTableSink console(std::cout);
+  sweep::TsvSink tsv_sink(std::cout);
+  std::ofstream json_file;
+  std::vector<sweep::ResultSink*> sinks{&console};
+  if (tsv) sinks.push_back(&tsv_sink);
+  std::optional<sweep::JsonSink> json_sink;
+  if (!json_path.empty()) {
+    json_file.open(json_path);
+    if (!json_file) {
+      std::cerr << "dirqsim sweep: cannot open " << json_path
+                << " for writing\n";
+      return 1;
+    }
+    json_sink.emplace(json_file, timing);
+    sinks.push_back(&*json_sink);
+  }
+
+  const sweep::SweepRunner runner(opts);
+  std::cerr << "dirqsim sweep: " << total << " cells on "
+            << runner.thread_count(total) << " thread(s)\n";
+  const std::vector<sweep::CellResult> results = runner.run(plan);
+
+  const sweep::SweepHeader header{
+      "dirqsim sweep", plan.name(),
+      {"theta", "relevant", "seed", "loss", "mac", "nodes", "dirq_total",
+       "flood_total", "ratio", "overshoot_%", "coverage_%", "updates"}};
+  const sweep::RowMapper mapper = [](const sweep::CellResult& r) {
+    const core::ExperimentResults& res = r.results;
+    return std::vector<std::string>{
+        *r.cell.coordinate("theta"),
+        *r.cell.coordinate("relevant"),
+        *r.cell.coordinate("seed"),
+        *r.cell.coordinate("loss"),
+        *r.cell.coordinate("mac"),
+        *r.cell.coordinate("nodes"),
+        std::to_string(res.ledger.total()),
+        std::to_string(res.flooding_total),
+        metrics::fmt(res.cost_ratio(), 3),
+        metrics::fmt(res.overshoot_pct.mean()),
+        metrics::fmt(res.coverage_pct.mean()),
+        std::to_string(res.updates_transmitted)};
+  };
+
+  sweep::report(header, results, mapper, sinks);
+  if (!json_path.empty()) {
+    std::cerr << "dirqsim sweep: wrote " << json_path << "\n";
+  }
+
+  for (const sweep::CellResult& r : results) {
+    if (!r.ok()) {
+      std::cerr << "dirqsim sweep: cell '" << r.cell.label
+                << "' failed: " << r.error << "\n";
+      return 1;
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dirq;
+
+  if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) {
+    return run_sweep(argc - 2, argv + 2);
+  }
 
   core::ExperimentConfig cfg;
   cfg.network.mode = core::NetworkConfig::ThetaMode::Atc;

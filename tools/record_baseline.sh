@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Regenerates the checked-in perf baseline (ROADMAP "Perf baseline" item):
+# wall-clock and peak-RSS for the paper's reference 50-node / 20 000-epoch
+# ATC run on both transports, captured by the sweep JSON sink.
+#
+#   tools/record_baseline.sh [build-dir]     (run from the repo root,
+#                                             against a Release build)
+#
+# --threads 1 keeps per-cell wall_seconds free of scheduling contention so
+# later optimisation PRs can compare like with like; the timings are
+# machine-dependent snapshots, the structural metrics are deterministic.
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT=bench/baselines/reference_50n_20000e.json
+
+mkdir -p bench/baselines
+"$BUILD_DIR/tools/dirqsim" sweep \
+  --nodes 50 --epochs 20000 --theta atc --relevant 0.4 --seeds 42 \
+  --mac instant,lmac --threads 1 --json "$OUT"
+echo "baseline written to $OUT"
