@@ -1,0 +1,198 @@
+// E9 — large-topology tier: epoch throughput and peak RSS as the network
+// grows from the paper's 50 nodes toward production scale (ROADMAP "Larger
+// topologies"). Not a paper figure; the scaling ledger behind the spatial
+// index + flat hot-path refactor.
+//
+//   bench_scale_topology [--nodes LIST] [--epochs N] [--json FILE]
+//
+// For each node count: placement/topology build wall-clock (grid-indexed
+// link construction), a full fixed-theta experiment run, epoch throughput,
+// and process peak RSS. getrusage's peak is a process-lifetime high-water
+// mark, so the RSS column is monotone across rows ("peak so far"): a
+// row's own footprint is only attributable when it is the largest cell
+// run up to that point (run cells ascending, or one cell per invocation,
+// as tools/record_baseline.sh does for the 500-node baseline). One extra row runs the 500-node cell with bursty
+// query arrivals (burst 200 epochs / gap 600) so the rate predictor's
+// behaviour under non-smooth load is part of the tracked surface.
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/placement.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace dirq;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Strict positive-integer parse (same contract as dirqsim's parse_int:
+/// the whole token must be base-10, no wrap, no truncation).
+std::int64_t parse_count(const char* flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE || v < 1) {
+    std::cerr << "bench_scale_topology: " << flag
+              << " expects a positive integer, got: '" << value << "'\n";
+    std::exit(2);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+struct ScaleRow {
+  std::size_t nodes = 0;
+  std::int64_t epochs = 0;
+  std::string workload;  // "smooth" or "burst L/G"
+  double build_seconds = 0.0;
+  double run_seconds = 0.0;
+  double epochs_per_sec = 0.0;
+  std::int64_t updates = 0;
+  long peak_rss_so_far_kib = 0;  // process high-water mark, monotone across rows
+};
+
+core::ExperimentConfig scale_config(std::size_t nodes, std::int64_t epochs) {
+  core::ExperimentConfig cfg;
+  cfg.seed = 42;
+  cfg.placement = net::scaled_placement(nodes);
+  cfg.epochs = epochs;
+  cfg.network.mode = core::NetworkConfig::ThetaMode::Fixed;
+  cfg.network.fixed_pct = 5.0;
+  cfg.keep_records = false;
+  return cfg;
+}
+
+ScaleRow run_cell(std::size_t nodes, std::int64_t epochs,
+                  std::int64_t burst_length, std::int64_t burst_gap) {
+  ScaleRow row;
+  row.nodes = nodes;
+  row.epochs = epochs;
+  row.workload = burst_length > 0 ? "burst " + std::to_string(burst_length) +
+                                        "/" + std::to_string(burst_gap)
+                                  : "smooth";
+
+  core::ExperimentConfig cfg = scale_config(nodes, epochs);
+  cfg.burst_length_epochs = burst_length;
+  cfg.burst_gap_epochs = burst_gap;
+
+  {
+    // Topology construction cost in isolation (placement + link build).
+    sim::Rng rng(cfg.seed);
+    const auto start = Clock::now();
+    const net::Topology topo = net::random_connected(cfg.placement, rng);
+    row.build_seconds = seconds_since(start);
+    (void)topo;
+  }
+
+  const auto start = Clock::now();
+  const core::ExperimentResults res = core::Experiment(cfg).run();
+  row.run_seconds = seconds_since(start);
+  row.epochs_per_sec = row.run_seconds > 0.0
+                           ? static_cast<double>(epochs) / row.run_seconds
+                           : 0.0;
+  row.updates = res.updates_transmitted;
+  row.peak_rss_so_far_kib = sweep::peak_rss_kib();
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<ScaleRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_scale_topology: cannot open " << path << "\n";
+    std::exit(1);
+  }
+  out << "{\n  \"schema\": \"dirq.scale.v1\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& r = rows[i];
+    out << "    {\"nodes\": " << r.nodes << ", \"epochs\": " << r.epochs
+        << ", \"workload\": \"" << r.workload << "\""
+        << ", \"build_seconds\": " << r.build_seconds
+        << ", \"run_seconds\": " << r.run_seconds
+        << ", \"epochs_per_sec\": " << r.epochs_per_sec
+        << ", \"updates\": " << r.updates
+        << ", \"peak_rss_so_far_kib\": " << r.peak_rss_so_far_kib << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> node_counts{50, 500, 1000, 2000};
+  std::int64_t epochs = 2000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--nodes" && next != nullptr) {
+      node_counts.clear();
+      std::string item;
+      for (const char* p = next;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          node_counts.push_back(
+              static_cast<std::size_t>(parse_count("--nodes", item)));
+          item.clear();
+          if (*p == '\0') break;
+        } else {
+          item.push_back(*p);
+        }
+      }
+      ++i;
+    } else if (arg == "--epochs" && next != nullptr) {
+      epochs = parse_count("--epochs", next);
+      ++i;
+    } else if (arg == "--json" && next != nullptr) {
+      json_path = next;
+      ++i;
+    } else {
+      std::cerr << "usage: bench_scale_topology [--nodes LIST] [--epochs N]"
+                   " [--json FILE]\n";
+      return 2;
+    }
+  }
+
+  dirq::bench::print_header(
+      "E9 — large-topology scaling: epoch throughput + peak RSS",
+      "ROADMAP 'Larger topologies'; fixed theta=5%, scaled placement");
+
+  std::vector<ScaleRow> rows;
+  for (std::size_t n : node_counts) {
+    rows.push_back(run_cell(n, epochs, 0, 0));
+    std::cerr << "  " << n << " nodes done ("
+              << dirq::metrics::fmt(rows.back().run_seconds) << " s)\n";
+  }
+  // Bursty-arrival row (ROADMAP "bursty/diurnal"): same 500-node cell, the
+  // query stream gated to 200-epoch bursts separated by 600 silent epochs.
+  rows.push_back(run_cell(500, epochs, 200, 600));
+  std::cerr << "  500-node burst row done\n";
+
+  dirq::metrics::TsvBlock tsv(
+      "scale tier: epoch throughput",
+      {"nodes", "epochs", "workload", "build_s", "run_s", "epochs_per_s",
+       "updates", "peak_rss_so_far_kib"});
+  for (const ScaleRow& r : rows) {
+    tsv.add_row({std::to_string(r.nodes), std::to_string(r.epochs), r.workload,
+                 dirq::metrics::fmt(r.build_seconds, 3),
+                 dirq::metrics::fmt(r.run_seconds, 3),
+                 dirq::metrics::fmt(r.epochs_per_sec, 1),
+                 std::to_string(r.updates), std::to_string(r.peak_rss_so_far_kib)});
+  }
+  tsv.print(std::cout);
+
+  if (!json_path.empty()) {
+    write_json(json_path, rows);
+    std::cerr << "bench_scale_topology: wrote " << json_path << "\n";
+  }
+  return 0;
+}

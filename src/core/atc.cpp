@@ -5,18 +5,6 @@
 
 namespace dirq::core {
 
-double nominal_span(SensorType type) {
-  // Mirrors data::default_params: roughly 2*diurnal + 2*bump + noise head-
-  // room. These are deployment constants a user would configure per type.
-  switch (type) {
-    case kSensorTemperature: return 22.0;   // ~11 C to ~33 C
-    case kSensorHumidity: return 45.0;      // ~35 % to ~80 %
-    case kSensorLight: return 1100.0;       // ~0 to ~1100 lux
-    case kSensorSoilMoisture: return 25.0;  // ~22 % to ~47 %
-    default: return 30.0;
-  }
-}
-
 AtcController::AtcController(AtcConfig cfg) : cfg_(cfg) {}
 
 AtcController::TypeState& AtcController::state(SensorType type) {

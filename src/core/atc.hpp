@@ -35,7 +35,16 @@ namespace dirq::core {
 /// Nominal dynamic range of each sensor type in sensor units; the base the
 /// paper's theta percentages are applied to. Matches the default field
 /// parameters in src/data (diurnal swing + front amplitude + noise).
-double nominal_span(SensorType type);
+/// Constexpr-inline: theta(type) sits on the per-sample hot path.
+constexpr double nominal_span(SensorType type) noexcept {
+  switch (type) {
+    case kSensorTemperature: return 22.0;   // ~11 C to ~33 C
+    case kSensorHumidity: return 45.0;      // ~35 % to ~80 %
+    case kSensorLight: return 1100.0;       // ~0 to ~1100 lux
+    case kSensorSoilMoisture: return 25.0;  // ~22 % to ~47 %
+    default: return 30.0;
+  }
+}
 
 /// Strategy interface consulted by DirqNode for the current threshold.
 class ThetaController {

@@ -8,9 +8,10 @@ namespace dirq::core {
 
 DirqNode::DirqNode(NodeId id, std::vector<SensorType> sensors,
                    std::unique_ptr<ThetaController> controller)
-    : id_(id),
-      sensors_(sensors.begin(), sensors.end()),
-      controller_(std::move(controller)) {}
+    : id_(id), sensors_(std::move(sensors)), controller_(std::move(controller)) {
+  std::sort(sensors_.begin(), sensors_.end());
+  sensors_.erase(std::unique(sensors_.begin(), sensors_.end()), sensors_.end());
+}
 
 void DirqNode::set_children(std::vector<NodeId> children) {
   std::sort(children.begin(), children.end());
@@ -26,7 +27,9 @@ const RangeTable* DirqNode::table(SensorType type) const {
 }
 
 void DirqNode::sample(SensorType type, double reading, std::int64_t epoch) {
-  if (!sensors_.contains(type)) return;  // not our sensor: ignore
+  if (!std::binary_search(sensors_.begin(), sensors_.end(), type)) {
+    return;  // not our sensor: ignore
+  }
   controller_->on_reading(type, reading);
   RangeTable& t = table_mut(type);
   if (t.observe(reading, controller_->theta(type))) {
@@ -186,7 +189,9 @@ bool DirqNode::believes_relevant(const query::MultiQuery& q) const {
   if (q.predicates.empty()) return false;
   if (q.region && has_position_ && !q.region->contains(x_, y_)) return false;
   for (const query::AttributePredicate& p : q.predicates) {
-    if (!sensors_.contains(p.type)) return false;
+    if (!std::binary_search(sensors_.begin(), sensors_.end(), p.type)) {
+      return false;
+    }
     auto it = tables_.find(p.type);
     if (it == tables_.end() || !it->second.own().has_value()) return false;
     const RangeEntry& own = *it->second.own();
@@ -228,10 +233,15 @@ void DirqNode::force_reannounce(std::int64_t epoch) {
   announce_location(epoch);
 }
 
-void DirqNode::attach_sensor(SensorType type) { sensors_.insert(type); }
+void DirqNode::attach_sensor(SensorType type) {
+  const auto it = std::lower_bound(sensors_.begin(), sensors_.end(), type);
+  if (it == sensors_.end() || *it != type) sensors_.insert(it, type);
+}
 
 void DirqNode::detach_sensor(SensorType type, std::int64_t epoch) {
-  if (sensors_.erase(type) == 0) return;
+  const auto s = std::lower_bound(sensors_.begin(), sensors_.end(), type);
+  if (s == sensors_.end() || *s != type) return;
+  sensors_.erase(s);
   auto it = tables_.find(type);
   if (it == tables_.end()) return;
   it->second.clear_own();

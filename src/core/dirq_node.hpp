@@ -9,14 +9,13 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "core/atc.hpp"
 #include "core/messages.hpp"
 #include "core/range_table.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/types.hpp"
 
 namespace dirq::core {
@@ -97,7 +96,8 @@ class DirqNode {
   /// Post-deployment sensor change on this node (§4.2 scalability).
   void attach_sensor(SensorType type);
   void detach_sensor(SensorType type, std::int64_t epoch);
-  [[nodiscard]] const std::set<SensorType>& sensors() const noexcept {
+  /// Attached sensor types, sorted ascending.
+  [[nodiscard]] const std::vector<SensorType>& sensors() const noexcept {
     return sensors_;
   }
 
@@ -148,11 +148,13 @@ class DirqNode {
   NodeId id_;
   NodeId parent_ = kNoNode;
   std::vector<NodeId> children_;
-  std::set<SensorType> sensors_;
-  std::map<SensorType, RangeTable> tables_;
+  // Hot-path state is flat: sorted vectors / FlatMaps keyed by the dense
+  // sensor-type and node-id domains, iterated every epoch by every node.
+  std::vector<SensorType> sensors_;  // sorted, unique
+  sim::FlatMap<SensorType, RangeTable> tables_;
   double x_ = 0.0, y_ = 0.0;
   bool has_position_ = false;
-  std::map<NodeId, net::BBox> child_boxes_;
+  sim::FlatMap<NodeId, net::BBox> child_boxes_;
   net::BBox sent_box_ = net::BBox::empty();
   bool box_sent_ = false;
   std::unique_ptr<ThetaController> controller_;

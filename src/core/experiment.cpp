@@ -32,6 +32,11 @@ void ExperimentConfig::validate() const {
   if (!(loss_rate >= 0.0 && loss_rate < 1.0)) {
     fail("loss_rate must be in [0, 1)");
   }
+  if (burst_length_epochs < 0) fail("burst_length_epochs must be >= 0");
+  if (burst_gap_epochs < 0) fail("burst_gap_epochs must be >= 0");
+  if (burst_length_epochs == 0 && burst_gap_epochs > 0) {
+    fail("burst_gap_epochs requires burst_length_epochs > 0");
+  }
   if (transport == TransportKind::Lmac) {
     if (lmac.slots_per_frame < 1 || lmac.slots_per_frame > 64) {
       fail("lmac.slots_per_frame must be in [1, 64]");
@@ -170,10 +175,8 @@ ExperimentResults Experiment::run() {
       // Record the same Umax/Hr the root just derived (Fig. 6 lines).
       const auto nodes = static_cast<std::int64_t>(network.tree().size());
       const auto links = static_cast<std::int64_t>(topo.link_count());
-      std::int64_t internal = 0;
-      for (NodeId u : network.tree().bfs_order()) {
-        if (!network.tree().children(u).empty()) ++internal;
-      }
+      const auto internal =
+          static_cast<std::int64_t>(network.tree().internal_node_count());
       res.umax_per_hour.push_back(
           nodes >= 2
               ? std::max(0.0, analysis::f_max_graph(nodes, links, internal)) *
@@ -184,37 +187,40 @@ ExperimentResults Experiment::run() {
     network.process_epoch(env, epoch);
 
     if (epoch % cfg_.query_period == 0 && epoch > 0) {
+      // A pending (LMAC) query is audited at every period boundary — also
+      // inside a burst gap — so each one gets the same query_period-frame
+      // dissemination window regardless of the arrival shape.
       if (pending) {
         finalize_query(*pending, network.collect_outcome());
         pending.reset();
       }
-      query::RangeQuery q = workload.next(epoch);
-      predictor.record_query(epoch);
-      PendingQuery p;
-      p.epoch = epoch;
-      p.type = q.type;
-      p.truth = query::compute_involvement(q, topo, network.tree(), env);
-      p.population =
-          network.tree().size() > 0 ? network.tree().size() - 1 : 0;
-      p.flooding_cost = flooding.analytical_cost();
-      if (use_lmac) {
-        network.inject_async(q, epoch);
-        pending = std::move(p);
-      } else {
-        finalize_query(p, network.inject(q, epoch));
+      const bool in_burst =
+          cfg_.burst_length_epochs <= 0 ||
+          epoch % (cfg_.burst_length_epochs + cfg_.burst_gap_epochs) <
+              cfg_.burst_length_epochs;
+      if (in_burst) {
+        query::RangeQuery q = workload.next(epoch);
+        predictor.record_query(epoch);
+        PendingQuery p;
+        p.epoch = epoch;
+        p.type = q.type;
+        p.truth = query::compute_involvement(q, topo, network.tree(), env);
+        p.population =
+            network.tree().size() > 0 ? network.tree().size() - 1 : 0;
+        p.flooding_cost = flooding.analytical_cost();
+        if (use_lmac) {
+          network.inject_async(q, epoch);
+          pending = std::move(p);
+        } else {
+          finalize_query(p, network.inject(q, epoch));
+        }
       }
     }
 
     if (epoch % cfg_.series_bin == 0) {
       // Mean temperature-theta across alive non-root nodes: ATC trace.
-      double sum = 0.0;
-      std::size_t n = 0;
-      for (NodeId u : network.tree().bfs_order()) {
-        if (u == network.root()) continue;
-        sum += network.node(u).controller().theta_pct(kSensorTemperature);
-        ++n;
-      }
-      res.theta_pct_series.push_back(n ? sum / static_cast<double>(n) : 0.0);
+      res.theta_pct_series.push_back(
+          network.mean_theta_pct(kSensorTemperature));
     }
 
     if (use_lmac) {

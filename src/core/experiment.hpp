@@ -50,6 +50,15 @@ struct ExperimentConfig {
   NetworkConfig network{};
   std::int64_t epochs_per_hour = kEpochsPerHour;
   std::int64_t series_bin = 100;  // Fig. 6's "every 100 epochs"
+  /// Bursty/diurnal query arrivals (ROADMAP "new workloads"): when
+  /// burst_length_epochs > 0, queries are injected only while the cycle
+  /// phase epoch % (burst_length_epochs + burst_gap_epochs) falls inside
+  /// the burst; the gap is silent. Injection stays on the query_period
+  /// lattice within a burst, so the rate predictor sees strongly
+  /// non-smooth hourly counts instead of the paper's constant stream.
+  /// burst_length_epochs == 0 (default) keeps the smooth arrivals.
+  std::int64_t burst_length_epochs = 0;
+  std::int64_t burst_gap_epochs = 0;
   /// Keep the full per-query record list (1 000 entries for the default
   /// run); benches that only need aggregates can switch it off.
   bool keep_records = true;

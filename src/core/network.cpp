@@ -40,7 +40,7 @@ DirqNetwork::DirqNetwork(net::Topology& topo, NodeId root, NetworkConfig cfg)
   for (DirqNode& n : nodes_) wire_node(n);
   // Bootstrap the static location attribute: leaves-first announcement so
   // subtree bounding boxes aggregate toward the root in a single wave.
-  const std::vector<NodeId> order = tree_.bfs_order();
+  const std::vector<NodeId>& order = tree_.bfs_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     nodes_[*it].announce_location(0);
   }
@@ -88,34 +88,54 @@ void DirqNetwork::process_epoch(const data::ReadingSource& env,
   current_epoch_ = epoch;
   // Leaves-first (reverse BFS) ordering makes the within-epoch update
   // cascade settle in a single pass with the instant transport; any order
-  // is correct since parents re-check on every child update.
-  const std::vector<NodeId> order = tree_.bfs_order();
+  // is correct since parents re-check on every child update. The order is
+  // the tree's cached (alive-only) BFS order — no per-epoch allocation —
+  // and each node's epoch work (sampling, theta checks, update
+  // propagation, controller end-of-epoch step) is batched into this one
+  // walk. The end-of-epoch step only mutates the node's own controller, so
+  // running it per node inside the pass is equivalent to a separate
+  // whole-network sweep.
+  const std::vector<NodeId>& order = tree_.bfs_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId u = *it;
     if (!topo_.is_alive(u)) continue;
     const net::Node& info = topo_.node(u);
-    for (SensorType t : info.sensors) {
-      SamplingController& gate = samplers_[u];
-      if (!gate.should_sample(t, epoch)) {
-        gate.on_skip(t);  // predictor confident: save the ADC energy (§8)
-        continue;
+    SamplingController& gate = samplers_[u];
+    if (!gate.enabled()) {
+      // Suppression off (the paper's evaluated configuration): sample
+      // every sensor, skip the predictor bookkeeping entirely.
+      for (SensorType t : info.sensors) {
+        nodes_[u].sample(t, env.reading(u, t), epoch);
+        gate.count_sample();
       }
-      const double reading = env.reading(u, t);
-      nodes_[u].sample(t, reading, epoch);
-      gate.on_sample(t, reading, nodes_[u].controller().theta(t), epoch);
+    } else {
+      for (SensorType t : info.sensors) {
+        if (!gate.should_sample(t, epoch)) {
+          gate.on_skip(t);  // predictor confident: save the ADC energy (§8)
+          continue;
+        }
+        const double reading = env.reading(u, t);
+        nodes_[u].sample(t, reading, epoch);
+        gate.on_sample(t, reading, nodes_[u].controller().theta(t), epoch);
+      }
     }
-  }
-  for (NodeId u : order) {
-    if (topo_.is_alive(u)) nodes_[u].end_epoch(epoch);
+    nodes_[u].end_epoch(epoch);
   }
 }
 
 std::int64_t DirqNetwork::internal_node_count() const {
-  std::int64_t internal = 0;
+  return static_cast<std::int64_t>(tree_.internal_node_count());
+}
+
+double DirqNetwork::mean_theta_pct(SensorType type) const {
+  double sum = 0.0;
+  std::size_t n = 0;
   for (NodeId u : tree_.bfs_order()) {
-    if (!tree_.children(u).empty()) ++internal;
+    if (u == root_ || !topo_.is_alive(u)) continue;
+    sum += nodes_[u].controller().theta_pct(type);
+    ++n;
   }
-  return internal;
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
 }
 
 void DirqNetwork::broadcast_ehr(double expected_queries_per_hour,

@@ -122,6 +122,12 @@ class DirqNetwork final : public MessageSink {
   [[nodiscard]] std::int64_t samples_taken() const;
   [[nodiscard]] std::int64_t samples_skipped() const;
 
+  /// Mean threshold (as % of the type's nominal span) over alive non-root
+  /// tree members — the ATC trajectory series. Centralises the alive
+  /// filter: dead nodes never contribute, matching the tree's cached
+  /// (alive-only) BFS order.
+  [[nodiscard]] double mean_theta_pct(SensorType type) const;
+
   /// The per-node sampling gate (tests and diagnostics).
   [[nodiscard]] const SamplingController& sampler(NodeId id) const {
     return samplers_.at(id);

@@ -17,12 +17,10 @@ bool RangeTable::observe(double reading, double theta) {
 void RangeTable::clear_own() { own_.reset(); }
 
 bool RangeTable::set_child(NodeId child, RangeEntry range) {
-  auto [it, inserted] = children_.insert_or_assign(child, range);
-  (void)it;
-  if (inserted) return true;
-  // insert_or_assign overwrote; detect no-op writes for callers that avoid
-  // re-aggregating. (Entries are tiny; compare by value.)
-  return true;  // conservative: treat any assign as a change
+  children_.insert_or_assign(child, range);
+  // Conservative: treat any assign as a change (callers that avoid
+  // re-aggregating would need a by-value comparison here).
+  return true;
 }
 
 bool RangeTable::remove_child(NodeId child) {

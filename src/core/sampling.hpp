@@ -18,8 +18,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 
+#include "sim/flat_map.hpp"
 #include "sim/types.hpp"
 
 namespace dirq::core {
@@ -56,6 +56,13 @@ class SamplingController {
   /// Records an epoch where sampling was skipped (for the energy ledger).
   void on_skip(SensorType type);
 
+  /// Fast path for the disabled gate: counts the physical sample without
+  /// maintaining predictor state (which is dead weight when suppression is
+  /// off — the epoch loop calls this once per sensor per node per epoch).
+  void count_sample() noexcept { ++taken_; }
+
+  [[nodiscard]] bool enabled() const noexcept { return cfg_.enabled; }
+
   [[nodiscard]] std::int64_t samples_taken() const noexcept { return taken_; }
   [[nodiscard]] std::int64_t samples_skipped() const noexcept { return skipped_; }
 
@@ -80,7 +87,7 @@ class SamplingController {
   };
 
   SamplingConfig cfg_;
-  std::map<SensorType, TypeState> types_;
+  sim::FlatMap<SensorType, TypeState> types_;
   std::int64_t taken_ = 0;
   std::int64_t skipped_ = 0;
 };

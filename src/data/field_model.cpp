@@ -122,6 +122,18 @@ Field::Field(SensorType type, FieldParams params, const net::Topology& topo,
   }
   regional_.assign(cells_x_ * cells_y_, 0.0);
   node_noise_.assign(nodes.size(), 0.0);
+  node_cell_.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    node_cell_.push_back(cell_of(node_x_[i], node_y_[i]));
+  }
+  refresh_diurnal();
+}
+
+void Field::refresh_diurnal() {
+  diurnal_ = params_.diurnal_amplitude *
+             std::sin(2.0 * std::numbers::pi * static_cast<double>(epoch_) /
+                          params_.diurnal_period +
+                      params_.phase);
 }
 
 void Field::advance_to(std::int64_t epoch) {
@@ -147,6 +159,7 @@ void Field::step_once() {
   for (double& n : node_noise_) {
     n = params_.node_rho * n + rng_.normal(0.0, params_.node_sigma);
   }
+  refresh_diurnal();
 }
 
 std::size_t Field::cell_of(double x, double y) const {
@@ -159,23 +172,30 @@ std::size_t Field::cell_of(double x, double y) const {
   return cy * cells_x_ + cx;
 }
 
-double Field::field_at(double x, double y) const {
-  double v = params_.base +
-             params_.diurnal_amplitude *
-                 std::sin(2.0 * std::numbers::pi *
-                              static_cast<double>(epoch_) /
-                              params_.diurnal_period +
-                          params_.phase) +
+double Field::field_value(double x, double y, std::size_t cell) const {
+  double v = params_.base + diurnal_ +
              params_.gradient_x * (x - min_x_) / area_w_ +
              params_.gradient_y * (y - min_y_) / area_h_;
   for (const Bump& b : bumps_) {
     const double dx = x - b.cx;
     const double dy = y - b.cy;
-    v += b.amplitude *
-         std::exp(-(dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma));
+    const double z = (dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma);
+    // Far-field cutoff, value-identical by construction: exp(-z) for
+    // z > 80 is below 1.8e-35, so the term is under |amplitude| * 1.8e-35
+    // — far less than half an ulp of any |v| >= 1e-6 (ulp(1e-6)/2 ~ 1e-22
+    // for amplitudes up to 1e6), and x + t == x in round-to-nearest
+    // whenever |t| < ulp(x)/2. Large topologies put most nodes in this
+    // regime for most fronts; the paper-scale 100x100 area never does, so
+    // the goldens are untouched twice over.
+    if (z > 80.0 && (v > 1e-6 || v < -1e-6)) continue;
+    v += b.amplitude * std::exp(-z);
   }
-  v += regional_[cell_of(x, y)];
+  v += regional_[cell];
   return v;
+}
+
+double Field::field_at(double x, double y) const {
+  return field_value(x, y, cell_of(x, y));
 }
 
 void Field::adopt_new_nodes() const {
@@ -186,13 +206,15 @@ void Field::adopt_new_nodes() const {
   for (std::size_t i = node_x_.size(); i < nodes.size(); ++i) {
     node_x_.push_back(nodes[i].x);
     node_y_.push_back(nodes[i].y);
+    node_cell_.push_back(cell_of(nodes[i].x, nodes[i].y));
     node_noise_.push_back(0.0);
   }
 }
 
 double Field::reading(NodeId node) const {
   if (node >= node_x_.size()) adopt_new_nodes();
-  return field_at(node_x_.at(node), node_y_.at(node)) + node_noise_.at(node);
+  return field_value(node_x_.at(node), node_y_.at(node), node_cell_[node]) +
+         node_noise_.at(node);
 }
 
 Environment::Environment(const net::Topology& topo,

@@ -95,6 +95,11 @@ class Field {
 
   [[nodiscard]] std::size_t cell_of(double x, double y) const;
   void step_once();
+  void refresh_diurnal();
+  /// Shared evaluation core: identical arithmetic for field_at (which
+  /// resolves the cell per call) and reading (which uses the cached
+  /// per-node cell), so both produce bit-identical values.
+  [[nodiscard]] double field_value(double x, double y, std::size_t cell) const;
 
   void adopt_new_nodes() const;
 
@@ -107,9 +112,11 @@ class Field {
   // Geometry captured from the topology (lazily extended on node addition;
   // mutable because adoption happens inside const readers).
   mutable std::vector<double> node_x_, node_y_;
+  mutable std::vector<std::size_t> node_cell_;  // cached cell_of per node
   double min_x_ = 0.0, min_y_ = 0.0;
   double area_w_ = 1.0, area_h_ = 1.0;
   std::size_t cells_x_ = 1, cells_y_ = 1;
+  double diurnal_ = 0.0;  // amplitude * sin(...) for the current epoch
 
   std::vector<Bump> bumps_;
   std::vector<double> regional_;           // AR(1) value per grid cell

@@ -59,6 +59,20 @@ Topology random_connected(const RandomPlacementConfig& cfg, sim::Rng& rng) {
       std::to_string(cfg.max_attempts) + " attempts");
 }
 
+RandomPlacementConfig scaled_placement(std::size_t node_count,
+                                       RandomPlacementConfig base) {
+  base.node_count = node_count;
+  if (node_count <= 50) return base;  // the paper's evaluated scale
+  const double ratio = static_cast<double>(node_count) / 50.0;
+  base.area_side = 100.0 * std::sqrt(ratio);
+  base.radio_range =
+      22.0 * std::sqrt(std::log(static_cast<double>(node_count)) /
+                       std::log(50.0));
+  base.max_children = node_count;
+  base.max_depth = node_count;
+  return base;
+}
+
 Topology grid(std::size_t rows, std::size_t cols, double spacing,
               std::size_t sensor_type_count) {
   if (rows == 0 || cols == 0) throw std::invalid_argument("grid: empty");

@@ -1,7 +1,6 @@
 #include "net/spanning_tree.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <stdexcept>
 
 namespace dirq::net {
@@ -18,27 +17,35 @@ void SpanningTree::rebuild(const Topology& topo) {
   parent_.assign(n, kNoNode);
   children_.assign(n, {});
   depth_.assign(n, -1);
+  order_.clear();
   member_count_ = 0;
+  internal_count_ = 0;
   max_depth_ = 0;
   if (root_ >= n || !topo.is_alive(root_)) return;
 
-  std::deque<NodeId> frontier{root_};
+  // The cached order_ doubles as the BFS frontier: nodes are appended on
+  // discovery and visited in append order, which is exactly the root-first
+  // order bfs_order() exposes.
+  order_.reserve(topo.alive_count());
+  order_.push_back(root_);
   depth_[root_] = 0;
-  while (!frontier.empty()) {
-    NodeId u = frontier.front();
-    frontier.pop_front();
-    ++member_count_;
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const NodeId u = order_[i];
     max_depth_ = std::max(max_depth_, depth_[u]);
     // Topology adjacency lists are sorted ascending, so children adopt the
-    // lowest-id reachable parent first: deterministic rebuilds.
+    // lowest-id reachable parent first: deterministic rebuilds. The alive
+    // filter is centralised here: a dead node never becomes a member even
+    // when links still name it (explicit-link topologies).
     for (NodeId v : topo.neighbors(u)) {
-      if (depth_[v] >= 0) continue;
+      if (depth_[v] >= 0 || !topo.is_alive(v)) continue;
       depth_[v] = depth_[u] + 1;
       parent_[v] = u;
       children_[u].push_back(v);
-      frontier.push_back(v);
+      order_.push_back(v);
     }
+    if (!children_[u].empty()) ++internal_count_;
   }
+  member_count_ = order_.size();
 }
 
 std::size_t SpanningTree::max_branching() const {
@@ -71,17 +78,6 @@ std::vector<NodeId> SpanningTree::path_from_root(NodeId id) const {
   for (NodeId u = id; u != kNoNode; u = parent_[u]) path.push_back(u);
   std::reverse(path.begin(), path.end());
   return path;
-}
-
-std::vector<NodeId> SpanningTree::bfs_order() const {
-  std::vector<NodeId> order;
-  if (!in_tree(root_)) return order;
-  order.reserve(member_count_);
-  order.push_back(root_);
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    for (NodeId c : children_[order[i]]) order.push_back(c);
-  }
-  return order;
 }
 
 std::vector<NodeId> SpanningTree::subtree(NodeId id) const {

@@ -70,8 +70,21 @@ class SpanningTree {
   /// set (sources plus intermediate forwarders, paper §7.1).
   [[nodiscard]] std::vector<NodeId> path_from_root(NodeId id) const;
 
-  /// All tree members in BFS (root-first) order.
-  [[nodiscard]] std::vector<NodeId> bfs_order() const;
+  /// All tree members in BFS (root-first) order. The order is cached at
+  /// rebuild time (every mutation — repair, node death, re-parent — goes
+  /// through rebuild(), which re-derives it), so this is allocation-free:
+  /// Experiment::run and DirqNetwork::process_epoch call it every epoch.
+  /// Only alive nodes are ever members (rebuild() filters on the alive
+  /// flag, not just on adjacency reachability).
+  [[nodiscard]] const std::vector<NodeId>& bfs_order() const noexcept {
+    return order_;
+  }
+
+  /// Tree members with at least one child — the f_max denominator (Eq. 5).
+  /// Cached at rebuild time alongside the BFS order.
+  [[nodiscard]] std::size_t internal_node_count() const noexcept {
+    return internal_count_;
+  }
 
   /// Members of the subtree rooted at `id` (including `id`).
   [[nodiscard]] std::vector<NodeId> subtree(NodeId id) const;
@@ -81,7 +94,9 @@ class SpanningTree {
   std::vector<NodeId> parent_;
   std::vector<std::vector<NodeId>> children_;
   std::vector<int> depth_;
+  std::vector<NodeId> order_;  // cached BFS (root-first) order
   std::size_t member_count_ = 0;
+  std::size_t internal_count_ = 0;
   int max_depth_ = 0;
 };
 

@@ -1,0 +1,89 @@
+#include "net/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dirq::net {
+
+void SpatialIndex::build(const std::vector<double>& xs,
+                         const std::vector<double>& ys, double radius) {
+  const std::size_t n = xs.size();
+  count_ = n;
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+  if (n > 0) {
+    min_x = max_x = xs[0];
+    min_y = max_y = ys[0];
+    for (std::size_t i = 1; i < n; ++i) {
+      min_x = std::min(min_x, xs[i]);
+      max_x = std::max(max_x, xs[i]);
+      min_y = std::min(min_y, ys[i]);
+      max_y = std::max(max_y, ys[i]);
+    }
+  }
+  min_x_ = min_x;
+  min_y_ = min_y;
+  const double extent = std::max(max_x - min_x, max_y - min_y);
+  // Cell >= radius keeps the 3x3 query sufficient; cell >= extent/sqrt(n)
+  // bounds the grid at ~n cells even when the radius is tiny.
+  const double side = n > 0 ? std::sqrt(static_cast<double>(n)) : 1.0;
+  cell_ = std::max({radius, extent / std::max(side, 1.0), 1e-9});
+  cols_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor((max_x - min_x) / cell_)) + 1);
+  rows_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor((max_y - min_y) / cell_)) + 1);
+  cells_.assign(cols_ * rows_, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    cells_[cell_index(xs[i], ys[i])].push_back(static_cast<NodeId>(i));
+  }
+}
+
+std::size_t SpatialIndex::cell_index(double x, double y) const {
+  const auto clamp_cell = [](double v, std::size_t n) {
+    if (!(v > 0.0)) return std::size_t{0};  // also catches NaN
+    const auto c = static_cast<std::size_t>(v);
+    return std::min(c, n - 1);
+  };
+  const std::size_t cx = clamp_cell((x - min_x_) / cell_, cols_);
+  const std::size_t cy = clamp_cell((y - min_y_) / cell_, rows_);
+  return cy * cols_ + cx;
+}
+
+void SpatialIndex::insert(NodeId id, double x, double y) {
+  if (cells_.empty()) {  // never built: degenerate 1x1 grid
+    cols_ = rows_ = 1;
+    cells_.assign(1, {});
+    min_x_ = x;
+    min_y_ = y;
+  }
+  cells_[cell_index(x, y)].push_back(id);
+  ++count_;
+}
+
+void SpatialIndex::move(NodeId id, double old_x, double old_y, double x,
+                        double y) {
+  const std::size_t from = cell_index(old_x, old_y);
+  const std::size_t to = cell_index(x, y);
+  if (from == to) return;
+  auto& cell = cells_[from];
+  cell.erase(std::find(cell.begin(), cell.end(), id));
+  cells_[to].push_back(id);
+}
+
+void SpatialIndex::candidates(double x, double y,
+                              std::vector<NodeId>& out) const {
+  const std::size_t centre = cell_index(x, y);
+  const std::size_t cx = centre % cols_;
+  const std::size_t cy = centre / cols_;
+  const std::size_t x0 = cx > 0 ? cx - 1 : 0;
+  const std::size_t x1 = std::min(cx + 1, cols_ - 1);
+  const std::size_t y0 = cy > 0 ? cy - 1 : 0;
+  const std::size_t y1 = std::min(cy + 1, rows_ - 1);
+  for (std::size_t gy = y0; gy <= y1; ++gy) {
+    for (std::size_t gx = x0; gx <= x1; ++gx) {
+      const auto& cell = cells_[gy * cols_ + gx];
+      out.insert(out.end(), cell.begin(), cell.end());
+    }
+  }
+}
+
+}  // namespace dirq::net

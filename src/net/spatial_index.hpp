@@ -1,0 +1,62 @@
+// Uniform-grid spatial index over node positions.
+//
+// Topology link construction is a fixed-radius neighbour problem: two alive
+// nodes are linked iff their Euclidean distance is <= radio_range. The
+// paper-scale 50-node network tolerates the O(n^2) all-pairs scan, but the
+// large-topology tier (500-5 000 nodes) does not — rebuild_links and
+// add_node instead query this grid, whose cells are at least radio_range
+// wide, so every node within range of a point lies in the point's 3x3 cell
+// neighbourhood. Candidate lists are a superset; callers keep the exact
+// distance filter, which is why grid-built adjacency is byte-identical to
+// the brute-force path (asserted by tests/net/spatial_index_test.cpp).
+//
+// The index stores every node slot, dead or alive (alive-ness is the
+// caller's filter — dead nodes keep their position and may be revived),
+// and supports point updates for revivals that redeploy a node elsewhere.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace dirq::net {
+
+class SpatialIndex {
+ public:
+  SpatialIndex() = default;
+
+  /// Rebuilds the grid over the given points with the given interaction
+  /// radius. Cell size is max(radius, extent/sqrt(n), epsilon): never
+  /// below the radius (so a 3x3 neighbourhood is sufficient) and never so
+  /// small that the grid outgrows O(n) cells.
+  void build(const std::vector<double>& xs, const std::vector<double>& ys,
+             double radius);
+
+  /// Adds one point with the given id (grows the grid bounds by clamping:
+  /// out-of-bounds points land in the nearest edge cell, which only ever
+  /// enlarges candidate sets, never drops a true neighbour).
+  void insert(NodeId id, double x, double y);
+
+  /// Moves an existing point (node revived at a new position).
+  void move(NodeId id, double old_x, double old_y, double x, double y);
+
+  /// Appends to `out` the ids of every indexed point whose cell lies in
+  /// the 3x3 neighbourhood of (x, y) — a superset of all points within
+  /// `radius`. The caller applies the exact distance (and alive) filter.
+  void candidates(double x, double y, std::vector<NodeId>& out) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] double cell_size() const noexcept { return cell_; }
+
+ private:
+  [[nodiscard]] std::size_t cell_index(double x, double y) const;
+
+  std::vector<std::vector<NodeId>> cells_;
+  std::size_t cols_ = 1, rows_ = 1;
+  double min_x_ = 0.0, min_y_ = 0.0;
+  double cell_ = 1.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dirq::net

@@ -40,6 +40,15 @@ Topology::Topology(std::vector<Node> nodes,
       throw std::invalid_argument("Topology: link endpoint out of range");
     link(a, b);
   }
+  // Index the positions anyway: add_node revivals re-link by unit disk.
+  std::vector<double> xs, ys;
+  xs.reserve(nodes_.size());
+  ys.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    xs.push_back(n.x);
+    ys.push_back(n.y);
+  }
+  index_.build(xs, ys, radio_range_);
 }
 
 std::span<const NodeId> Topology::neighbors(NodeId id) const {
@@ -64,7 +73,9 @@ bool Topology::is_connected() const {
     stack.pop_back();
     ++reached;
     for (NodeId v : adjacency_[u]) {
-      if (!seen[v]) {
+      // Explicit-link topologies may keep links naming dead nodes; the
+      // alive filter here matches SpanningTree::rebuild.
+      if (!seen[v] && nodes_[v].alive) {
         seen[v] = true;
         stack.push_back(v);
       }
@@ -93,27 +104,32 @@ void Topology::kill_node(NodeId id) {
 NodeId Topology::add_node(Node n) {
   NodeId id;
   if (n.id != kNoNode && n.id < nodes_.size()) {
-    // Revival of an existing (dead) slot.
+    // Revival of an existing (dead) slot, possibly redeployed elsewhere.
     id = n.id;
     Node& slot = nodes_[id];
     if (slot.alive) throw std::invalid_argument("add_node: node already alive");
+    const double old_x = slot.x, old_y = slot.y;
     n.alive = true;
     std::sort(n.sensors.begin(), n.sensors.end());
     n.sensors.erase(std::unique(n.sensors.begin(), n.sensors.end()), n.sensors.end());
     slot = std::move(n);
+    index_.move(id, old_x, old_y, slot.x, slot.y);
   } else {
     id = static_cast<NodeId>(nodes_.size());
     n.id = id;
     n.alive = true;
     std::sort(n.sensors.begin(), n.sensors.end());
     n.sensors.erase(std::unique(n.sensors.begin(), n.sensors.end()), n.sensors.end());
+    index_.insert(id, n.x, n.y);
     nodes_.push_back(std::move(n));
     adjacency_.emplace_back();
   }
   ++alive_count_;
-  for (const Node& other : nodes_) {
-    if (other.id == id || !other.alive) continue;
-    if (distance(id, other.id) <= radio_range_) link(id, other.id);
+  std::vector<NodeId> cand;
+  index_.candidates(nodes_[id].x, nodes_[id].y, cand);
+  for (NodeId other : cand) {
+    if (other == id || !nodes_[other].alive) continue;
+    if (distance(id, other) <= radio_range_) link(id, other);
   }
   for (TopologyObserver* obs : observers_) obs->on_node_added(id);
   return id;
@@ -168,18 +184,51 @@ void Topology::rebuild_links() {
   adjacency_.assign(nodes_.size(), {});
   link_count_ = 0;
   alive_count_ = 0;
+  std::vector<double> xs, ys;
+  xs.reserve(nodes_.size());
+  ys.reserve(nodes_.size());
   for (const Node& n : nodes_) {
     if (n.alive) ++alive_count_;
+    xs.push_back(n.x);
+    ys.push_back(n.y);
   }
+  index_.build(xs, ys, radio_range_);
+  // Grid cells replace the all-pairs scan: candidate lists are a superset
+  // of the true neighbourhood, and the exact distance filter below makes
+  // the resulting adjacency byte-identical to brute_force_adjacency()
+  // (links are undirected, so each pair is linked once, from its lower id).
+  std::vector<NodeId> cand;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].alive) continue;
+    cand.clear();
+    index_.candidates(nodes_[i].x, nodes_[i].y, cand);
+    for (NodeId j : cand) {
+      if (j <= i || !nodes_[j].alive) continue;
+      if (distance(static_cast<NodeId>(i), j) <= radio_range_) {
+        link(static_cast<NodeId>(i), j);
+      }
+    }
+  }
+}
+
+std::vector<std::vector<NodeId>> Topology::brute_force_adjacency() const {
+  std::vector<std::vector<NodeId>> adj(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (!nodes_[i].alive) continue;
     for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
       if (!nodes_[j].alive) continue;
-      if (distance(static_cast<NodeId>(i), static_cast<NodeId>(j)) <= radio_range_) {
-        link(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      if (distance(static_cast<NodeId>(i), static_cast<NodeId>(j)) <=
+          radio_range_) {
+        adj[i].insert(
+            std::lower_bound(adj[i].begin(), adj[i].end(), static_cast<NodeId>(j)),
+            static_cast<NodeId>(j));
+        adj[j].insert(
+            std::lower_bound(adj[j].begin(), adj[j].end(), static_cast<NodeId>(i)),
+            static_cast<NodeId>(i));
       }
     }
   }
+  return adj;
 }
 
 void Topology::link(NodeId a, NodeId b) {

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/spatial_index.hpp"
 #include "sim/types.hpp"
 
 namespace dirq::net {
@@ -75,7 +76,14 @@ class Topology {
   [[nodiscard]] std::size_t link_count() const noexcept { return link_count_; }
 
   /// True if the alive subgraph is connected (trivially true for <= 1 node).
+  /// Dead nodes are never traversed, even if links name them (possible
+  /// with the explicit-link constructor).
   [[nodiscard]] bool is_connected() const;
+
+  /// Reference O(n^2) unit-disk adjacency (the pre-spatial-index link
+  /// construction), kept for the grid-equivalence regression tests: the
+  /// grid-indexed rebuild must produce exactly these lists.
+  [[nodiscard]] std::vector<std::vector<NodeId>> brute_force_adjacency() const;
 
   /// Maximum degree over alive nodes.
   [[nodiscard]] std::size_t max_degree() const;
@@ -113,6 +121,7 @@ class Topology {
   std::vector<Node> nodes_;
   std::vector<std::vector<NodeId>> adjacency_;
   std::vector<TopologyObserver*> observers_;
+  SpatialIndex index_;  // all node slots, dead or alive
   double radio_range_ = 1.0;
   std::size_t link_count_ = 0;
   std::size_t alive_count_ = 0;

@@ -1,0 +1,94 @@
+// Sorted-vector associative container for the simulation hot path.
+//
+// The per-node DirQ state is a handful of tiny keyed collections: range
+// tables keyed by sensor type (<= a few types), child tuples keyed by node
+// id (<= k = 8 children), child bounding boxes. std::map's node-per-entry
+// allocation and pointer chasing dominate the epoch loop at large
+// topologies; a sorted vector of pairs has the same ordered iteration
+// (so message emission order — and therefore every golden — is unchanged)
+// with contiguous storage and no per-entry allocation.
+//
+// Deliberately minimal: exactly the operations the core layer uses.
+// Iterator/pointer stability across mutation is NOT provided (callers
+// re-look-up after insert/erase, as with any vector).
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace dirq::sim {
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  [[nodiscard]] iterator begin() noexcept { return entries_.begin(); }
+  [[nodiscard]] iterator end() noexcept { return entries_.end(); }
+  [[nodiscard]] const_iterator begin() const noexcept { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return entries_.end(); }
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+
+  [[nodiscard]] iterator find(const Key& key) {
+    const iterator it = lower_bound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    const const_iterator it = lower_bound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+  [[nodiscard]] bool contains(const Key& key) const {
+    return find(key) != entries_.end();
+  }
+
+  /// Value for `key`, default-constructed on first access (std::map's
+  /// operator[] semantics).
+  Value& operator[](const Key& key) {
+    iterator it = lower_bound(key);
+    if (it == entries_.end() || it->first != key) {
+      it = entries_.emplace(it, key, Value{});
+    }
+    return it->second;
+  }
+
+  /// Returns true when the key was newly inserted (assignment otherwise).
+  bool insert_or_assign(const Key& key, Value value) {
+    iterator it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) {
+      it->second = std::move(value);
+      return false;
+    }
+    entries_.emplace(it, key, std::move(value));
+    return true;
+  }
+
+  /// Returns the number of erased entries (0 or 1).
+  std::size_t erase(const Key& key) {
+    const iterator it = find(key);
+    if (it == entries_.end()) return 0;
+    entries_.erase(it);
+    return 1;
+  }
+
+ private:
+  [[nodiscard]] iterator lower_bound(const Key& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+  [[nodiscard]] const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
+}  // namespace dirq::sim

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "net/placement.hpp"
+
 namespace dirq::sweep {
 
 std::string format_double(double value) {
@@ -194,11 +196,37 @@ Axis nodes_axis(const std::vector<std::size_t>& node_counts) {
   Axis a{"nodes", {}};
   for (std::size_t n : node_counts) {
     a.values.push_back({std::to_string(n), [n](core::ExperimentConfig& cfg) {
-                          cfg.placement.node_count = n;
+                          // Density-preserving scaling: beyond the paper's
+                          // 50 nodes the fixed 100x100 area has no valid
+                          // placements (see net::scaled_placement); at or
+                          // below 50 this is exactly the old node_count
+                          // substitution. Passing the cell's placement as
+                          // the base keeps non-geometry knobs (sensor
+                          // complement) from the plan's base config.
+                          cfg.placement =
+                              net::scaled_placement(n, cfg.placement);
                         }});
   }
   return a;
 }
+
+Axis burst_axis(
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& bursts) {
+  Axis a{"burst", {}};
+  for (const auto& [length, gap] : bursts) {
+    const std::string label =
+        length <= 0 ? "smooth"
+                    : std::to_string(length) + "/" + std::to_string(gap);
+    a.values.push_back(
+        {label, [length, gap](core::ExperimentConfig& cfg) {
+           cfg.burst_length_epochs = length <= 0 ? 0 : length;
+           cfg.burst_gap_epochs = length <= 0 ? 0 : gap;
+         }});
+  }
+  return a;
+}
+
+Axis scale_nodes_axis() { return nodes_axis({500, 1000, 2000}); }
 
 Axis custom_axis(std::string name, std::vector<AxisValue> values) {
   return {std::move(name), std::move(values)};

@@ -118,13 +118,23 @@ AxisValue fixed_theta(double pct);
 /// Relevant-fraction setting ("40%").
 AxisValue relevant(double fraction);
 
-/// Named axes over the six standard dimensions.
+/// Named axes over the standard dimensions.
 Axis theta_axis(std::vector<AxisValue> modes);
 Axis relevant_axis(const std::vector<double>& fractions);
 Axis seed_axis(const std::vector<std::uint64_t>& seeds);
 Axis loss_axis(const std::vector<double>& rates);
 Axis transport_axis(const std::vector<core::TransportKind>& transports);
+/// Topology sizes; counts beyond the paper's 50 use the density-preserving
+/// net::scaled_placement so large grids actually place (<= 50 is exactly
+/// the paper's setup).
 Axis nodes_axis(const std::vector<std::size_t>& node_counts);
+/// Query-arrival shapes as (burst_length_epochs, burst_gap_epochs) pairs;
+/// a non-positive length means the paper's smooth stream (label "smooth").
+Axis burst_axis(
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& bursts);
+
+/// The large-topology tier preset: nodes 500 / 1000 / 2000.
+Axis scale_nodes_axis();
 
 /// Any other knob: name + explicit values.
 Axis custom_axis(std::string name, std::vector<AxisValue> values);

@@ -47,6 +47,70 @@ TEST(Experiment, CostRatioIsNaNWhenNoQueriesRan) {
   EXPECT_TRUE(std::isfinite(Experiment(short_cfg(100)).run().cost_ratio()));
 }
 
+TEST(Experiment, BurstModeGatesQueryArrivals) {
+  // 2000 epochs, query period 20, bursts of 200 epochs with 600-epoch
+  // gaps: the cycle is 800 epochs and queries land only at period
+  // multiples whose cycle phase is < 200, i.e. phases {0, 20, ..., 180}.
+  // Cycle 1 (epochs 0-799) skips phase 0 (epoch 0 never injects): 9.
+  // Cycles 2 and 3 (starting at 800 and 1600) contribute 10 each.
+  ExperimentConfig cfg = short_cfg();
+  cfg.burst_length_epochs = 200;
+  cfg.burst_gap_epochs = 600;
+  ExperimentResults res = Experiment(cfg).run();
+  EXPECT_EQ(res.queries, 9 + 10 + 10);
+  // The rate predictor saw a non-smooth stream; the run still audits
+  // every query it injected.
+  EXPECT_EQ(res.records.size(), static_cast<std::size_t>(res.queries));
+  EXPECT_GT(res.flooding_total, 0);
+}
+
+TEST(Experiment, BurstModeIsDeterministicAndDefaultsToSmooth) {
+  ExperimentConfig cfg = short_cfg();
+  cfg.burst_length_epochs = 100;
+  cfg.burst_gap_epochs = 300;
+  ExperimentResults a = Experiment(cfg).run();
+  ExperimentResults b = Experiment(cfg).run();
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.ledger.total(), b.ledger.total());
+  // Defaults keep the paper's smooth stream: same count as the plain run.
+  EXPECT_EQ(Experiment(short_cfg()).run().queries, 99);
+}
+
+TEST(Experiment, BurstModeAuditsEveryLmacQueryOnTheUniformWindow) {
+  // LMAC queries disseminate asynchronously and are audited at the next
+  // query-period boundary. That boundary must arrive on schedule even
+  // inside a burst gap — the last query of a burst must not stay pending
+  // until the next burst (it would get a gap-long dissemination window
+  // instead of the uniform query_period frames).
+  ExperimentConfig cfg = short_cfg(/*epochs=*/400);
+  cfg.placement.node_count = 20;
+  cfg.transport = TransportKind::Lmac;
+  cfg.burst_length_epochs = 100;
+  cfg.burst_gap_epochs = 100;
+  ExperimentResults res = Experiment(cfg).run();
+  // Cycle 200, phases {0,20,...,80} inject: cycle 1 skips epoch 0 (4),
+  // cycle 2 contributes 5.
+  EXPECT_EQ(res.queries, 4 + 5);
+  EXPECT_EQ(res.records.size(), 9u);
+  // Every audited query saw a bounded window: with the uniform window the
+  // run is deterministic and each record carries a delivery audit.
+  ExperimentResults res2 = Experiment(cfg).run();
+  EXPECT_EQ(res.ledger.total(), res2.ledger.total());
+  EXPECT_DOUBLE_EQ(res.coverage_pct.mean(), res2.coverage_pct.mean());
+}
+
+TEST(Experiment, BurstConfigValidation) {
+  ExperimentConfig cfg = short_cfg();
+  cfg.burst_length_epochs = -1;
+  EXPECT_THROW(Experiment(cfg).run(), std::invalid_argument);
+  cfg.burst_length_epochs = 0;
+  cfg.burst_gap_epochs = 100;  // gap without bursts is meaningless
+  EXPECT_THROW(Experiment(cfg).run(), std::invalid_argument);
+  cfg.burst_length_epochs = 100;
+  cfg.burst_gap_epochs = -5;
+  EXPECT_THROW(Experiment(cfg).run(), std::invalid_argument);
+}
+
 TEST(Experiment, DeterministicAcrossRuns) {
   ExperimentResults a = Experiment(short_cfg()).run();
   ExperimentResults b = Experiment(short_cfg()).run();

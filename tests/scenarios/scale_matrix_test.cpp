@@ -1,0 +1,95 @@
+// Large-topology scenario tier: 200- and 500-node scaled placements
+// through the full experiment driver.
+//
+// The paper's evaluation stops at 50 nodes; this tier exercises the
+// scaling machinery (density-preserving placement, grid-indexed link
+// construction, cached tree traversals, flat per-node state) end-to-end.
+// Assertions are structural + determinism (the portable subset the libc++
+// job also runs); exact value goldens stay with the 30/50-node tiers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "net/placement.hpp"
+#include "net/spanning_tree.hpp"
+#include "scenarios/scenario_grid.hpp"
+#include "sim/rng.hpp"
+
+namespace dirq::core {
+namespace {
+
+struct ScaleCase {
+  std::uint64_t seed;
+  std::size_t nodes;
+};
+
+std::vector<ScaleCase> scale_cases() {
+  std::vector<ScaleCase> out;
+  scenarios::for_each_scale_cell([&out](std::uint64_t seed, std::size_t nodes) {
+    out.push_back({seed, nodes});
+  });
+  return out;
+}
+
+class ScaleMatrix : public ::testing::TestWithParam<ScaleCase> {};
+
+TEST_P(ScaleMatrix, StructuralInvariantsHold) {
+  const ScaleCase& c = GetParam();
+  const ExperimentResults res =
+      Experiment(scenarios::make_scale_config(c.seed, c.nodes)).run();
+
+  constexpr std::int64_t kExpectedQueries =
+      scenarios::kScaleEpochs / scenarios::kQueryPeriod - 1;
+  EXPECT_EQ(res.queries, kExpectedQueries);
+  EXPECT_GT(res.updates_transmitted, 0);
+  EXPECT_GT(res.ledger.total(), 0);
+  EXPECT_GT(res.flooding_total, 0);
+  EXPECT_GT(res.coverage_pct.mean(), 97.0);  // lossless channel
+  EXPECT_GE(res.overshoot_pct.mean(), 0.0);
+  EXPECT_EQ(static_cast<std::int64_t>(res.updates_per_bin.total()),
+            res.updates_transmitted);
+  // Per-node energy attribution covers the whole population.
+  EXPECT_EQ(res.node_tx.size(), c.nodes);
+  EXPECT_EQ(res.node_rx.size(), c.nodes);
+}
+
+TEST_P(ScaleMatrix, RerunIsBitIdentical) {
+  const ScaleCase& c = GetParam();
+  const ExperimentResults a =
+      Experiment(scenarios::make_scale_config(c.seed, c.nodes)).run();
+  const ExperimentResults b =
+      Experiment(scenarios::make_scale_config(c.seed, c.nodes)).run();
+  EXPECT_EQ(a.updates_transmitted, b.updates_transmitted);
+  EXPECT_EQ(a.ledger.total(), b.ledger.total());
+  EXPECT_EQ(a.flooding_total, b.flooding_total);
+  EXPECT_DOUBLE_EQ(a.coverage_pct.mean(), b.coverage_pct.mean());
+  EXPECT_DOUBLE_EQ(a.overshoot_pct.mean(), b.overshoot_pct.mean());
+  EXPECT_DOUBLE_EQ(a.receive_pct.mean(), b.receive_pct.mean());
+  EXPECT_EQ(a.node_tx, b.node_tx);
+}
+
+std::string scale_case_name(const ::testing::TestParamInfo<ScaleCase>& info) {
+  return "seed" + std::to_string(info.param.seed) + "_n" +
+         std::to_string(info.param.nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ScaleMatrix, ::testing::ValuesIn(scale_cases()),
+                         scale_case_name);
+
+TEST(ScaleMatrixCross, ScaledPlacementsStayConnectedAndTreeCoversNetwork) {
+  // 2 000 nodes — the acceptance-scale topology — places, connects, and
+  // the communication tree spans every node (placement-time guarantee).
+  sim::Rng rng(42);
+  const net::Topology topo =
+      net::random_connected(net::scaled_placement(2000), rng);
+  EXPECT_EQ(topo.size(), 2000u);
+  EXPECT_TRUE(topo.is_connected());
+  const net::SpanningTree tree(topo, 0);
+  EXPECT_EQ(tree.size(), 2000u);
+  EXPECT_EQ(tree.bfs_order().size(), 2000u);
+}
+
+}  // namespace
+}  // namespace dirq::core

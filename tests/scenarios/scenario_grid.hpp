@@ -74,4 +74,36 @@ void for_each_lmac_cell(Fn&& fn) {
   }
 }
 
+// --- large-topology tier ---------------------------------------------------
+// Scaled placements (density-preserving area, lifted k/d bounds) at sizes
+// the paper never reaches. Short runs — the tier guards the scaling path
+// (spatial-index link construction, cached traversals, flat hot state)
+// structurally and for determinism; exact goldens stay with the 30/50-node
+// tiers where they are cheap to regenerate.
+
+inline constexpr std::size_t kScaleNodeCounts[] = {200, 500};
+inline constexpr std::int64_t kScaleEpochs = 400;
+
+inline core::ExperimentConfig make_scale_config(std::uint64_t seed,
+                                                std::size_t nodes) {
+  core::ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.placement = net::scaled_placement(nodes);
+  cfg.epochs = kScaleEpochs;
+  cfg.query_period = kQueryPeriod;
+  cfg.network.mode = core::NetworkConfig::ThetaMode::Fixed;
+  cfg.network.fixed_pct = 5.0;
+  cfg.keep_records = false;
+  return cfg;
+}
+
+template <typename Fn>
+void for_each_scale_cell(Fn&& fn) {
+  for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{42}}) {
+    for (std::size_t nodes : kScaleNodeCounts) {
+      fn(seed, nodes);
+    }
+  }
+}
+
 }  // namespace dirq::scenarios

@@ -1,0 +1,59 @@
+// FlatMap: the sorted-vector map backing the per-node hot-path state.
+// Ordered-iteration parity with std::map is what keeps message emission
+// deterministic (and the scenario goldens byte-identical).
+#include "sim/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace dirq::sim {
+namespace {
+
+TEST(FlatMap, InsertFindEraseRoundTrip) {
+  FlatMap<int, std::string> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.insert_or_assign(3, "c"));
+  EXPECT_TRUE(m.insert_or_assign(1, "a"));
+  EXPECT_FALSE(m.insert_or_assign(3, "c2"));  // assignment, not insertion
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(3), m.end());
+  EXPECT_EQ(m.find(3)->second, "c2");
+  EXPECT_EQ(m.find(7), m.end());
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_EQ(m.erase(1), 1u);
+  EXPECT_EQ(m.erase(1), 0u);
+  EXPECT_FALSE(m.contains(1));
+}
+
+TEST(FlatMap, SubscriptDefaultConstructsLikeStdMap) {
+  FlatMap<int, int> m;
+  m[5] += 2;
+  m[5] += 3;
+  EXPECT_EQ(m[5], 5);
+  EXPECT_EQ(m[9], 0);  // created by access
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMap, IterationOrderMatchesStdMap) {
+  FlatMap<int, int> flat;
+  std::map<int, int> ref;
+  const int keys[] = {9, 2, 7, 1, 8, 3, 2, 9, 5};
+  for (int i = 0; i < static_cast<int>(std::size(keys)); ++i) {
+    flat.insert_or_assign(keys[i], i);
+    ref.insert_or_assign(keys[i], i);
+  }
+  flat.erase(7);
+  ref.erase(7);
+  ASSERT_EQ(flat.size(), ref.size());
+  auto it = ref.begin();
+  for (const auto& [k, v] : flat) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+}  // namespace
+}  // namespace dirq::sim

@@ -28,6 +28,8 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "dirq/dirq.hpp"
@@ -48,6 +50,8 @@ namespace {
       "  --theta PCT       fixed threshold, % of sensor span (default: ATC)\n"
       "  --atc             adaptive threshold control (default mode)\n"
       "  --sampling F      enable sampling suppression, margin F of theta\n"
+      "  --burst SPEC      query arrivals: 'smooth' (default) or L/G —\n"
+      "                    L-epoch bursts separated by G silent epochs\n"
       "  --series          print the update-per-100-epoch TSV series\n"
       "  --help            this text\n"
       "\n"
@@ -124,6 +128,29 @@ std::uint64_t parse_uint(const char* flag, const char* value,
   return static_cast<std::uint64_t>(v);
 }
 
+/// Parses one query-arrival shape: "smooth" (no bursts) or "LENGTH/GAP"
+/// in epochs (gap 0 = back-to-back bursts, i.e. smooth with extra steps).
+/// Shared by the single-run and sweep paths so the two never drift.
+std::pair<std::int64_t, std::int64_t> parse_burst_spec(const std::string& s,
+                                                       UsageFn on_error) {
+  if (s == "smooth") return {0, 0};
+  const std::size_t slash = s.find('/');
+  if (slash == std::string::npos) {
+    std::cerr << "--burst expects 'smooth' or LENGTH/GAP (epochs), got: " << s
+              << "\n";
+    on_error(2);
+  }
+  const std::int64_t length = parse_positive_int(
+      "--burst length", s.substr(0, slash).c_str(), on_error);
+  const std::int64_t gap =
+      parse_int("--burst gap", s.substr(slash + 1).c_str(), on_error);
+  if (gap < 0) {
+    std::cerr << "--burst gap must be >= 0, got: " << s << "\n";
+    on_error(2);
+  }
+  return {length, gap};
+}
+
 [[noreturn]] void sweep_usage(int code) {
   std::cout <<
       "dirqsim sweep — run a declarative experiment grid on a worker pool\n"
@@ -137,9 +164,14 @@ std::uint64_t parse_uint(const char* flag, const char* value,
       "  --seeds LIST      master seeds (default 42)\n"
       "  --loss LIST       drop probabilities in [0,1) (default 0)\n"
       "  --mac LIST        transports: instant,lmac (default instant)\n"
-      "  --nodes LIST      network sizes (default 50)\n"
+      "  --nodes LIST      network sizes (default 50; sizes beyond 50 use\n"
+      "                    density-preserving scaled placement)\n"
+      "  --burst LIST      query-arrival shapes: 'smooth' and/or L/G pairs\n"
+      "                    (burst length / gap in epochs, e.g. 200/600)\n"
       "  --paper-grid      the paper's Section-7 grid: theta atc,3,5,9 x\n"
       "                    relevant 0.2,0.4,0.6 (overrides those two axes)\n"
+      "  --scale-tier      the large-topology tier: nodes 500,1000,2000\n"
+      "                    (overrides --nodes)\n"
       "  --epochs N        sensing epochs per cell (default 20000)\n"
       "  --query-period N  epochs between queries (default 20)\n"
       "  --threads N       worker pool size (default: hardware concurrency)\n"
@@ -198,7 +230,9 @@ int run_sweep(int argc, char** argv) {
   std::vector<double> loss_list{0.0};
   std::vector<std::string> mac_list{"instant"};
   std::vector<std::size_t> nodes_list{50};
+  std::vector<std::pair<std::int64_t, std::int64_t>> burst_list{{0, 0}};
   bool paper = false;
+  bool scale_tier = false;
   std::int64_t epochs = 20000;
   std::int64_t query_period = 20;
   unsigned threads = 0;
@@ -242,8 +276,16 @@ int run_sweep(int argc, char** argv) {
             parse_positive_int("--nodes", s.c_str(), sweep_usage)));
       }
       ++i;
+    } else if (arg == "--burst") {
+      burst_list.clear();
+      for (const std::string& s : split_list("--burst", next)) {
+        burst_list.push_back(parse_burst_spec(s, sweep_usage));
+      }
+      ++i;
     } else if (arg == "--paper-grid") {
       paper = true;
+    } else if (arg == "--scale-tier") {
+      scale_tier = true;
     } else if (arg == "--epochs") {
       epochs = parse_positive_int("--epochs", next, sweep_usage);
       ++i;
@@ -331,7 +373,9 @@ int run_sweep(int argc, char** argv) {
     }
   }
   plan.axis(sweep::transport_axis(transports));
-  plan.axis(sweep::nodes_axis(nodes_list));
+  plan.axis(scale_tier ? sweep::scale_nodes_axis()
+                       : sweep::nodes_axis(nodes_list));
+  plan.axis(sweep::burst_axis(burst_list));
 
   std::size_t total = 0;
   try {
@@ -376,8 +420,9 @@ int run_sweep(int argc, char** argv) {
 
   const sweep::SweepHeader header{
       "dirqsim sweep", plan.name(),
-      {"theta", "relevant", "seed", "loss", "mac", "nodes", "dirq_total",
-       "flood_total", "ratio", "overshoot_%", "coverage_%", "updates"}};
+      {"theta", "relevant", "seed", "loss", "mac", "nodes", "burst",
+       "dirq_total", "flood_total", "ratio", "overshoot_%", "coverage_%",
+       "updates"}};
   const sweep::RowMapper mapper = [](const sweep::CellResult& r) {
     const core::ExperimentResults& res = r.results;
     return std::vector<std::string>{
@@ -387,6 +432,7 @@ int run_sweep(int argc, char** argv) {
         *r.cell.coordinate("loss"),
         *r.cell.coordinate("mac"),
         *r.cell.coordinate("nodes"),
+        *r.cell.coordinate("burst"),
         std::to_string(res.ledger.total()),
         std::to_string(res.flooding_total),
         metrics::fmt(res.cost_ratio(), 3),
@@ -422,6 +468,7 @@ int main(int argc, char** argv) {
   core::ExperimentConfig cfg;
   cfg.network.mode = core::NetworkConfig::ThetaMode::Atc;
   bool print_series = false;
+  std::optional<std::size_t> node_count;  // applied once after parsing
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -432,11 +479,19 @@ int main(int argc, char** argv) {
       cfg.seed = parse_uint("--seed", next);
       ++i;
     } else if (arg == "--nodes") {
-      cfg.placement.node_count =
+      node_count =
           static_cast<std::size_t>(parse_positive_int("--nodes", next));
       ++i;
     } else if (arg == "--epochs") {
       cfg.epochs = parse_positive_int("--epochs", next);
+      ++i;
+    } else if (arg == "--burst") {
+      if (next == nullptr) {
+        std::cerr << "missing value for --burst\n";
+        usage(2);
+      }
+      std::tie(cfg.burst_length_epochs, cfg.burst_gap_epochs) =
+          parse_burst_spec(next, usage);
       ++i;
     } else if (arg == "--query-period") {
       cfg.query_period = parse_positive_int("--query-period", next);
@@ -474,6 +529,13 @@ int main(int argc, char** argv) {
       std::cerr << "unknown option: " << arg << "\n";
       usage(2);
     }
+  }
+  if (node_count) {
+    // Applied once, from the pristine default placement, so repeated
+    // --nodes flags are last-one-wins instead of compounding the scaled
+    // geometry. Density-preserving scaling kicks in beyond the paper's
+    // 50 nodes (see net::scaled_placement).
+    cfg.placement = dirq::net::scaled_placement(*node_count, cfg.placement);
   }
   // Negated comparisons so NaN (std::stod("nan")) is rejected too.
   if (!(cfg.relevant_fraction > 0.0 && cfg.relevant_fraction <= 1.0)) {

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Perf smoke for CI: runs the 500-node / 2000-epoch baseline cell through
+# bench_scale_topology and fails when wall-clock regresses more than 2x
+# against the checked-in bench/baselines/scale_500n_2000e.json.
+#
+#   tools/perf_smoke.sh [build-dir]     (run from the repo root, against a
+#                                        Release build)
+#
+# The 2x budget absorbs machine variance between the recording host and CI
+# runners while still catching asymptotic regressions (the pre-spatial-
+# index build could not place 500 nodes at all, and an accidental O(n^2)
+# reintroduction shows up as >2x long before it reaches paper-figure runs).
+set -eu
+
+BUILD_DIR=${1:-build}
+BASELINE=bench/baselines/scale_500n_2000e.json
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+"$BUILD_DIR/bench/bench_scale_topology" --nodes 500 --epochs 2000 --json "$OUT" \
+  >/dev/null
+
+extract_run_seconds() {
+  # First smooth 500-node row of a dirq.scale.v1 document. The
+  # run_seconds grep anchors the match to actual data rows.
+  grep '"run_seconds"' "$1" | grep '"nodes": 500' |
+    grep '"workload": "smooth"' | head -n 1 |
+    sed 's/.*"run_seconds": \([0-9.eE+-]*\),.*/\1/'
+}
+
+base=$(extract_run_seconds "$BASELINE")
+now=$(extract_run_seconds "$OUT")
+if [ -z "$base" ] || [ -z "$now" ]; then
+  echo "perf_smoke: could not extract run_seconds (baseline='$base' now='$now')" >&2
+  exit 2
+fi
+
+echo "perf_smoke: 500n/2000e run_seconds now=$now baseline=$base (budget 2x)"
+awk -v now="$now" -v base="$base" 'BEGIN {
+  if (now > 2.0 * base) {
+    printf "perf_smoke: FAIL — %.3fs exceeds 2x baseline %.3fs\n", now, base
+    exit 1
+  }
+  printf "perf_smoke: OK (%.2fx of baseline)\n", now / base
+}'

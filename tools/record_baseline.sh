@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
-# Regenerates the checked-in perf baseline (ROADMAP "Perf baseline" item):
-# wall-clock and peak-RSS for the paper's reference 50-node / 20 000-epoch
-# ATC run on both transports, captured by the sweep JSON sink.
+# Regenerates the checked-in perf baselines:
+#   * reference_50n_20000e.json — the paper's reference 50-node /
+#     20 000-epoch ATC run on both transports (sweep JSON sink);
+#   * scale_500n_2000e.json — the large-topology tier's 500-node cell
+#     (epoch throughput + peak RSS from bench_scale_topology), the cell
+#     tools/perf_smoke.sh guards in CI.
 #
 #   tools/record_baseline.sh [build-dir]     (run from the repo root,
 #                                             against a Release build)
@@ -13,9 +16,16 @@ set -eu
 
 BUILD_DIR=${1:-build}
 OUT=bench/baselines/reference_50n_20000e.json
+SCALE_OUT=bench/baselines/scale_500n_2000e.json
 
 mkdir -p bench/baselines
 "$BUILD_DIR/tools/dirqsim" sweep \
   --nodes 50 --epochs 20000 --theta atc --relevant 0.4 --seeds 42 \
   --mac instant,lmac --threads 1 --json "$OUT"
 echo "baseline written to $OUT"
+
+# (The PR-4 before/after ledger lives in the static
+# bench/baselines/scale_500n_pre_refactor.json, never regenerated.)
+"$BUILD_DIR/bench/bench_scale_topology" --nodes 500 --epochs 2000 \
+  --json "$SCALE_OUT"
+echo "scale baseline written to $SCALE_OUT"
