@@ -6,6 +6,8 @@
 // through ResultSinks.
 #pragma once
 
+#include <cerrno>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -16,6 +18,22 @@
 #include "sweep/sink.hpp"
 
 namespace dirq::bench {
+
+/// Strict positive-integer parse shared by the standalone bench tools
+/// (same contract as dirqsim's parse_int: the whole token must be base-10,
+/// no wrap, no truncation; < 1 is an error). Exits 2 on bad input.
+inline std::int64_t parse_count(const char* tool, const char* flag,
+                                const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE || v < 1) {
+    std::cerr << tool << ": " << flag << " expects a positive integer, got: '"
+              << value << "'\n";
+    std::exit(2);
+  }
+  return static_cast<std::int64_t>(v);
+}
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
   std::cout << "==============================================================\n"

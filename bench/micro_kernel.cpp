@@ -8,8 +8,10 @@
 #include "core/experiment.hpp"
 #include "core/network.hpp"
 #include "core/range_table.hpp"
+#include "data/fast_field.hpp"
 #include "data/field_model.hpp"
 #include "net/placement.hpp"
+#include "sim/counter_rng.hpp"
 #include "net/spatial_index.hpp"
 #include "net/topology.hpp"
 #include "query/workload.hpp"
@@ -47,13 +49,26 @@ void BM_SchedulerCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerCancelHeavy);
 
-void BM_RngNormal(benchmark::State& state) {
+void BM_Mt19937Normal(benchmark::State& state) {
+  // The pinned field model's draw: one sequential std::normal_distribution
+  // step on mt19937_64 — the RNG floor the counter backend removes.
   sim::Rng rng(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(rng.normal(0.0, 1.0));
   }
 }
-BENCHMARK(BM_RngNormal);
+BENCHMARK(BM_Mt19937Normal);
+
+void BM_CounterRngNormal(benchmark::State& state) {
+  // The fast field model's draw: hash of (stream, counter) — stateless,
+  // O(1) random access. Compare against BM_Mt19937Normal.
+  const sim::CounterRng rng(1);
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal_at(++counter));
+  }
+}
+BENCHMARK(BM_CounterRngNormal);
 
 void BM_RangeTableObserve(benchmark::State& state) {
   core::RangeTable t;
@@ -169,6 +184,33 @@ void BM_RangeTableChildLookupMap(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RangeTableChildLookupMap)->Arg(4)->Arg(8);
+
+void BM_FieldReadingBatch(benchmark::State& state) {
+  // One full epoch of the batch reading plane at 500 nodes x 4 types:
+  // advance + one readings() call per type. Arg selects the backend
+  // (0 = pinned sequential AR(1), 1 = fast counter-based) — the
+  // apples-to-apples cost of the workload generator per epoch.
+  const bool fast = state.range(0) == 1;
+  sim::Rng rng(42);
+  net::Topology topo = net::random_connected(net::scaled_placement(500), rng);
+  const auto env = data::make_environment(
+      fast ? data::EnvironmentBackend::Fast : data::EnvironmentBackend::Pinned,
+      topo, 4, rng.substream("env"));
+  std::vector<NodeId> ids(topo.size());
+  for (NodeId u = 0; u < topo.size(); ++u) ids[u] = u;
+  std::vector<double> out(topo.size());
+  std::int64_t epoch = 0;
+  for (auto _ : state) {
+    env->advance_to(++epoch);
+    for (SensorType t = 0; t < 4; ++t) {
+      env->readings(t, ids, out);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ids.size()) * 4);
+}
+BENCHMARK(BM_FieldReadingBatch)->Arg(0)->Arg(1);
 
 void BM_FieldEpochAdvance(benchmark::State& state) {
   sim::Rng rng(42);

@@ -4,6 +4,7 @@
 // index + flat hot-path refactor.
 //
 //   bench_scale_topology [--nodes LIST] [--epochs N] [--json FILE]
+//                        [--field pinned|fast|both] [--no-burst]
 //
 // For each node count: placement/topology build wall-clock (grid-indexed
 // link construction), a full fixed-theta experiment run, epoch throughput,
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "data/fast_field.hpp"
 #include "net/placement.hpp"
 #include "sim/rng.hpp"
 
@@ -36,24 +38,11 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Strict positive-integer parse (same contract as dirqsim's parse_int:
-/// the whole token must be base-10, no wrap, no truncation).
-std::int64_t parse_count(const char* flag, const std::string& value) {
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0' || errno == ERANGE || v < 1) {
-    std::cerr << "bench_scale_topology: " << flag
-              << " expects a positive integer, got: '" << value << "'\n";
-    std::exit(2);
-  }
-  return static_cast<std::int64_t>(v);
-}
-
 struct ScaleRow {
   std::size_t nodes = 0;
   std::int64_t epochs = 0;
   std::string workload;  // "smooth" or "burst L/G"
+  std::string field;     // environment backend: "pinned" or "fast"
   double build_seconds = 0.0;
   double run_seconds = 0.0;
   double epochs_per_sec = 0.0;
@@ -73,17 +62,20 @@ core::ExperimentConfig scale_config(std::size_t nodes, std::int64_t epochs) {
 }
 
 ScaleRow run_cell(std::size_t nodes, std::int64_t epochs,
-                  std::int64_t burst_length, std::int64_t burst_gap) {
+                  std::int64_t burst_length, std::int64_t burst_gap,
+                  data::EnvironmentBackend field) {
   ScaleRow row;
   row.nodes = nodes;
   row.epochs = epochs;
   row.workload = burst_length > 0 ? "burst " + std::to_string(burst_length) +
                                         "/" + std::to_string(burst_gap)
                                   : "smooth";
+  row.field = data::backend_name(field);
 
   core::ExperimentConfig cfg = scale_config(nodes, epochs);
   cfg.burst_length_epochs = burst_length;
   cfg.burst_gap_epochs = burst_gap;
+  cfg.field_backend = field;
 
   {
     // Topology construction cost in isolation (placement + link build).
@@ -116,6 +108,7 @@ void write_json(const std::string& path, const std::vector<ScaleRow>& rows) {
     const ScaleRow& r = rows[i];
     out << "    {\"nodes\": " << r.nodes << ", \"epochs\": " << r.epochs
         << ", \"workload\": \"" << r.workload << "\""
+        << ", \"field\": \"" << r.field << "\""
         << ", \"build_seconds\": " << r.build_seconds
         << ", \"run_seconds\": " << r.run_seconds
         << ", \"epochs_per_sec\": " << r.epochs_per_sec
@@ -132,6 +125,9 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> node_counts{50, 500, 1000, 2000};
   std::int64_t epochs = 2000;
   std::string json_path;
+  std::vector<data::EnvironmentBackend> fields{
+      data::EnvironmentBackend::Pinned, data::EnvironmentBackend::Fast};
+  bool burst_rows = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -141,7 +137,7 @@ int main(int argc, char** argv) {
       for (const char* p = next;; ++p) {
         if (*p == ',' || *p == '\0') {
           node_counts.push_back(
-              static_cast<std::size_t>(parse_count("--nodes", item)));
+              static_cast<std::size_t>(bench::parse_count("bench_scale_topology", "--nodes", item)));
           item.clear();
           if (*p == '\0') break;
         } else {
@@ -150,14 +146,33 @@ int main(int argc, char** argv) {
       }
       ++i;
     } else if (arg == "--epochs" && next != nullptr) {
-      epochs = parse_count("--epochs", next);
+      epochs = bench::parse_count("bench_scale_topology", "--epochs", next);
       ++i;
     } else if (arg == "--json" && next != nullptr) {
       json_path = next;
       ++i;
+    } else if (arg == "--field" && next != nullptr) {
+      const std::string f = next;
+      if (f == "pinned") {
+        fields = {data::EnvironmentBackend::Pinned};
+      } else if (f == "fast") {
+        fields = {data::EnvironmentBackend::Fast};
+      } else if (f == "both") {
+        fields = {data::EnvironmentBackend::Pinned,
+                  data::EnvironmentBackend::Fast};
+      } else {
+        std::cerr << "bench_scale_topology: --field expects pinned, fast or"
+                     " both, got: '" << f << "'\n";
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--no-burst") {
+      // Skip the bursty-arrival rows: the perf-smoke guards only read the
+      // smooth cells, so CI need not pay for rows it ignores.
+      burst_rows = false;
     } else {
       std::cerr << "usage: bench_scale_topology [--nodes LIST] [--epochs N]"
-                   " [--json FILE]\n";
+                   " [--json FILE] [--field pinned|fast|both] [--no-burst]\n";
       return 2;
     }
   }
@@ -168,22 +183,30 @@ int main(int argc, char** argv) {
 
   std::vector<ScaleRow> rows;
   for (std::size_t n : node_counts) {
-    rows.push_back(run_cell(n, epochs, 0, 0));
-    std::cerr << "  " << n << " nodes done ("
-              << dirq::metrics::fmt(rows.back().run_seconds) << " s)\n";
+    for (data::EnvironmentBackend f : fields) {
+      rows.push_back(run_cell(n, epochs, 0, 0, f));
+      std::cerr << "  " << n << " nodes (" << data::backend_name(f)
+                << ") done (" << dirq::metrics::fmt(rows.back().run_seconds)
+                << " s)\n";
+    }
   }
   // Bursty-arrival row (ROADMAP "bursty/diurnal"): same 500-node cell, the
   // query stream gated to 200-epoch bursts separated by 600 silent epochs.
-  rows.push_back(run_cell(500, epochs, 200, 600));
-  std::cerr << "  500-node burst row done\n";
+  if (burst_rows) {
+    for (data::EnvironmentBackend f : fields) {
+      rows.push_back(run_cell(500, epochs, 200, 600, f));
+      std::cerr << "  500-node burst row (" << data::backend_name(f)
+                << ") done\n";
+    }
+  }
 
   dirq::metrics::TsvBlock tsv(
       "scale tier: epoch throughput",
-      {"nodes", "epochs", "workload", "build_s", "run_s", "epochs_per_s",
-       "updates", "peak_rss_so_far_kib"});
+      {"nodes", "epochs", "workload", "field", "build_s", "run_s",
+       "epochs_per_s", "updates", "peak_rss_so_far_kib"});
   for (const ScaleRow& r : rows) {
     tsv.add_row({std::to_string(r.nodes), std::to_string(r.epochs), r.workload,
-                 dirq::metrics::fmt(r.build_seconds, 3),
+                 r.field, dirq::metrics::fmt(r.build_seconds, 3),
                  dirq::metrics::fmt(r.run_seconds, 3),
                  dirq::metrics::fmt(r.epochs_per_sec, 1),
                  std::to_string(r.updates), std::to_string(r.peak_rss_so_far_kib)});

@@ -9,6 +9,7 @@
 #include "analysis/cost_model.hpp"
 #include "core/lmac_transport.hpp"
 #include "core/lossy.hpp"
+#include "data/fast_field.hpp"
 #include "data/field_model.hpp"
 #include "query/rate_predictor.hpp"
 #include "query/workload.hpp"
@@ -50,8 +51,14 @@ ExperimentResults Experiment::run() {
   cfg_.validate();
   sim::Rng rng(cfg_.seed);
   net::Topology topo = net::random_connected(cfg_.placement, rng);
-  data::Environment env(topo, cfg_.placement.sensor_type_count,
-                        rng.substream("environment"));
+  // Environment backend seam: Pinned constructs data::Environment with
+  // exactly the arguments this driver always used (same substream, same
+  // sequential streams — goldens untouched); Fast swaps in the
+  // counter-based twin behind the same ReadingSource interface.
+  const std::unique_ptr<data::ReadingSource> env_owner = data::make_environment(
+      cfg_.field_backend, topo, cfg_.placement.sensor_type_count,
+      rng.substream("environment"));
+  data::ReadingSource& env = *env_owner;
   DirqNetwork network(topo, /*root=*/0, cfg_.network);
 
   // Backend plumbing. The constructor's bootstrap announce wave ran on the
@@ -242,6 +249,14 @@ ExperimentResults Experiment::run() {
   }
 
   res.ledger = network.costs();
+  if (use_lmac) {
+    // The MAC's standing cost: control-section tx+rx over all nodes —
+    // traffic LMAC spends keeping the schedule alive whether or not DirQ
+    // sends anything (bench_lmac_overhead's comparison row).
+    for (NodeId u = 0; u < topo.size(); ++u) {
+      res.mac_control_total += mac->control_tx(u) + mac->control_rx(u);
+    }
+  }
   res.updates_transmitted = network.updates_transmitted();
   res.samples_taken = network.samples_taken();
   res.samples_skipped = network.samples_skipped();

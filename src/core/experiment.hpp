@@ -18,6 +18,7 @@
 
 #include "core/flooding.hpp"
 #include "core/network.hpp"
+#include "data/reading_source.hpp"
 #include "mac/lmac.hpp"
 #include "metrics/audit.hpp"
 #include "net/placement.hpp"
@@ -59,6 +60,12 @@ struct ExperimentConfig {
   /// burst_length_epochs == 0 (default) keeps the smooth arrivals.
   std::int64_t burst_length_epochs = 0;
   std::int64_t burst_gap_epochs = 0;
+  /// Which synthetic-environment backend supplies readings (see
+  /// data/fast_field.hpp). Pinned is the default and the only backend any
+  /// golden is recorded against; Fast reproduces the same correlation
+  /// structure with counter-based noise whose per-epoch cost is
+  /// independent of history — the backend for large-topology runs.
+  data::EnvironmentBackend field_backend = data::EnvironmentBackend::Pinned;
   /// Keep the full per-query record list (1 000 entries for the default
   /// run); benches that only need aggregates can switch it off.
   bool keep_records = true;
@@ -106,6 +113,12 @@ struct ExperimentResults {
   // Energy.
   CostLedger ledger;                // DirQ: query + update + control units
   CostUnits flooding_total = 0;     // same query stream, flooded
+  /// The MAC's standing cost on the Lmac transport: LMAC control-section
+  /// traffic (slot schedules, liveness beacons) summed over all nodes.
+  /// Present for flooding and DirQ alike — the denominator context for
+  /// bench_lmac_overhead's "protocol cost vs MAC keep-alive cost" figure.
+  /// Always 0 on the Instant transport (no MAC is simulated).
+  CostUnits mac_control_total = 0;
   std::int64_t queries = 0;
   std::int64_t updates_transmitted = 0;
   std::int64_t samples_taken = 0;    // physical ADC samples (paper §8)

@@ -95,7 +95,55 @@ void DirqNetwork::process_epoch(const data::ReadingSource& env,
   // walk. The end-of-epoch step only mutates the node's own controller, so
   // running it per node inside the pass is equivalent to a separate
   // whole-network sweep.
+  //
+  // Readings cross the environment boundary in one batch per sensor type:
+  // pass 1 gathers, per type and in walk order, the nodes that will
+  // physically sample; one ReadingSource::readings call per type fills the
+  // values; pass 2 re-runs the identical walk consuming them. Readings are
+  // pure at a fixed epoch and the gate decision for (node, type) reads
+  // only prior-epoch state, so both passes branch identically and the
+  // per-node evaluation order (messages, goldens) is unchanged.
   const std::vector<NodeId>& order = tree_.bfs_order();
+  if (batch_nodes_.size() < env.type_count()) {
+    batch_nodes_.resize(env.type_count());
+    batch_values_.resize(env.type_count());
+    batch_cursor_.resize(env.type_count());
+  }
+  for (std::size_t t = 0; t < batch_nodes_.size(); ++t) {
+    batch_nodes_[t].clear();
+    batch_cursor_[t] = 0;
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    if (!topo_.is_alive(u)) continue;
+    const net::Node& info = topo_.node(u);
+    const SamplingController& gate = samplers_[u];
+    // Node::sensors is sorted + deduplicated by every Topology entry
+    // point (constructor, add_node, add_sensor), so a (node, type) pair
+    // occurs at most once per walk — the gate decision re-evaluated in
+    // pass 2 cannot have been perturbed by an earlier occurrence, and the
+    // two passes always branch identically (asserted by
+    // DirqNetworkBatch.DuplicateSensorListsAreDedupedByTopology).
+    for (SensorType t : info.sensors) {
+      if (!gate.enabled() || gate.should_sample(t, epoch)) {
+        // Post-deployment sensor types can exceed the environment's type
+        // count; keep them in the batch so the backend raises the same
+        // out_of_range the per-node path always did.
+        if (t >= batch_nodes_.size()) {
+          batch_nodes_.resize(t + 1);
+          batch_values_.resize(t + 1);
+          batch_cursor_.resize(t + 1, 0);
+        }
+        batch_nodes_[t].push_back(u);
+      }
+    }
+  }
+  for (std::size_t t = 0; t < batch_nodes_.size(); ++t) {
+    if (batch_nodes_[t].empty()) continue;
+    batch_values_[t].resize(batch_nodes_[t].size());
+    env.readings(static_cast<SensorType>(t), batch_nodes_[t],
+                 batch_values_[t]);
+  }
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId u = *it;
     if (!topo_.is_alive(u)) continue;
@@ -105,7 +153,7 @@ void DirqNetwork::process_epoch(const data::ReadingSource& env,
       // Suppression off (the paper's evaluated configuration): sample
       // every sensor, skip the predictor bookkeeping entirely.
       for (SensorType t : info.sensors) {
-        nodes_[u].sample(t, env.reading(u, t), epoch);
+        nodes_[u].sample(t, batch_values_[t][batch_cursor_[t]++], epoch);
         gate.count_sample();
       }
     } else {
@@ -114,7 +162,7 @@ void DirqNetwork::process_epoch(const data::ReadingSource& env,
           gate.on_skip(t);  // predictor confident: save the ADC energy (§8)
           continue;
         }
-        const double reading = env.reading(u, t);
+        const double reading = batch_values_[t][batch_cursor_[t]++];
         nodes_[u].sample(t, reading, epoch);
         gate.on_sample(t, reading, nodes_[u].controller().theta(t), epoch);
       }

@@ -74,7 +74,12 @@ class DirqNetwork final : public MessageSink {
 
   /// One sensing epoch: every alive tree member samples each of its
   /// sensors; threshold crossings emit Update Messages that propagate
-  /// toward the root (instant transport: synchronously).
+  /// toward the root (instant transport: synchronously). Readings are
+  /// pulled through the environment's batch plane — one
+  /// ReadingSource::readings call per sensor type per epoch instead of a
+  /// virtual reading() per node — while the per-node evaluation order
+  /// (and therefore every message, golden, and ledger entry) is
+  /// unchanged.
   void process_epoch(const data::ReadingSource& env, std::int64_t epoch);
 
   /// Hourly root broadcast (paper §4): EHr plus the derived network-wide
@@ -178,6 +183,14 @@ class DirqNetwork final : public MessageSink {
 
   std::unique_ptr<InstantTransport> instant_;
   Transport* transport_ = nullptr;
+
+  // Scratch for the batched sampling path (reused across epochs so the
+  // hot loop never allocates): per sensor type, the nodes that will
+  // physically sample this epoch in walk order, their readings, and the
+  // consumption cursor of the second pass.
+  std::vector<std::vector<NodeId>> batch_nodes_;
+  std::vector<std::vector<double>> batch_values_;
+  std::vector<std::size_t> batch_cursor_;
 
   std::int64_t current_epoch_ = 0;
   std::int64_t updates_transmitted_ = 0;

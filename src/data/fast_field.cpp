@@ -1,0 +1,334 @@
+#include "data/fast_field.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dirq::data {
+
+namespace {
+
+/// Triangle-wave reflection of p into [lo, lo + w]: the closed form of
+/// "drift and bounce off the walls", so any epoch's front position costs
+/// O(1) instead of one step per elapsed epoch.
+double fold(double p, double lo, double w) {
+  if (!(w > 0.0)) return lo;
+  double q = std::fmod(p - lo, 2.0 * w);
+  if (q < 0.0) q += 2.0 * w;
+  return lo + (q <= w ? q : 2.0 * w - q);
+}
+
+/// Innovation draw for the windowed sums: one counter_hash, with the
+/// popcount gaussian and the smoothing uniform taken from the SAME word
+/// (unlike CounterRng::normal_at, which spends a second finaliser round
+/// decorrelating them). Sharing the word adds cov(popcount, uniform) =
+/// 1/4, which the constant corrects exactly — variance is
+/// 16 + 1/12 + 2*(1/4); the residual higher-moment blemish washes out in
+/// the W-term CLT sum this feeds. Refills are the fast backend's hottest
+/// loop, so the draw is half of normal_at's cost by design.
+double innovation_at(std::uint64_t stream, std::uint64_t counter) noexcept {
+  const std::uint64_t z = sim::counter_hash(stream, counter);
+  constexpr double kInvSd = 0.24556365272101743;  // 1/sqrt(16 + 1/12 + 1/2)
+  return (static_cast<double>(std::popcount(z)) - 32.5 +
+          static_cast<double>(z >> 11) * 0x1.0p-53) *
+         kInvSd;
+}
+
+}  // namespace
+
+void FastField::NoiseProcess::init(double rho, double sigma) {
+  const double r = std::clamp(rho, 0.0, 0.999999);
+  // Stationary sd of the pinned AR(1) process this approximates.
+  const double target_sd = sigma / std::sqrt(1.0 - r * r);
+  // Block length tracks the AR(1) time constant tau = -1/ln(rho): half a
+  // time constant per block. Coarser blocks are cheaper but the
+  // piecewise-linear lerp then holds mid-lag correlation too high above
+  // the rho^k target (linear value-noise has a fat autocorrelation
+  // shoulder out to 2 blocks); tau/2 keeps every tested lag within ~0.1
+  // of the target. Power of two so the hot path is a shift.
+  const double tau = r > 0.0 ? -1.0 / std::log(r) : 1.0;
+  const double s = std::clamp(tau / 2.0, 1.0, 4096.0);
+  log2_block = 0;
+  while ((std::int64_t{1} << (log2_block + 1)) <= static_cast<std::int64_t>(s)) {
+    ++log2_block;
+  }
+  const double block = static_cast<double>(std::int64_t{1} << log2_block);
+  decay = std::pow(r, block);
+
+  // Window size: truncate once the tail weight a^W drops under 15 %. The
+  // truncated variance (a^2W ~ 2 %) is folded back in by `scale`; the
+  // truncation's long-lag correlation deficit stays inside the test
+  // tolerance at 4 blocks out (tail 0.2 does not). decay lands around
+  // 0.5-0.75 for S ~ tau/2, so W is typically 4-6 — the refill loop is
+  // the backend's hottest path, so every draw counts.
+  window = 2;
+  if (decay > 1e-9) {
+    window = static_cast<int>(
+        std::ceil(std::log(0.15) / std::log(std::min(decay, 0.999))));
+    window = std::clamp(window, 2, kMaxWindow);
+  }
+
+  // Scale the unit-innovation windowed sum to the target stationary sd,
+  // correcting for (a) the window's own variance and (b) the phase-average
+  // variance shrink of lerping between correlated anchors.
+  const double a2 = decay * decay;
+  double var_x = static_cast<double>(window);
+  double cov = static_cast<double>(window - 1);
+  if (a2 < 1.0) {
+    var_x = (1.0 - std::pow(a2, window)) / (1.0 - a2);
+    cov = decay * (1.0 - std::pow(a2, window - 1)) / (1.0 - a2);
+  }
+  const double c = var_x > 0.0 ? cov / var_x : 0.0;
+  scale = target_sd / std::sqrt(var_x * (2.0 + c) / 3.0);
+}
+
+FastField::FastField(SensorType type, FieldParams params,
+                     const net::Topology& topo, sim::Rng rng)
+    : type_(type), params_(params), crng_(rng.seed()), topo_(&topo) {
+  geo_.init(topo, params_.regional_cell);
+
+  // Identical front geometry to the pinned Field: same substream, same
+  // draw order (see Field's constructor).
+  sim::Rng bump_rng = rng.substream("bumps");
+  for (std::size_t b = 0; b < params_.bump_count; ++b) {
+    Bump bump;
+    bump.cx0 = bump_rng.uniform(geo_.min_x, geo_.min_x + geo_.area_w);
+    bump.cy0 = bump_rng.uniform(geo_.min_y, geo_.min_y + geo_.area_h);
+    const double angle = bump_rng.uniform(0.0, 2.0 * std::numbers::pi);
+    bump.vx = params_.bump_drift * std::cos(angle);
+    bump.vy = params_.bump_drift * std::sin(angle);
+    bump.amplitude = params_.bump_amplitude * bump_rng.uniform(0.5, 1.0) *
+                     (bump_rng.bernoulli(0.5) ? 1.0 : -1.0);
+    bump.sigma = params_.bump_sigma * bump_rng.uniform(0.7, 1.3);
+    bump.cx = bump.cx0;
+    bump.cy = bump.cy0;
+    bumps_.push_back(bump);
+  }
+
+  regional_noise_.init(params_.regional_rho, params_.regional_sigma);
+  node_noise_.init(params_.node_rho, params_.node_sigma);
+  regional_stream_ = crng_.substream("regional").stream();
+  node_stream_ = crng_.substream("node-noise").stream();
+  node_cache_.assign(geo_.node_count(), NodeCache{});
+  cell_cache_.assign(geo_.cell_count(), CellCache{});
+  init_node_cache(0);
+  advance_derived();
+  refresh_bumps();
+}
+
+void FastField::refresh_diurnal() {
+  diurnal_ = params_.diurnal_amplitude *
+             std::sin(2.0 * std::numbers::pi * static_cast<double>(epoch_) /
+                          params_.diurnal_period +
+                      params_.phase);
+}
+
+void FastField::refresh_bumps() {
+  const double t = static_cast<double>(epoch_);
+  for (Bump& b : bumps_) {
+    b.cx = fold(b.cx0 + b.vx * t, geo_.min_x, geo_.area_w);
+    b.cy = fold(b.cy0 + b.vy * t, geo_.min_y, geo_.area_h);
+  }
+}
+
+void FastField::advance_derived() {
+  refresh_diurnal();
+  base_diurnal_ = params_.base + diurnal_;
+  const auto split = [this](int log2_block, std::int64_t& block, double& frac) {
+    block = epoch_ >> log2_block;
+    frac = static_cast<double>(epoch_ - (block << log2_block)) /
+           static_cast<double>(std::int64_t{1} << log2_block);
+  };
+  split(kTerrainLog2Block, terrain_block_, terrain_frac_);
+  split(node_noise_.log2_block, node_block_, node_frac_);
+  split(regional_noise_.log2_block, regional_block_, regional_frac_);
+}
+
+void FastField::advance_to(std::int64_t epoch) {
+  if (epoch < epoch_) {
+    throw std::invalid_argument("FastField::advance_to: epochs are monotonic");
+  }
+  if (epoch == epoch_) return;
+  epoch_ = epoch;
+  advance_derived();
+  refresh_bumps();
+}
+
+double FastField::anchor_sum(const NoiseProcess& p, std::uint64_t stream,
+                             std::int64_t anchor) const {
+  // X(anchor) = scale * sum_{j=0}^{W-1} a^j eps(anchor - j): a pure
+  // function of (stream, anchor) with a fixed summation order, so every
+  // path that produces this anchor — fresh refill, random access, or the
+  // sequential hi->lo reuse below — yields bit-identical values.
+  double x = 0.0, w = 1.0;
+  for (int j = 0; j < p.window; ++j) {
+    x += w * innovation_at(stream, static_cast<std::uint64_t>(anchor - j));
+    w *= p.decay;
+  }
+  return p.scale * x;
+}
+
+double FastField::bumps_at_epoch(double x, double y,
+                                 std::int64_t epoch) const {
+  const double t = static_cast<double>(epoch);
+  double v = 0.0;
+  for (const Bump& b : bumps_) {
+    const double cx = fold(b.cx0 + b.vx * t, geo_.min_x, geo_.area_w);
+    const double cy = fold(b.cy0 + b.vy * t, geo_.min_y, geo_.area_h);
+    const double dx = x - cx;
+    const double dy = y - cy;
+    const double z = (dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma);
+    // Same far-field cutoff rationale as Field::field_value: exp(-z) for
+    // z > 80 is below any contribution a front can make to a reading.
+    if (z > 80.0) continue;
+    v += b.amplitude * std::exp(-z);
+  }
+  return v;
+}
+
+double FastField::bumps_now(double x, double y) const {
+  double v = 0.0;
+  for (const Bump& b : bumps_) {
+    const double dx = x - b.cx;
+    const double dy = y - b.cy;
+    const double z = (dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma);
+    if (z > 80.0) continue;
+    v += b.amplitude * std::exp(-z);
+  }
+  return v;
+}
+
+double FastField::regional_value(std::size_t cell) const {
+  CellCache& c = cell_cache_[cell];
+  if (c.block != regional_block_) {
+    const std::uint64_t stream = sim::counter_hash(regional_stream_, cell);
+    // Sequential advance reuses the high anchor as the new low one (the
+    // common case in the epoch loop); anchors are pure, so this equals a
+    // full recomputation bit-for-bit.
+    c.lo = c.block == regional_block_ - 1
+               ? c.hi
+               : anchor_sum(regional_noise_, stream, regional_block_);
+    c.hi = anchor_sum(regional_noise_, stream, regional_block_ + 1);
+    c.block = regional_block_;
+  }
+  return c.lo + (c.hi - c.lo) * regional_frac_;
+}
+
+double FastField::deterministic_at(double x, double y) const {
+  return base_diurnal_ +
+         params_.gradient_x * (x - geo_.min_x) / geo_.area_w +
+         params_.gradient_y * (y - geo_.min_y) / geo_.area_h + bumps_now(x, y);
+}
+
+double FastField::field_at(double x, double y) const {
+  return deterministic_at(x, y) + regional_value(geo_.cell_of(x, y));
+}
+
+void FastField::adopt_new_nodes() const {
+  // Late-deployed nodes (paper §4.2): capture positions. Unlike the pinned
+  // backend (whose AR(1) history starts at zero for newcomers), the
+  // counter noise is a pure function of the node index, so an adopted node
+  // reads its full stationary noise immediately — an acceptable semantic
+  // difference for a backend that is never golden-compared to Pinned.
+  const std::size_t old = geo_.adopt_new_nodes(*topo_);
+  node_cache_.resize(geo_.node_count(), NodeCache{});
+  init_node_cache(old);
+}
+
+void FastField::init_node_cache(std::size_t from) const {
+  // Shared by construction and late-node adoption so the static per-node
+  // terms can never drift between the two populations.
+  for (std::size_t u = from; u < geo_.node_count(); ++u) {
+    node_cache_[u].gradient =
+        params_.gradient_x * (geo_.node_x[u] - geo_.min_x) / geo_.area_w +
+        params_.gradient_y * (geo_.node_y[u] - geo_.min_y) / geo_.area_h;
+    node_cache_[u].cell = static_cast<std::uint32_t>(geo_.node_cell[u]);
+  }
+}
+
+double FastField::reading(NodeId node) const {
+  if (node >= geo_.node_count()) {
+    adopt_new_nodes();
+    if (node >= geo_.node_count()) {
+      // Same contract as the pinned backend (geo_.node_x.at(node)): an id
+      // the topology has never seen is a clean error, not UB.
+      throw std::out_of_range("FastField::reading: unknown node id");
+    }
+  }
+  NodeCache& c = node_cache_[node];  // bounded by the adoption check above
+  if (c.terrain_block != terrain_block_) {
+    const double x = geo_.node_x[node];
+    const double y = geo_.node_y[node];
+    // Sequential advance reuses the high anchor as the new low one; both
+    // anchors are pure functions of the epoch, so the reuse is exact.
+    c.bump_lo = c.terrain_block == terrain_block_ - 1
+                    ? c.bump_hi
+                    : bumps_at_epoch(x, y, terrain_block_ << kTerrainLog2Block);
+    c.bump_hi =
+        bumps_at_epoch(x, y, (terrain_block_ + 1) << kTerrainLog2Block);
+    c.terrain_block = terrain_block_;
+  }
+  if (c.noise_block != node_block_) {
+    const std::uint64_t stream = sim::counter_hash(node_stream_, node);
+    c.noise_lo = c.noise_block == node_block_ - 1
+                     ? c.noise_hi
+                     : anchor_sum(node_noise_, stream, node_block_);
+    c.noise_hi = anchor_sum(node_noise_, stream, node_block_ + 1);
+    c.noise_block = node_block_;
+  }
+  return base_diurnal_ + c.gradient +
+         c.bump_lo + (c.bump_hi - c.bump_lo) * terrain_frac_ +
+         regional_value(c.cell) +
+         c.noise_lo + (c.noise_hi - c.noise_lo) * node_frac_;
+}
+
+void FastField::readings(std::span<const NodeId> nodes,
+                         std::span<double> out) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    out[i] = reading(nodes[i]);
+  }
+}
+
+FastEnvironment::FastEnvironment(const net::Topology& topo,
+                                 std::size_t sensor_type_count, sim::Rng rng) {
+  fields_.reserve(sensor_type_count);
+  for (SensorType t = 0; t < sensor_type_count; ++t) {
+    fields_.emplace_back(t, default_params(t), topo, rng.substream("field", t));
+  }
+}
+
+void FastEnvironment::advance_to(std::int64_t epoch) {
+  for (FastField& f : fields_) f.advance_to(epoch);
+  epoch_ = epoch;
+}
+
+double FastEnvironment::reading(NodeId node, SensorType type) const {
+  return fields_.at(type).reading(node);
+}
+
+void FastEnvironment::readings(SensorType type, std::span<const NodeId> nodes,
+                               std::span<double> out) const {
+  fields_.at(type).readings(nodes, out);
+}
+
+const FastField& FastEnvironment::field(SensorType type) const {
+  return fields_.at(type);
+}
+
+std::unique_ptr<ReadingSource> make_environment(EnvironmentBackend backend,
+                                                const net::Topology& topo,
+                                                std::size_t sensor_type_count,
+                                                sim::Rng rng) {
+  if (backend == EnvironmentBackend::Fast) {
+    return std::make_unique<FastEnvironment>(topo, sensor_type_count, rng);
+  }
+  return std::make_unique<Environment>(topo, sensor_type_count, rng);
+}
+
+const char* backend_name(EnvironmentBackend backend) noexcept {
+  return backend == EnvironmentBackend::Fast ? "fast" : "pinned";
+}
+
+}  // namespace dirq::data

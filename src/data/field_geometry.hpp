@@ -1,0 +1,99 @@
+// Geometry shared by the synthetic-field backends: the node-position
+// snapshot, the deployment bounding box, and the coarse regional-noise
+// grid. Extracted from Field (field_model.hpp) so the counter-based
+// FastField (fast_field.hpp) resolves cells and adopts late-deployed
+// nodes with the exact same arithmetic — any drift here would silently
+// decouple the backends' spatial correlation structure.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/types.hpp"
+
+namespace dirq::data {
+
+struct FieldGeometry {
+  // Node positions / cells are mutable because late-deployed nodes are
+  // adopted lazily inside const readers (paper §4.2 dynamics).
+  mutable std::vector<double> node_x, node_y;
+  mutable std::vector<std::size_t> node_cell;  // cached cell_of per node
+  double min_x = 0.0, min_y = 0.0;
+  double area_w = 1.0, area_h = 1.0;
+  std::size_t cells_x = 1, cells_y = 1;
+  double cell_size = 1.0;  // side of the shared-noise grid cell
+
+  /// Captures positions and sizes the regional grid. `regional_cell` is
+  /// FieldParams::regional_cell.
+  void init(const net::Topology& topo, double regional_cell) {
+    cell_size = regional_cell;
+    const auto nodes = topo.nodes();
+    node_x.reserve(nodes.size());
+    node_y.reserve(nodes.size());
+    double max_x = 1.0, max_y = 1.0;
+    min_x = 0.0;
+    min_y = 0.0;
+    bool first = true;
+    for (const net::Node& n : nodes) {
+      node_x.push_back(n.x);
+      node_y.push_back(n.y);
+      if (first) {
+        min_x = max_x = n.x;
+        min_y = max_y = n.y;
+        first = false;
+      } else {
+        min_x = std::min(min_x, n.x);
+        min_y = std::min(min_y, n.y);
+        max_x = std::max(max_x, n.x);
+        max_y = std::max(max_y, n.y);
+      }
+    }
+    area_w = std::max(max_x - min_x, 1.0);
+    area_h = std::max(max_y - min_y, 1.0);
+    cells_x = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(area_w / cell_size)));
+    cells_y = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(area_h / cell_size)));
+    node_cell.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      node_cell.push_back(cell_of(node_x[i], node_y[i]));
+    }
+  }
+
+  [[nodiscard]] std::size_t cell_of(double x, double y) const {
+    auto cx = static_cast<std::size_t>(
+        std::clamp((x - min_x) / cell_size, 0.0,
+                   static_cast<double>(cells_x - 1)));
+    auto cy = static_cast<std::size_t>(
+        std::clamp((y - min_y) / cell_size, 0.0,
+                   static_cast<double>(cells_y - 1)));
+    return cy * cells_x + cx;
+  }
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cells_x * cells_y;
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return node_x.size();
+  }
+
+  /// Captures nodes deployed after init (their positions are read from
+  /// the topology); returns the node count before adoption so callers can
+  /// extend their own per-node state in lock-step.
+  std::size_t adopt_new_nodes(const net::Topology& topo) const {
+    const std::size_t old = node_x.size();
+    const auto nodes = topo.nodes();
+    for (std::size_t i = old; i < nodes.size(); ++i) {
+      node_x.push_back(nodes[i].x);
+      node_y.push_back(nodes[i].y);
+      node_cell.push_back(cell_of(nodes[i].x, nodes[i].y));
+    }
+    return old;
+  }
+};
+
+}  // namespace dirq::data

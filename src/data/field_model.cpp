@@ -79,39 +79,13 @@ FieldParams default_params(SensorType type) {
 Field::Field(SensorType type, FieldParams params, const net::Topology& topo,
              sim::Rng rng)
     : type_(type), params_(params), rng_(rng), topo_(&topo) {
-  const auto nodes = topo.nodes();
-  node_x_.reserve(nodes.size());
-  node_y_.reserve(nodes.size());
-  double max_x = 1.0, max_y = 1.0;
-  min_x_ = 0.0;
-  min_y_ = 0.0;
-  bool first = true;
-  for (const net::Node& n : nodes) {
-    node_x_.push_back(n.x);
-    node_y_.push_back(n.y);
-    if (first) {
-      min_x_ = max_x = n.x;
-      min_y_ = max_y = n.y;
-      first = false;
-    } else {
-      min_x_ = std::min(min_x_, n.x);
-      min_y_ = std::min(min_y_, n.y);
-      max_x = std::max(max_x, n.x);
-      max_y = std::max(max_y, n.y);
-    }
-  }
-  area_w_ = std::max(max_x - min_x_, 1.0);
-  area_h_ = std::max(max_y - min_y_, 1.0);
-  cells_x_ = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(area_w_ / params_.regional_cell)));
-  cells_y_ = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(area_h_ / params_.regional_cell)));
+  geo_.init(topo, params_.regional_cell);
 
   sim::Rng bump_rng = rng_.substream("bumps");
   for (std::size_t b = 0; b < params_.bump_count; ++b) {
     Bump bump;
-    bump.cx = bump_rng.uniform(min_x_, min_x_ + area_w_);
-    bump.cy = bump_rng.uniform(min_y_, min_y_ + area_h_);
+    bump.cx = bump_rng.uniform(geo_.min_x, geo_.min_x + geo_.area_w);
+    bump.cy = bump_rng.uniform(geo_.min_y, geo_.min_y + geo_.area_h);
     const double angle = bump_rng.uniform(0.0, 2.0 * std::numbers::pi);
     bump.vx = params_.bump_drift * std::cos(angle);
     bump.vy = params_.bump_drift * std::sin(angle);
@@ -120,12 +94,8 @@ Field::Field(SensorType type, FieldParams params, const net::Topology& topo,
     bump.sigma = params_.bump_sigma * bump_rng.uniform(0.7, 1.3);
     bumps_.push_back(bump);
   }
-  regional_.assign(cells_x_ * cells_y_, 0.0);
-  node_noise_.assign(nodes.size(), 0.0);
-  node_cell_.reserve(nodes.size());
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    node_cell_.push_back(cell_of(node_x_[i], node_y_[i]));
-  }
+  regional_.assign(geo_.cell_count(), 0.0);
+  node_noise_.assign(geo_.node_count(), 0.0);
   refresh_diurnal();
 }
 
@@ -150,8 +120,8 @@ void Field::step_once() {
   for (Bump& b : bumps_) {
     b.cx += b.vx;
     b.cy += b.vy;
-    if (b.cx < min_x_ || b.cx > min_x_ + area_w_) b.vx = -b.vx;
-    if (b.cy < min_y_ || b.cy > min_y_ + area_h_) b.vy = -b.vy;
+    if (b.cx < geo_.min_x || b.cx > geo_.min_x + geo_.area_w) b.vx = -b.vx;
+    if (b.cy < geo_.min_y || b.cy > geo_.min_y + geo_.area_h) b.vy = -b.vy;
   }
   for (double& r : regional_) {
     r = params_.regional_rho * r + rng_.normal(0.0, params_.regional_sigma);
@@ -163,19 +133,13 @@ void Field::step_once() {
 }
 
 std::size_t Field::cell_of(double x, double y) const {
-  auto cx = static_cast<std::size_t>(
-      std::clamp((x - min_x_) / params_.regional_cell, 0.0,
-                 static_cast<double>(cells_x_ - 1)));
-  auto cy = static_cast<std::size_t>(
-      std::clamp((y - min_y_) / params_.regional_cell, 0.0,
-                 static_cast<double>(cells_y_ - 1)));
-  return cy * cells_x_ + cx;
+  return geo_.cell_of(x, y);
 }
 
 double Field::field_value(double x, double y, std::size_t cell) const {
   double v = params_.base + diurnal_ +
-             params_.gradient_x * (x - min_x_) / area_w_ +
-             params_.gradient_y * (y - min_y_) / area_h_;
+             params_.gradient_x * (x - geo_.min_x) / geo_.area_w +
+             params_.gradient_y * (y - geo_.min_y) / geo_.area_h;
   for (const Bump& b : bumps_) {
     const double dx = x - b.cx;
     const double dy = y - b.cy;
@@ -202,19 +166,22 @@ void Field::adopt_new_nodes() const {
   // Nodes deployed after construction (paper §4.2 dynamics): capture their
   // positions; their sensor-local AR(1) noise starts from 0 and evolves
   // from the next step (new hardware, no noise history).
-  const auto nodes = topo_->nodes();
-  for (std::size_t i = node_x_.size(); i < nodes.size(); ++i) {
-    node_x_.push_back(nodes[i].x);
-    node_y_.push_back(nodes[i].y);
-    node_cell_.push_back(cell_of(nodes[i].x, nodes[i].y));
-    node_noise_.push_back(0.0);
-  }
+  geo_.adopt_new_nodes(*topo_);
+  node_noise_.resize(geo_.node_count(), 0.0);
 }
 
 double Field::reading(NodeId node) const {
-  if (node >= node_x_.size()) adopt_new_nodes();
-  return field_value(node_x_.at(node), node_y_.at(node), node_cell_[node]) +
+  if (node >= geo_.node_count()) adopt_new_nodes();
+  return field_value(geo_.node_x.at(node), geo_.node_y.at(node),
+                     geo_.node_cell[node]) +
          node_noise_.at(node);
+}
+
+void Field::readings(std::span<const NodeId> nodes,
+                     std::span<double> out) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    out[i] = reading(nodes[i]);
+  }
 }
 
 Environment::Environment(const net::Topology& topo,
@@ -233,6 +200,14 @@ void Environment::advance_to(std::int64_t epoch) {
 
 double Environment::reading(NodeId node, SensorType type) const {
   return fields_.at(type).reading(node);
+}
+
+void Environment::readings(SensorType type, std::span<const NodeId> nodes,
+                           std::span<double> out) const {
+  // One virtual call for the whole batch; the field's loop is devirtualised
+  // and bit-identical to per-node reading() (readings are pure at a fixed
+  // epoch, so call order cannot change values).
+  fields_.at(type).readings(nodes, out);
 }
 
 const Field& Environment::field(SensorType type) const {

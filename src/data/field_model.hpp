@@ -25,8 +25,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "data/field_geometry.hpp"
 #include "data/reading_source.hpp"
 #include "net/topology.hpp"
 #include "sim/rng.hpp"
@@ -77,6 +79,12 @@ class Field {
   /// is read from the topology and their sensor-local noise starts at 0.
   [[nodiscard]] double reading(NodeId node) const;
 
+  /// Batch form of `reading`: fills `out[i]` for `nodes[i]`. Values are
+  /// bit-identical to per-node `reading()` calls (readings are pure at a
+  /// fixed epoch); the batch only exists so the epoch loop crosses the
+  /// environment boundary once per type instead of once per node.
+  void readings(std::span<const NodeId> nodes, std::span<double> out) const;
+
   /// Deterministic field value at an arbitrary position, current epoch,
   /// excluding per-node noise (used by tests to check spatial coherence).
   [[nodiscard]] double field_at(double x, double y) const;
@@ -109,13 +117,9 @@ class Field {
   std::int64_t epoch_ = 0;
   const net::Topology* topo_ = nullptr;  // for post-construction node adoption
 
-  // Geometry captured from the topology (lazily extended on node addition;
-  // mutable because adoption happens inside const readers).
-  mutable std::vector<double> node_x_, node_y_;
-  mutable std::vector<std::size_t> node_cell_;  // cached cell_of per node
-  double min_x_ = 0.0, min_y_ = 0.0;
-  double area_w_ = 1.0, area_h_ = 1.0;
-  std::size_t cells_x_ = 1, cells_y_ = 1;
+  // Geometry captured from the topology (lazily extended on node
+  // addition); shared arithmetic with the fast backend.
+  FieldGeometry geo_;
   double diurnal_ = 0.0;  // amplitude * sin(...) for the current epoch
 
   std::vector<Bump> bumps_;
@@ -134,6 +138,8 @@ class Environment final : public ReadingSource {
   void advance_to(std::int64_t epoch) override;
 
   [[nodiscard]] double reading(NodeId node, SensorType type) const override;
+  void readings(SensorType type, std::span<const NodeId> nodes,
+                std::span<double> out) const override;
   [[nodiscard]] const Field& field(SensorType type) const;
   [[nodiscard]] std::size_t type_count() const noexcept override {
     return fields_.size();

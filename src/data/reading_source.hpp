@@ -1,11 +1,13 @@
 // Abstraction over "where sensor readings come from": the synthetic
-// Environment (src/data/field_model.hpp) or a recorded trace being
-// replayed (src/data/trace.hpp). The protocol layers only ever see this
-// interface, so a user can swap the paper's synthetic dataset for real
-// deployment data without touching DirQ.
+// Environment (src/data/field_model.hpp), its counter-based fast twin
+// (src/data/fast_field.hpp), or a recorded trace being replayed
+// (src/data/trace.hpp). The protocol layers only ever see this interface,
+// so a user can swap the paper's synthetic dataset for real deployment
+// data without touching DirQ.
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "sim/types.hpp"
 
@@ -21,11 +23,35 @@ class ReadingSource {
   /// Reading of `node` for `type` at the current epoch.
   [[nodiscard]] virtual double reading(NodeId node, SensorType type) const = 0;
 
+  /// Batch reading plane: fills `out[i]` with the reading of `nodes[i]`
+  /// for `type` at the current epoch. `out.size()` must equal
+  /// `nodes.size()`. The epoch loop issues one call per sensor type per
+  /// epoch through this path instead of one virtual `reading()` per node;
+  /// values are required to be identical to the per-node path (the batch
+  /// is a transport optimisation, never a semantic change). The default
+  /// implementation delegates per node; backends override it with a tight
+  /// devirtualised loop.
+  virtual void readings(SensorType type, std::span<const NodeId> nodes,
+                        std::span<double> out) const {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      out[i] = reading(nodes[i], type);
+    }
+  }
+
   /// Number of sensor types this source provides (types are 0..n-1).
   [[nodiscard]] virtual std::size_t type_count() const = 0;
 
   /// Current epoch.
   [[nodiscard]] virtual std::int64_t epoch() const = 0;
 };
+
+/// Which synthetic-environment backend an experiment samples from.
+///   Pinned — the sequential AR(1) Environment (field_model.hpp). The
+///     default; every scenario golden is pinned against its streams.
+///   Fast — the counter-based FastEnvironment (fast_field.hpp): same
+///     spatial + temporal correlation structure, O(1) random access,
+///     per-epoch cost independent of history. Different (but equally
+///     deterministic) values — never golden-compared against Pinned.
+enum class EnvironmentBackend { Pinned, Fast };
 
 }  // namespace dirq::data

@@ -29,6 +29,7 @@
 #include "core/sampling.hpp"
 #include "core/srt.hpp"
 #include "core/transport.hpp"
+#include "data/fast_field.hpp"
 #include "data/field_model.hpp"
 #include "data/reading_source.hpp"
 #include "data/trace.hpp"

@@ -40,7 +40,8 @@ Topology random_connected(const RandomPlacementConfig& cfg, sim::Rng& rng);
 /// complement, rejection budget). For node_count <= 50 only the count is
 /// substituted — exactly the paper's setup, so existing goldens are
 /// untouched. Beyond 50 nodes the geometry is overwritten with a
-/// density-preserving scaling: the area grows with sqrt(n/50), the radio
+/// density-preserving scaling: the area side grows with sqrt(n/50) (so
+/// the area itself grows linearly with n), the radio
 /// range grows by sqrt(ln n / ln 50) (random geometric graphs need mean
 /// degree ~ ln n to stay connected), and the 50-node k/d bounds are
 /// lifted. The cutoff is a policy choice, not the exact failure point:

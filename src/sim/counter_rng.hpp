@@ -1,0 +1,118 @@
+// Counter-based random-number generation: O(1) random access.
+//
+// `Rng` (rng.hpp) is a sequential engine — drawing the value for epoch
+// 10 000 means drawing the 9 999 values before it, which makes the
+// synthetic environment the scaling floor of large runs (ROADMAP "Known
+// floor"). `CounterRng` instead derives every value by hashing a
+// (stream, counter) key through the SplitMix64 finaliser: any draw is a
+// pure function of its key, so a consumer can jump straight to epoch
+// 10 000, skip suppressed nodes entirely, and re-query out of order while
+// getting bit-identical values every time.
+//
+// The generator IS SplitMix64 viewed as a counter mode: splitmix's state
+// after n steps is seed + n*gamma, so hashing `stream + counter*gamma`
+// through the finaliser yields exactly the splitmix output sequence with
+// random access. Statistical quality therefore matches sim::Rng's seeding
+// mixer, which is well beyond what a synthetic sensor field needs.
+//
+// `normal_at` trades exactness for speed: popcount of the 64 hashed bits
+// is Binomial(64, 1/2) (mean 32, variance 16) — a CLT gaussian with
+// |excess kurtosis| < 0.04 — smoothed into a continuous density by one
+// uniform and rescaled to unit variance. Tails truncate at ±8.1 sigma.
+// That is indistinguishable from a true gaussian for field-noise purposes
+// and costs a popcount instead of log/sqrt/trig; do not use it for
+// tail-sensitive statistics.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/rng.hpp"
+
+namespace dirq::sim {
+
+/// SplitMix64 finaliser applied to an explicit (stream, counter) key.
+/// Public because tests assert its avalanche / random-access behaviour.
+constexpr std::uint64_t counter_hash(std::uint64_t stream,
+                                     std::uint64_t counter) noexcept {
+  std::uint64_t z = stream + counter * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless random-access generator over a named stream. Copyable and
+/// trivially cheap (one word); every *_at accessor is const and pure.
+class CounterRng {
+ public:
+  /// Derives the stream key from a seed (zero is remapped like sim::Rng's
+  /// seeding so trivially chosen master seeds stay well-mixed).
+  explicit constexpr CounterRng(std::uint64_t seed) noexcept
+      : stream_(mix_seed(seed)) {}
+
+  /// Derives an independent stream for a named component, mirroring
+  /// Rng::substream — the two layouts share the fnv1a label space.
+  [[nodiscard]] constexpr CounterRng substream(std::string_view label) const noexcept {
+    return CounterRng(stream_ ^ fnv1a(label));
+  }
+
+  /// Derives an independent stream for an indexed component (one stream
+  /// per node, per grid cell, ...).
+  [[nodiscard]] constexpr CounterRng substream(std::string_view label,
+                                               std::uint64_t index) const noexcept {
+    std::uint64_t s = stream_ ^ fnv1a(label);
+    s += 0x9E3779B97F4A7C15ULL;  // one splitmix step before indexing
+    return CounterRng(counter_hash(s, index));
+  }
+
+  /// Raw 64-bit value at `counter`. O(1), order-independent.
+  [[nodiscard]] constexpr std::uint64_t u64_at(std::uint64_t counter) const noexcept {
+    return counter_hash(stream_, counter);
+  }
+
+  /// Uniform double in [0, 1) at `counter` (53-bit resolution).
+  [[nodiscard]] constexpr double uniform_at(std::uint64_t counter) const noexcept {
+    return static_cast<double>(u64_at(counter) >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi) at `counter`.
+  [[nodiscard]] constexpr double uniform_at(std::uint64_t counter, double lo,
+                                            double hi) const noexcept {
+    return lo + (hi - lo) * uniform_at(counter);
+  }
+
+  /// Approximate standard normal at `counter` (see the header comment for
+  /// the accuracy contract).
+  [[nodiscard]] double normal_at(std::uint64_t counter) const noexcept {
+    const std::uint64_t z = u64_at(counter);
+    // Second finaliser round decorrelates the smoothing uniform from the
+    // popcount of z (they would otherwise share bits).
+    std::uint64_t w = z + 0x9E3779B97F4A7C15ULL;
+    w = (w ^ (w >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    w = (w ^ (w >> 27)) * 0x94D049BB133111EBULL;
+    w ^= w >> 31;
+    const double u = static_cast<double>(w >> 11) * 0x1.0p-53;
+    // Binomial(64, 1/2) + Uniform(-1/2, 1/2): variance 16 + 1/12.
+    constexpr double kInvSd = 0.24935649168959823;  // 1/sqrt(16 + 1/12)
+    return (static_cast<double>(std::popcount(z)) - 32.0 + u - 0.5) * kInvSd;
+  }
+
+  /// Approximate normal with the given mean and standard deviation.
+  [[nodiscard]] double normal_at(std::uint64_t counter, double mean,
+                                 double stddev) const noexcept {
+    return mean + stddev * normal_at(counter);
+  }
+
+  /// The derived stream key (diagnostics and tests).
+  [[nodiscard]] constexpr std::uint64_t stream() const noexcept { return stream_; }
+
+ private:
+  static constexpr std::uint64_t mix_seed(std::uint64_t seed) noexcept {
+    return seed == 0 ? 0x853C49E6748FEA9BULL : seed;
+  }
+
+  std::uint64_t stream_;
+};
+
+}  // namespace dirq::sim

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "data/fast_field.hpp"
 #include "net/placement.hpp"
 
 namespace dirq::sweep {
@@ -222,6 +223,16 @@ Axis burst_axis(
            cfg.burst_length_epochs = length <= 0 ? 0 : length;
            cfg.burst_gap_epochs = length <= 0 ? 0 : gap;
          }});
+  }
+  return a;
+}
+
+Axis field_axis(const std::vector<data::EnvironmentBackend>& backends) {
+  Axis a{"field", {}};
+  for (data::EnvironmentBackend b : backends) {
+    a.values.push_back({data::backend_name(b), [b](core::ExperimentConfig& cfg) {
+                          cfg.field_backend = b;
+                        }});
   }
   return a;
 }

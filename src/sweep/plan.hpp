@@ -133,6 +133,9 @@ Axis nodes_axis(const std::vector<std::size_t>& node_counts);
 Axis burst_axis(
     const std::vector<std::pair<std::int64_t, std::int64_t>>& bursts);
 
+/// Environment backends ("pinned" / "fast"; see data/fast_field.hpp).
+Axis field_axis(const std::vector<data::EnvironmentBackend>& backends);
+
 /// The large-topology tier preset: nodes 500 / 1000 / 2000.
 Axis scale_nodes_axis();
 

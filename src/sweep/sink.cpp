@@ -121,6 +121,7 @@ void JsonSink::row(const std::vector<std::string>& values, const PlanCell* cell,
            << ", \"control_cost\": " << r.ledger.control_cost()
            << ", \"dirq_total\": " << r.ledger.total()
            << ", \"flooding_total\": " << r.flooding_total
+           << ", \"mac_control_total\": " << r.mac_control_total
            << ", \"cost_ratio\": " << json_num(r.cost_ratio())
            << ", \"queries\": " << r.queries
            << ", \"updates_transmitted\": " << r.updates_transmitted
@@ -229,6 +230,7 @@ std::string summarize(const core::ExperimentResults& r) {
      << r.ledger.update_tx << ',' << r.ledger.update_rx << ','
      << r.ledger.control_tx << ',' << r.ledger.control_rx << '\n';
   os << "flooding_total=" << r.flooding_total << '\n';
+  os << "mac_control_total=" << r.mac_control_total << '\n';
   put(os, "cost_ratio", r.cost_ratio());
   os << "queries=" << r.queries << '\n';
   os << "updates_transmitted=" << r.updates_transmitted << '\n';

@@ -372,5 +372,53 @@ TEST(DirqNetwork, PerNodeEnergyAccounting) {
   EXPECT_EQ(total_rx, ledger.query_rx + ledger.update_rx + ledger.control_rx);
 }
 
+TEST(DirqNetworkBatch, DuplicateSensorListsAreDedupedByTopology) {
+  // The batched sampling path relies on a (node, type) pair occurring at
+  // most once per epoch walk: pass 1 gathers on the gate's pre-epoch
+  // state, and a duplicate's first consume would move next_due and desync
+  // the per-type value cursors. Topology guarantees the invariant by
+  // sorting + deduplicating every node's sensor list at every entry
+  // point — this test pins that guarantee to the batching that needs it.
+  std::vector<net::Node> nodes(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    nodes[i].x = static_cast<double>(i);
+    nodes[i].sensors = {kT};
+  }
+  nodes[3].sensors = {kT, kT, kH, kT};  // duplicates via the constructor
+  net::Topology topo(std::move(nodes), 1.1);
+  EXPECT_EQ(topo.node(3).sensors, (std::vector<SensorType>{kT, kH}));
+
+  net::Node late;
+  late.x = 3.0;
+  late.y = 1.0;
+  late.sensors = {kH, kH, kH};  // duplicates via add_node
+  const NodeId added = topo.add_node(late);
+  EXPECT_EQ(topo.node(added).sensors, (std::vector<SensorType>{kH}));
+  topo.add_sensor(added, kH);  // re-adding an existing type is a no-op
+  EXPECT_EQ(topo.node(added).sensors, (std::vector<SensorType>{kH}));
+
+  // And the batched epoch loop on such a topology keeps every node's own
+  // tuple centred on its own reading (zero margin keeps the gate's
+  // interval at 1, so any cursor desync would recur every epoch and
+  // never self-correct).
+  NetworkConfig cfg = fixed_cfg();
+  cfg.sampling.enabled = true;
+  cfg.sampling.margin_frac = 0.0;
+  DirqNetwork net(topo, 0, cfg);
+  data::Environment env(topo, 2, sim::Rng(7));
+  for (std::int64_t e = 0; e < 12; ++e) {
+    env.advance_to(e);
+    net.process_epoch(env, e);
+  }
+  for (NodeId u = 1; u < 4; ++u) {
+    const RangeTable* t = net.node(u).table(kT);
+    ASSERT_NE(t, nullptr) << "node " << u;
+    ASSERT_TRUE(t->own().has_value()) << "node " << u;
+    const double r = env.reading(u, kT);
+    EXPECT_GE(r, t->own()->min) << "node " << u;
+    EXPECT_LE(r, t->own()->max) << "node " << u;
+  }
+}
+
 }  // namespace
 }  // namespace dirq::core

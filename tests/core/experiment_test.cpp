@@ -353,6 +353,54 @@ TEST(Experiment, LmacDrainAuditsFinalQueryWhenEpochsNotAMultipleOfPeriod) {
   EXPECT_EQ(res.node_rx, again.node_rx);
 }
 
+TEST(Experiment, FastFieldBackendRunsDeterministically) {
+  // The fast backend is a different deterministic dataset: the protocol
+  // must behave sanely on it (every query injected, sources never missed
+  // thanks to conservative ranges) and two runs must agree bit-for-bit.
+  ExperimentConfig cfg;
+  cfg.epochs = 600;
+  cfg.network.mode = NetworkConfig::ThetaMode::Fixed;
+  cfg.network.fixed_pct = 5.0;
+  cfg.field_backend = data::EnvironmentBackend::Fast;
+  cfg.keep_records = true;
+  const ExperimentResults a = Experiment(cfg).run();
+  const ExperimentResults b = Experiment(cfg).run();
+  EXPECT_EQ(a.queries, 600 / 20 - 1);
+  EXPECT_GT(a.updates_transmitted, 0);
+  EXPECT_GT(a.coverage_pct.mean(), 97.0);  // lossless: sources reached
+  EXPECT_EQ(a.ledger.total(), b.ledger.total());
+  EXPECT_EQ(a.updates_transmitted, b.updates_transmitted);
+  EXPECT_EQ(a.node_tx, b.node_tx);
+}
+
+TEST(Experiment, FastAndPinnedBackendsDiverge) {
+  // Same seed, different noise processes: the runs must not coincide —
+  // if they did, the seam would not actually be switching backends.
+  ExperimentConfig cfg;
+  cfg.epochs = 400;
+  cfg.network.mode = NetworkConfig::ThetaMode::Fixed;
+  cfg.network.fixed_pct = 5.0;
+  const ExperimentResults pinned = Experiment(cfg).run();
+  cfg.field_backend = data::EnvironmentBackend::Fast;
+  const ExperimentResults fast = Experiment(cfg).run();
+  EXPECT_EQ(pinned.queries, fast.queries);  // same schedule either way
+  EXPECT_TRUE(pinned.updates_transmitted != fast.updates_transmitted ||
+              pinned.node_tx != fast.node_tx);
+}
+
+TEST(Experiment, MacControlTotalZeroOnInstantPositiveOnLmac) {
+  ExperimentConfig cfg;
+  cfg.epochs = 200;
+  cfg.network.mode = NetworkConfig::ThetaMode::Fixed;
+  cfg.network.fixed_pct = 5.0;
+  const ExperimentResults instant = Experiment(cfg).run();
+  EXPECT_EQ(instant.mac_control_total, 0);
+  cfg.transport = TransportKind::Lmac;
+  const ExperimentResults lmac = Experiment(cfg).run();
+  // The TDMA schedule beacons every frame regardless of DirQ traffic.
+  EXPECT_GT(lmac.mac_control_total, 0);
+}
+
 TEST(Experiment, LmacFrameGeometryIsConfigurable) {
   // A shorter frame (16 slots x 8 ticks) still hosts one epoch per frame;
   // the run completes and stays deterministic.

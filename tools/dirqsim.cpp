@@ -47,6 +47,10 @@ namespace {
       "  --loss F          channel drop probability in [0,1) (default 0)\n"
       "  --mac NAME        transport backend: instant (default) or lmac\n"
       "                    (queries/updates ride the TDMA slot schedule)\n"
+      "  --field NAME      environment backend: pinned (default; the\n"
+      "                    golden sequential AR(1) streams) or fast\n"
+      "                    (counter-based, O(1) random access — for\n"
+      "                    large-topology runs)\n"
       "  --theta PCT       fixed threshold, % of sensor span (default: ATC)\n"
       "  --atc             adaptive threshold control (default mode)\n"
       "  --sampling F      enable sampling suppression, margin F of theta\n"
@@ -128,6 +132,19 @@ std::uint64_t parse_uint(const char* flag, const char* value,
   return static_cast<std::uint64_t>(v);
 }
 
+/// Strict environment-backend parse: exactly "pinned" or "fast" (same
+/// strictness contract as parse_int — anything else is an error, never a
+/// silent default). Shared by the single-run and sweep paths.
+dirq::data::EnvironmentBackend parse_field_backend(const char* value,
+                                                   UsageFn on_error) {
+  const std::string s = value != nullptr ? value : "";
+  if (s == "pinned") return dirq::data::EnvironmentBackend::Pinned;
+  if (s == "fast") return dirq::data::EnvironmentBackend::Fast;
+  std::cerr << "--field must be 'pinned' or 'fast', got: " << s << "\n";
+  on_error(2);
+  return dirq::data::EnvironmentBackend::Pinned;  // unreachable
+}
+
 /// Parses one query-arrival shape: "smooth" (no bursts) or "LENGTH/GAP"
 /// in epochs (gap 0 = back-to-back bursts, i.e. smooth with extra steps).
 /// Shared by the single-run and sweep paths so the two never drift.
@@ -166,6 +183,8 @@ std::pair<std::int64_t, std::int64_t> parse_burst_spec(const std::string& s,
       "  --mac LIST        transports: instant,lmac (default instant)\n"
       "  --nodes LIST      network sizes (default 50; sizes beyond 50 use\n"
       "                    density-preserving scaled placement)\n"
+      "  --field LIST      environment backends: pinned and/or fast\n"
+      "                    (default pinned)\n"
       "  --burst LIST      query-arrival shapes: 'smooth' and/or L/G pairs\n"
       "                    (burst length / gap in epochs, e.g. 200/600)\n"
       "  --paper-grid      the paper's Section-7 grid: theta atc,3,5,9 x\n"
@@ -231,6 +250,8 @@ int run_sweep(int argc, char** argv) {
   std::vector<std::string> mac_list{"instant"};
   std::vector<std::size_t> nodes_list{50};
   std::vector<std::pair<std::int64_t, std::int64_t>> burst_list{{0, 0}};
+  std::vector<dirq::data::EnvironmentBackend> field_list{
+      dirq::data::EnvironmentBackend::Pinned};
   bool paper = false;
   bool scale_tier = false;
   std::int64_t epochs = 20000;
@@ -280,6 +301,12 @@ int run_sweep(int argc, char** argv) {
       burst_list.clear();
       for (const std::string& s : split_list("--burst", next)) {
         burst_list.push_back(parse_burst_spec(s, sweep_usage));
+      }
+      ++i;
+    } else if (arg == "--field") {
+      field_list.clear();
+      for (const std::string& s : split_list("--field", next)) {
+        field_list.push_back(parse_field_backend(s.c_str(), sweep_usage));
       }
       ++i;
     } else if (arg == "--paper-grid") {
@@ -376,6 +403,7 @@ int run_sweep(int argc, char** argv) {
   plan.axis(scale_tier ? sweep::scale_nodes_axis()
                        : sweep::nodes_axis(nodes_list));
   plan.axis(sweep::burst_axis(burst_list));
+  plan.axis(sweep::field_axis(field_list));
 
   std::size_t total = 0;
   try {
@@ -420,7 +448,7 @@ int run_sweep(int argc, char** argv) {
 
   const sweep::SweepHeader header{
       "dirqsim sweep", plan.name(),
-      {"theta", "relevant", "seed", "loss", "mac", "nodes", "burst",
+      {"theta", "relevant", "seed", "loss", "mac", "nodes", "burst", "field",
        "dirq_total", "flood_total", "ratio", "overshoot_%", "coverage_%",
        "updates"}};
   const sweep::RowMapper mapper = [](const sweep::CellResult& r) {
@@ -433,6 +461,7 @@ int run_sweep(int argc, char** argv) {
         *r.cell.coordinate("mac"),
         *r.cell.coordinate("nodes"),
         *r.cell.coordinate("burst"),
+        *r.cell.coordinate("field"),
         std::to_string(res.ledger.total()),
         std::to_string(res.flooding_total),
         metrics::fmt(res.cost_ratio(), 3),
@@ -507,6 +536,9 @@ int main(int argc, char** argv) {
         return 2;
       }
       ++i;
+    } else if (arg == "--field") {
+      cfg.field_backend = parse_field_backend(next, usage);
+      ++i;
     } else if (arg == "--relevant") {
       cfg.relevant_fraction = parse_double("--relevant", next);
       ++i;
@@ -573,6 +605,7 @@ int main(int argc, char** argv) {
                          : "fixed theta=" + metrics::fmt(cfg.network.fixed_pct, 1) + "%"});
   t.add_row({"mac", cfg.transport == core::TransportKind::Lmac ? "lmac"
                                                                : "instant"});
+  t.add_row({"field", data::backend_name(cfg.field_backend)});
   t.add_row({"seed", std::to_string(cfg.seed)});
   t.add_row({"epochs", std::to_string(cfg.epochs)});
   if (cfg.loss_rate > 0.0) {

@@ -1,7 +1,14 @@
 #!/usr/bin/env sh
-# Perf smoke for CI: runs the 500-node / 2000-epoch baseline cell through
+# Perf smoke for CI: runs the guarded scale cells through
 # bench_scale_topology and fails when wall-clock regresses more than 2x
-# against the checked-in bench/baselines/scale_500n_2000e.json.
+# against the checked-in baselines:
+#
+#   * pinned 500n/2000e  vs bench/baselines/scale_500n_2000e.json
+#   * fast   500n/2000e  vs bench/baselines/scale_500n_fast.json
+#   * fast  2000n/2000e  vs bench/baselines/scale_500n_fast.json
+#     (the fast-field large-topology guard cell: the counter backend is
+#      the backend 2000-node-and-beyond runs use, so its asymptotics are
+#      the ones worth guarding)
 #
 #   tools/perf_smoke.sh [build-dir]     (run from the repo root, against a
 #                                        Release build)
@@ -9,37 +16,56 @@
 # The 2x budget absorbs machine variance between the recording host and CI
 # runners while still catching asymptotic regressions (the pre-spatial-
 # index build could not place 500 nodes at all, and an accidental O(n^2)
-# reintroduction shows up as >2x long before it reaches paper-figure runs).
+# or sequential-RNG reintroduction shows up as >2x long before it reaches
+# paper-figure runs).
 set -eu
 
 BUILD_DIR=${1:-build}
-BASELINE=bench/baselines/scale_500n_2000e.json
+PINNED_BASELINE=bench/baselines/scale_500n_2000e.json
+FAST_BASELINE=bench/baselines/scale_500n_fast.json
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT
 
-"$BUILD_DIR/bench/bench_scale_topology" --nodes 500 --epochs 2000 --json "$OUT" \
-  >/dev/null
-
+# extract_run_seconds FILE NODES FIELD — first smooth row of a
+# dirq.scale.v1 document matching the node count and backend.
 extract_run_seconds() {
-  # First smooth 500-node row of a dirq.scale.v1 document. The
-  # run_seconds grep anchors the match to actual data rows.
-  grep '"run_seconds"' "$1" | grep '"nodes": 500' |
-    grep '"workload": "smooth"' | head -n 1 |
+  grep '"run_seconds"' "$1" | grep "\"nodes\": $2," |
+    grep "\"field\": \"$3\"" | grep '"workload": "smooth"' | head -n 1 |
     sed 's/.*"run_seconds": \([0-9.eE+-]*\),.*/\1/'
 }
 
-base=$(extract_run_seconds "$BASELINE")
-now=$(extract_run_seconds "$OUT")
-if [ -z "$base" ] || [ -z "$now" ]; then
-  echo "perf_smoke: could not extract run_seconds (baseline='$base' now='$now')" >&2
-  exit 2
-fi
+# run_cells NODES FIELD — one bench invocation, smooth cells only (the
+# burst rows are part of the tracked surface but not of this guard, so CI
+# does not pay for rows it ignores).
+run_cells() {
+  "$BUILD_DIR/bench/bench_scale_topology" --nodes "$1" --epochs 2000 \
+    --field "$2" --no-burst --json "$OUT" >/dev/null
+}
 
-echo "perf_smoke: 500n/2000e run_seconds now=$now baseline=$base (budget 2x)"
-awk -v now="$now" -v base="$base" 'BEGIN {
-  if (now > 2.0 * base) {
-    printf "perf_smoke: FAIL — %.3fs exceeds 2x baseline %.3fs\n", now, base
-    exit 1
-  }
-  printf "perf_smoke: OK (%.2fx of baseline)\n", now / base
-}'
+# check BASELINE NODES FIELD — compare a cell of the last run_cells output.
+check() {
+  baseline_file=$1
+  nodes=$2
+  field=$3
+  base=$(extract_run_seconds "$baseline_file" "$nodes" "$field")
+  now=$(extract_run_seconds "$OUT" "$nodes" "$field")
+  if [ -z "$base" ] || [ -z "$now" ]; then
+    echo "perf_smoke: could not extract run_seconds for ${nodes}n/$field" \
+         "(baseline='$base' now='$now')" >&2
+    exit 2
+  fi
+  echo "perf_smoke: ${nodes}n/2000e/$field run_seconds now=$now baseline=$base (budget 2x)"
+  awk -v now="$now" -v base="$base" -v label="${nodes}n/$field" 'BEGIN {
+    if (now > 2.0 * base) {
+      printf "perf_smoke: FAIL — %s: %.3fs exceeds 2x baseline %.3fs\n", label, now, base
+      exit 1
+    }
+    printf "perf_smoke: OK %s (%.2fx of baseline)\n", label, now / base
+  }'
+}
+
+run_cells 500 pinned
+check "$PINNED_BASELINE" 500 pinned
+run_cells 500,2000 fast
+check "$FAST_BASELINE" 500 fast
+check "$FAST_BASELINE" 2000 fast

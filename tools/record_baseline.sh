@@ -2,9 +2,12 @@
 # Regenerates the checked-in perf baselines:
 #   * reference_50n_20000e.json — the paper's reference 50-node /
 #     20 000-epoch ATC run on both transports (sweep JSON sink);
-#   * scale_500n_2000e.json — the large-topology tier's 500-node cell
-#     (epoch throughput + peak RSS from bench_scale_topology), the cell
-#     tools/perf_smoke.sh guards in CI.
+#   * scale_500n_2000e.json — the large-topology tier's 500-node cell on
+#     the pinned (golden sequential AR(1)) environment backend (epoch
+#     throughput + peak RSS from bench_scale_topology);
+#   * scale_500n_fast.json — the same tier on the counter-based fast
+#     backend, at 500 and 2000 nodes (the fast cells perf_smoke.sh
+#     guards; the 2000-node row is the large-topology guard cell).
 #
 #   tools/record_baseline.sh [build-dir]     (run from the repo root,
 #                                             against a Release build)
@@ -17,6 +20,7 @@ set -eu
 BUILD_DIR=${1:-build}
 OUT=bench/baselines/reference_50n_20000e.json
 SCALE_OUT=bench/baselines/scale_500n_2000e.json
+FAST_OUT=bench/baselines/scale_500n_fast.json
 
 mkdir -p bench/baselines
 "$BUILD_DIR/tools/dirqsim" sweep \
@@ -27,5 +31,9 @@ echo "baseline written to $OUT"
 # (The PR-4 before/after ledger lives in the static
 # bench/baselines/scale_500n_pre_refactor.json, never regenerated.)
 "$BUILD_DIR/bench/bench_scale_topology" --nodes 500 --epochs 2000 \
-  --json "$SCALE_OUT"
+  --field pinned --json "$SCALE_OUT"
 echo "scale baseline written to $SCALE_OUT"
+
+"$BUILD_DIR/bench/bench_scale_topology" --nodes 500,2000 --epochs 2000 \
+  --field fast --json "$FAST_OUT"
+echo "fast-field scale baseline written to $FAST_OUT"
