@@ -21,15 +21,18 @@ namespace dirq::bench {
 
 /// Strict positive-integer parse shared by the standalone bench tools
 /// (same contract as dirqsim's parse_int: the whole token must be base-10,
-/// no wrap, no truncation; < 1 is an error). Exits 2 on bad input.
+/// no wrap, no truncation; < min is an error). The default min of 1 fits
+/// counts; flags where 0 is meaningful (--threads: all hardware threads)
+/// pass min = 0. Exits 2 on bad input.
 inline std::int64_t parse_count(const char* tool, const char* flag,
-                                const std::string& value) {
+                                const std::string& value,
+                                std::int64_t min = 1) {
   errno = 0;
   char* end = nullptr;
   const long long v = std::strtoll(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0' || errno == ERANGE || v < 1) {
-    std::cerr << tool << ": " << flag << " expects a positive integer, got: '"
-              << value << "'\n";
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE || v < min) {
+    std::cerr << tool << ": " << flag << " expects an integer >= " << min
+              << ", got: '" << value << "'\n";
     std::exit(2);
   }
   return static_cast<std::int64_t>(v);

@@ -4,7 +4,8 @@
 // index + flat hot-path refactor.
 //
 //   bench_scale_topology [--nodes LIST] [--epochs N] [--json FILE]
-//                        [--field pinned|fast|both] [--no-burst]
+//                        [--field pinned|fast|both] [--threads LIST]
+//                        [--no-burst]
 //
 // For each node count: placement/topology build wall-clock (grid-indexed
 // link construction), a full fixed-theta experiment run, epoch throughput,
@@ -43,6 +44,7 @@ struct ScaleRow {
   std::int64_t epochs = 0;
   std::string workload;  // "smooth" or "burst L/G"
   std::string field;     // environment backend: "pinned" or "fast"
+  unsigned threads = 1;  // intra-run workers (1 = sequential golden path)
   double build_seconds = 0.0;
   double run_seconds = 0.0;
   double epochs_per_sec = 0.0;
@@ -63,7 +65,7 @@ core::ExperimentConfig scale_config(std::size_t nodes, std::int64_t epochs) {
 
 ScaleRow run_cell(std::size_t nodes, std::int64_t epochs,
                   std::int64_t burst_length, std::int64_t burst_gap,
-                  data::EnvironmentBackend field) {
+                  data::EnvironmentBackend field, unsigned threads) {
   ScaleRow row;
   row.nodes = nodes;
   row.epochs = epochs;
@@ -76,6 +78,8 @@ ScaleRow run_cell(std::size_t nodes, std::int64_t epochs,
   cfg.burst_length_epochs = burst_length;
   cfg.burst_gap_epochs = burst_gap;
   cfg.field_backend = field;
+  cfg.threads = threads;
+  row.threads = core::Experiment::effective_threads(cfg);
 
   {
     // Topology construction cost in isolation (placement + link build).
@@ -109,6 +113,7 @@ void write_json(const std::string& path, const std::vector<ScaleRow>& rows) {
     out << "    {\"nodes\": " << r.nodes << ", \"epochs\": " << r.epochs
         << ", \"workload\": \"" << r.workload << "\""
         << ", \"field\": \"" << r.field << "\""
+        << ", \"threads\": " << r.threads
         << ", \"build_seconds\": " << r.build_seconds
         << ", \"run_seconds\": " << r.run_seconds
         << ", \"epochs_per_sec\": " << r.epochs_per_sec
@@ -127,6 +132,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::vector<data::EnvironmentBackend> fields{
       data::EnvironmentBackend::Pinned, data::EnvironmentBackend::Fast};
+  std::vector<unsigned> thread_counts{1};
   bool burst_rows = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -166,13 +172,30 @@ int main(int argc, char** argv) {
         return 2;
       }
       ++i;
+    } else if (arg == "--threads" && next != nullptr) {
+      // List-valued like --nodes: each count is a full extra pass over the
+      // grid (0 = all hardware threads; 1 = the sequential golden path).
+      thread_counts.clear();
+      std::string item;
+      for (const char* p = next;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          thread_counts.push_back(static_cast<unsigned>(bench::parse_count(
+              "bench_scale_topology", "--threads", item, /*min=*/0)));
+          item.clear();
+          if (*p == '\0') break;
+        } else {
+          item.push_back(*p);
+        }
+      }
+      ++i;
     } else if (arg == "--no-burst") {
       // Skip the bursty-arrival rows: the perf-smoke guards only read the
       // smooth cells, so CI need not pay for rows it ignores.
       burst_rows = false;
     } else {
       std::cerr << "usage: bench_scale_topology [--nodes LIST] [--epochs N]"
-                   " [--json FILE] [--field pinned|fast|both] [--no-burst]\n";
+                   " [--json FILE] [--field pinned|fast|both]"
+                   " [--threads LIST] [--no-burst]\n";
       return 2;
     }
   }
@@ -184,17 +207,20 @@ int main(int argc, char** argv) {
   std::vector<ScaleRow> rows;
   for (std::size_t n : node_counts) {
     for (data::EnvironmentBackend f : fields) {
-      rows.push_back(run_cell(n, epochs, 0, 0, f));
-      std::cerr << "  " << n << " nodes (" << data::backend_name(f)
-                << ") done (" << dirq::metrics::fmt(rows.back().run_seconds)
-                << " s)\n";
+      for (unsigned t : thread_counts) {
+        rows.push_back(run_cell(n, epochs, 0, 0, f, t));
+        std::cerr << "  " << n << " nodes (" << data::backend_name(f) << ", "
+                  << rows.back().threads << " thread(s)) done ("
+                  << dirq::metrics::fmt(rows.back().run_seconds) << " s)\n";
+      }
     }
   }
   // Bursty-arrival row (ROADMAP "bursty/diurnal"): same 500-node cell, the
   // query stream gated to 200-epoch bursts separated by 600 silent epochs.
+  // Always sequential: the row tracks the rate predictor, not the pool.
   if (burst_rows) {
     for (data::EnvironmentBackend f : fields) {
-      rows.push_back(run_cell(500, epochs, 200, 600, f));
+      rows.push_back(run_cell(500, epochs, 200, 600, f, 1));
       std::cerr << "  500-node burst row (" << data::backend_name(f)
                 << ") done\n";
     }
@@ -202,11 +228,12 @@ int main(int argc, char** argv) {
 
   dirq::metrics::TsvBlock tsv(
       "scale tier: epoch throughput",
-      {"nodes", "epochs", "workload", "field", "build_s", "run_s",
+      {"nodes", "epochs", "workload", "field", "threads", "build_s", "run_s",
        "epochs_per_s", "updates", "peak_rss_so_far_kib"});
   for (const ScaleRow& r : rows) {
     tsv.add_row({std::to_string(r.nodes), std::to_string(r.epochs), r.workload,
-                 r.field, dirq::metrics::fmt(r.build_seconds, 3),
+                 r.field, std::to_string(r.threads),
+                 dirq::metrics::fmt(r.build_seconds, 3),
                  dirq::metrics::fmt(r.run_seconds, 3),
                  dirq::metrics::fmt(r.epochs_per_sec, 1),
                  std::to_string(r.updates), std::to_string(r.peak_rss_so_far_kib)});

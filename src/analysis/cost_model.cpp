@@ -1,5 +1,6 @@
 #include "analysis/cost_model.hpp"
 
+#include <algorithm>
 #include <limits>
 
 namespace dirq::analysis {
@@ -92,6 +93,16 @@ double f_max_graph(std::int64_t nodes, std::int64_t links,
   return static_cast<double>(flooding_cost_graph(nodes, links) -
                              cqd_max_graph(nodes, internal_nodes)) /
          static_cast<double>(cud_max_graph(nodes));
+}
+
+double umax_messages_per_hour(std::int64_t nodes, std::int64_t links,
+                              std::int64_t internal_nodes,
+                              double expected_queries_per_hour) {
+  if (nodes < 2) return 0.0;
+  // The evaluation order matches the historical inline computation exactly
+  // (max * EHr, then * (N-1)) so recorded series stay double-identical.
+  return std::max(0.0, f_max_graph(nodes, links, internal_nodes)) *
+         expected_queries_per_hour * static_cast<double>(nodes - 1);
 }
 
 }  // namespace dirq::analysis

@@ -73,4 +73,15 @@ std::int64_t cud_max_graph(std::int64_t nodes);
 double f_max_graph(std::int64_t nodes, std::int64_t links,
                    std::int64_t internal_nodes);
 
+/// Umax/Hr in update *messages* per hour (Fig. 6's unit): fMax(graph) is
+/// in network-wide update waves per query, one wave is nodes - 1
+/// messages, and a negative fMax (flooding already cheaper than one
+/// directed dissemination) clamps to a zero budget. Single source of
+/// truth for the value the root floods in the hourly EHr broadcast and
+/// for the per-hour series the experiment driver records — the two must
+/// agree bit-for-bit. Returns 0 when the tree has fewer than 2 members.
+double umax_messages_per_hour(std::int64_t nodes, std::int64_t links,
+                              std::int64_t internal_nodes,
+                              double expected_queries_per_hour);
+
 }  // namespace dirq::analysis

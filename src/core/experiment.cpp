@@ -15,8 +15,14 @@
 #include "query/workload.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace dirq::core {
+
+unsigned Experiment::effective_threads(const ExperimentConfig& cfg) {
+  if (cfg.transport == TransportKind::Lmac || cfg.loss_rate > 0.0) return 1;
+  return sim::ThreadPool::resolve(cfg.threads);
+}
 
 void ExperimentConfig::validate() const {
   const auto fail = [](const std::string& what) {
@@ -104,6 +110,12 @@ ExperimentResults Experiment::run() {
     network.use_transport(*lossy_transport);
   }
 
+  // Intra-run parallelism: a pool only exists when the resolved count is
+  // > 1 (never on LMAC/lossy — effective_threads falls back to the exact
+  // sequential path those order-sensitive backends require).
+  const unsigned threads = effective_threads(cfg_);
+  if (threads > 1) network.set_threads(threads);
+
   query::WorkloadGenerator workload(
       topo, network.tree(), env,
       query::WorkloadConfig{cfg_.relevant_fraction, 0.02},
@@ -177,18 +189,11 @@ ExperimentResults Experiment::run() {
       const double ehr = predictor.completed_hours() > 0
                              ? predictor.predict_next_hour()
                              : prior_ehr;
-      network.broadcast_ehr(ehr, epoch);
+      // Record the exact Umax/Hr the root flooded (Fig. 6 lines): the
+      // broadcast's return value is the single source of truth
+      // (analysis::umax_messages_per_hour), never a re-derivation.
+      res.umax_per_hour.push_back(network.broadcast_ehr(ehr, epoch));
       res.ehr_per_hour.push_back(ehr);
-      // Record the same Umax/Hr the root just derived (Fig. 6 lines).
-      const auto nodes = static_cast<std::int64_t>(network.tree().size());
-      const auto links = static_cast<std::int64_t>(topo.link_count());
-      const auto internal =
-          static_cast<std::int64_t>(network.tree().internal_node_count());
-      res.umax_per_hour.push_back(
-          nodes >= 2
-              ? std::max(0.0, analysis::f_max_graph(nodes, links, internal)) *
-                    ehr * static_cast<double>(nodes - 1)
-              : 0.0);
     }
 
     network.process_epoch(env, epoch);
@@ -238,6 +243,24 @@ ExperimentResults Experiment::run() {
     }
   }
 
+  // The MAC's standing cost: control-section tx+rx over all nodes —
+  // traffic LMAC spends keeping the schedule alive whether or not DirQ
+  // sends anything (bench_lmac_overhead's comparison row). Snapshotted
+  // *before* the drain below: the drain advances extra frames whenever
+  // epochs is not a multiple of query_period, and folding their
+  // keep-alive traffic into the per-epoch total would make a 20001-epoch
+  // run incomparable to a 20000-epoch one. Drain-frame cost is attributed
+  // separately.
+  const auto mac_control_sum = [&] {
+    CostUnits sum = 0;
+    for (NodeId u = 0; u < topo.size(); ++u) {
+      sum += mac->control_tx(u) + mac->control_rx(u);
+    }
+    return sum;
+  };
+
+  if (use_lmac) res.mac_control_total = mac_control_sum();
+
   if (pending) {
     // Drain: audit the final query after exactly the same query_period-frame
     // dissemination window every mid-run query gets (the loop has already
@@ -247,16 +270,9 @@ ExperimentResults Experiment::run() {
     finalize_query(*pending, network.collect_outcome());
     pending.reset();
   }
+  if (use_lmac) res.mac_control_drain = mac_control_sum() - res.mac_control_total;
 
   res.ledger = network.costs();
-  if (use_lmac) {
-    // The MAC's standing cost: control-section tx+rx over all nodes —
-    // traffic LMAC spends keeping the schedule alive whether or not DirQ
-    // sends anything (bench_lmac_overhead's comparison row).
-    for (NodeId u = 0; u < topo.size(); ++u) {
-      res.mac_control_total += mac->control_tx(u) + mac->control_rx(u);
-    }
-  }
   res.updates_transmitted = network.updates_transmitted();
   res.samples_taken = network.samples_taken();
   res.samples_skipped = network.samples_skipped();

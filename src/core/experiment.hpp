@@ -69,6 +69,12 @@ struct ExperimentConfig {
   /// Keep the full per-query record list (1 000 entries for the default
   /// run); benches that only need aggregates can switch it off.
   bool keep_records = true;
+  /// Intra-run worker count for the epoch loop (DirqNetwork::set_threads):
+  /// 1 (default) is the exact sequential path — the only golden
+  /// configuration; 0 means all hardware threads. Order-sensitive
+  /// backends (Lmac transport, loss_rate > 0) always run with 1 thread
+  /// regardless of this value — see Experiment::effective_threads.
+  unsigned threads = 1;
   TransportKind transport = TransportKind::Instant;
   /// Frame geometry when transport == Lmac. The default (32 slots x 32
   /// ticks = 1024 ticks) makes one LMAC frame exactly one sensing epoch
@@ -117,8 +123,16 @@ struct ExperimentResults {
   /// traffic (slot schedules, liveness beacons) summed over all nodes.
   /// Present for flooding and DirQ alike — the denominator context for
   /// bench_lmac_overhead's "protocol cost vs MAC keep-alive cost" figure.
-  /// Always 0 on the Instant transport (no MAC is simulated).
+  /// Always 0 on the Instant transport (no MAC is simulated). Covers the
+  /// run's epochs only — the post-run drain window is attributed to
+  /// mac_control_drain, so a 20001-epoch run stays comparable to 20000.
   CostUnits mac_control_total = 0;
+  /// MAC control traffic spent after the final epoch, during the drain
+  /// frames that give the last in-flight query its full query_period
+  /// dissemination window. 0 when the drain was a no-op (epochs a
+  /// multiple of query_period — every golden configuration) and on the
+  /// Instant transport.
+  CostUnits mac_control_drain = 0;
   std::int64_t queries = 0;
   std::int64_t updates_transmitted = 0;
   std::int64_t samples_taken = 0;    // physical ADC samples (paper §8)
@@ -158,6 +172,14 @@ class Experiment {
 
   /// Builds the world from the seed and runs the full epoch loop.
   ExperimentResults run();
+
+  /// The worker count a config actually runs with: cfg.threads resolved
+  /// (0 → hardware concurrency), clamped to 1 on order-sensitive backends
+  /// — the LMAC transport (slot-synchronous deliveries interleave with
+  /// the walk) and lossy channels (the drop RNG is consumed in delivery
+  /// order). Exposed so the CLI can report the fallback instead of
+  /// silently pretending to parallelise.
+  [[nodiscard]] static unsigned effective_threads(const ExperimentConfig& cfg);
 
   [[nodiscard]] const ExperimentConfig& config() const noexcept { return cfg_; }
 

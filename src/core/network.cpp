@@ -1,12 +1,96 @@
 #include "core/network.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "analysis/cost_model.hpp"
 #include "sim/logging.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace dirq::core {
+
+/// Shard-local accounting for one parallel consume pass. Every message a
+/// shard's nodes emit is charged here instead of the shared transport
+/// ledger; root-bound deliveries are deferred so the root — the only node
+/// reachable from more than one shard — is touched by exactly one thread.
+/// Merged into the real ledger/counters in shard-index order after the
+/// join, which keeps the totals equal to the sequential pass (they are
+/// sums of the same per-message charges).
+struct EpochShardCtx {
+  std::size_t index = 0;
+  CostLedger ledger;
+  std::int64_t update_msgs = 0;  // wire-level UpdateMessage transmissions
+  std::vector<std::pair<NodeId, Message>> to_root;  // {from, msg}, in order
+  // Per-type walk cursors (resized to the plan's type count each epoch).
+  std::vector<std::size_t> plan_cur;
+  std::vector<std::size_t> val_cur;
+};
+
+namespace {
+/// Routes the wire_node send path: while a shard task runs, its context
+/// lives here and unicasts charge the shard ledger. Distinct DirqNetwork
+/// instances own distinct pools, so a worker thread only ever serves one
+/// network at a time and the single slot cannot cross-talk.
+thread_local EpochShardCtx* tls_shard = nullptr;
+
+struct TlsShardGuard {
+  explicit TlsShardGuard(EpochShardCtx* ctx) noexcept { tls_shard = ctx; }
+  ~TlsShardGuard() { tls_shard = nullptr; }
+  TlsShardGuard(const TlsShardGuard&) = delete;
+  TlsShardGuard& operator=(const TlsShardGuard&) = delete;
+};
+}  // namespace
+
+/// The parallel epoch engine: a persistent pool plus the cached shard plan.
+///
+/// The plan is the sequential walk, re-sorted shard-major: shard s is the
+/// s-th root child's subtree in leaves-first (reversed cached-BFS) order,
+/// and for every sensor type t, plan_nodes[t] lists the nodes carrying t
+/// in that same shard-major walk order with the root's sensors at the
+/// tail (the root is processed serially, last, exactly as the reversed
+/// global order does). plan_seg[t] holds shards.size() + 2 offsets:
+/// segment s is [seg[s], seg[s+1]) and the root segment is the final one.
+/// next_due mirrors the sampling gate per plan slot (struct-of-arrays, so
+/// the per-epoch gate filter is a flat int64 scan instead of a FlatMap
+/// lookup per sensor); the consume pass writes a slot back right after
+/// on_sample, and each slot belongs to exactly one shard.
+struct DirqNetwork::ParallelEngine {
+  explicit ParallelEngine(unsigned threads) : pool(threads) {}
+
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
+  sim::ThreadPool pool;
+  bool plan_dirty = true;
+  std::size_t plan_alive = 0;  // cheap staleness guard vs the topology
+
+  std::vector<std::vector<NodeId>> shards;  // leaves-first per root child
+  std::vector<std::size_t> claim_order;     // largest shard first
+  std::vector<std::size_t> shard_of;        // per node, kNoShard if none
+  bool gated = false;                       // sampling suppression on?
+
+  std::vector<std::vector<NodeId>> plan_nodes;
+  std::vector<std::vector<std::size_t>> plan_seg;
+  std::vector<std::vector<std::int64_t>> next_due;  // gate mirror (gated)
+
+  // Per-epoch scratch, reused so the hot loop never allocates.
+  std::vector<EpochShardCtx> ctx;
+  std::vector<std::vector<NodeId>> filt_nodes;  // gated: nodes due this epoch
+  std::vector<std::vector<std::size_t>> filt_seg;
+  std::vector<std::vector<double>> values;
+  std::vector<std::size_t> root_plan_cur, root_val_cur;
+  std::vector<SensorType> active_types;  // non-empty batches this epoch
+
+  // The gather/consume batch for type t this epoch: the filtered list
+  // when the gate is on, the full plan list otherwise.
+  [[nodiscard]] const std::vector<NodeId>& batch(std::size_t t) const {
+    return gated ? filt_nodes[t] : plan_nodes[t];
+  }
+  [[nodiscard]] const std::vector<std::size_t>& offsets(std::size_t t) const {
+    return gated ? filt_seg[t] : plan_seg[t];
+  }
+};
 
 std::unique_ptr<ThetaController> make_controller(const NetworkConfig& cfg) {
   if (cfg.mode == NetworkConfig::ThetaMode::Fixed) {
@@ -46,8 +130,32 @@ DirqNetwork::DirqNetwork(net::Topology& topo, NodeId root, NetworkConfig cfg)
   }
 }
 
+DirqNetwork::~DirqNetwork() = default;
+
+void DirqNetwork::set_threads(unsigned threads) {
+  const unsigned n = sim::ThreadPool::resolve(threads);
+  if (n <= 1) {
+    par_.reset();
+    return;
+  }
+  if (par_ && par_->pool.size() == n) return;
+  par_ = std::make_unique<ParallelEngine>(n);
+}
+
+unsigned DirqNetwork::threads() const noexcept {
+  return par_ ? par_->pool.size() : 1;
+}
+
 void DirqNetwork::wire_node(DirqNode& n) {
   n.set_send([this](NodeId from, NodeId to, const Message& msg) {
+    if (EpochShardCtx* ctx = tls_shard) {
+      // Parallel consume pass: charge the shard, not the shared ledger;
+      // the update hook is replayed (same epoch, same count) at merge.
+      if (std::holds_alternative<UpdateMessage>(msg)) ++ctx->update_msgs;
+      node_tx_.at(from) += 1;  // `from` belongs to this shard
+      parallel_unicast(*ctx, from, to, msg);
+      return;
+    }
     if (std::holds_alternative<UpdateMessage>(msg)) {
       ++updates_transmitted_;
       if (update_hook_) update_hook_(current_epoch_);
@@ -57,18 +165,36 @@ void DirqNetwork::wire_node(DirqNode& n) {
   });
   n.set_multicast([this](NodeId from, const std::vector<NodeId>& targets,
                          const Message& msg) {
+    if (tls_shard != nullptr) {
+      // The consume pass is strictly up-tree unicast; anything else here
+      // means protocol state diverged from the tree. Fail loud.
+      throw std::logic_error("DirqNetwork: multicast during a parallel epoch");
+    }
     node_tx_.at(from) += 1;  // one transmission regardless of target count
     transport_->multicast(from, targets, msg);
   });
   n.set_broadcast([this](NodeId from, const Message& msg) {
+    if (tls_shard != nullptr) {
+      throw std::logic_error("DirqNetwork: broadcast during a parallel epoch");
+    }
     node_tx_.at(from) += 1;
     transport_->broadcast(from, msg);
   });
 }
 
 void DirqNetwork::deliver(NodeId to, NodeId from, const Message& msg) {
-  if (to >= nodes_.size()) return;
+  // The transport has already charged ledger rx for this delivery, so the
+  // per-node attribution must follow even when the protocol instance for
+  // `to` does not exist yet (the Topology::add_node →
+  // handle_node_addition window: the radio exists as soon as the topology
+  // slot does — cost parity is an invariant, not a best effort). An id
+  // beyond the topology itself is a transport contract violation.
+  if (to >= topo_.size()) {
+    throw std::logic_error("DirqNetwork::deliver: recipient outside topology");
+  }
+  if (to >= node_rx_.size()) node_rx_.resize(topo_.size(), 0);
   node_rx_[to] += 1;
+  if (to >= nodes_.size()) return;  // heard, but not yet integrated
   if (audit_active_) {
     if (const auto* qm = std::get_if<QueryMessage>(&msg);
         qm != nullptr && qm->q.id == audit_query_) {
@@ -86,6 +212,14 @@ void DirqNetwork::deliver(NodeId to, NodeId from, const Message& msg) {
 void DirqNetwork::process_epoch(const data::ReadingSource& env,
                                 std::int64_t epoch) {
   current_epoch_ = epoch;
+  if (par_ != nullptr && transport_ == instant_.get() && !audit_active_) {
+    process_epoch_parallel(env, epoch);
+    return;
+  }
+  // Sequential fallback (swapped transport or open audit) while a pool
+  // exists: node state advances outside the plan, so the gate mirror is
+  // stale for the next parallel epoch.
+  if (par_ != nullptr) par_->plan_dirty = true;
   // Leaves-first (reverse BFS) ordering makes the within-epoch update
   // cascade settle in a single pass with the instant transport; any order
   // is correct since parents re-check on every child update. The order is
@@ -171,6 +305,270 @@ void DirqNetwork::process_epoch(const data::ReadingSource& env,
   }
 }
 
+void DirqNetwork::rebuild_parallel_plan() {
+  ParallelEngine& pe = *par_;
+  pe.shards = tree_.subtree_partition();
+  // Leaves-first within each shard: the same relative order the reversed
+  // global walk visits that subtree in, so intra-shard cascades settle in
+  // one pass exactly as they do sequentially.
+  for (std::vector<NodeId>& s : pe.shards) std::reverse(s.begin(), s.end());
+  const std::size_t S = pe.shards.size();
+  pe.shard_of.assign(nodes_.size(), ParallelEngine::kNoShard);
+  for (std::size_t s = 0; s < S; ++s) {
+    for (NodeId u : pe.shards[s]) pe.shard_of[u] = s;
+  }
+  // Dynamic claiming plus largest-first ordering keeps the pool busy when
+  // subtree sizes are skewed; processing order is unobservable (shards are
+  // disjoint and root-bound merges happen in shard-index order later).
+  pe.claim_order.resize(S);
+  std::iota(pe.claim_order.begin(), pe.claim_order.end(), std::size_t{0});
+  std::stable_sort(pe.claim_order.begin(), pe.claim_order.end(),
+                   [&pe](std::size_t a, std::size_t b) {
+                     return pe.shards[a].size() > pe.shards[b].size();
+                   });
+
+  std::size_t type_count = 0;
+  const auto scan_types = [&](NodeId u) {
+    for (SensorType t : topo_.node(u).sensors) {
+      type_count = std::max<std::size_t>(type_count, t + 1);
+    }
+  };
+  for (const std::vector<NodeId>& shard : pe.shards) {
+    for (NodeId u : shard) scan_types(u);
+  }
+  const bool root_in_tree = tree_.in_tree(root_);
+  if (root_in_tree) scan_types(root_);
+
+  pe.plan_nodes.assign(type_count, {});
+  pe.plan_seg.assign(type_count, std::vector<std::size_t>(S + 2, 0));
+  const auto append_walk = [&](NodeId u) {
+    for (SensorType t : topo_.node(u).sensors) pe.plan_nodes[t].push_back(u);
+  };
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t t = 0; t < type_count; ++t) {
+      pe.plan_seg[t][s] = pe.plan_nodes[t].size();
+    }
+    for (NodeId u : pe.shards[s]) append_walk(u);
+  }
+  for (std::size_t t = 0; t < type_count; ++t) {
+    pe.plan_seg[t][S] = pe.plan_nodes[t].size();
+  }
+  if (root_in_tree) append_walk(root_);
+  for (std::size_t t = 0; t < type_count; ++t) {
+    pe.plan_seg[t][S + 1] = pe.plan_nodes[t].size();
+  }
+
+  pe.gated = cfg_.sampling.enabled;
+  if (pe.gated) {
+    pe.next_due.assign(type_count, {});
+    for (std::size_t t = 0; t < type_count; ++t) {
+      pe.next_due[t].resize(pe.plan_nodes[t].size());
+      for (std::size_t j = 0; j < pe.plan_nodes[t].size(); ++j) {
+        pe.next_due[t][j] =
+            samplers_[pe.plan_nodes[t][j]].next_due(static_cast<SensorType>(t));
+      }
+    }
+  } else {
+    pe.next_due.clear();
+  }
+
+  pe.ctx.resize(S);
+  pe.filt_nodes.assign(type_count, {});
+  pe.filt_seg.assign(type_count, std::vector<std::size_t>(S + 2, 0));
+  pe.values.resize(type_count);
+  pe.plan_alive = topo_.alive_count();
+  pe.plan_dirty = false;
+}
+
+void DirqNetwork::parallel_unicast(EpochShardCtx& ctx, NodeId from, NodeId to,
+                                   const Message& msg) {
+  // Mirrors InstantTransport::unicast against the shard ledger (same
+  // classification helpers, same lost/out-of-range semantics); root-bound
+  // deliveries are deferred to the serial merge.
+  InstantTransport::charge_tx(ctx.ledger, msg);
+  if (to >= topo_.size() || !topo_.is_alive(to)) return;  // lost
+  const auto nbrs = topo_.neighbors(from);
+  if (!std::binary_search(nbrs.begin(), nbrs.end(), to)) return;
+  InstantTransport::charge_rx(ctx.ledger, msg);
+  if (to == root_) {
+    ctx.to_root.emplace_back(from, msg);
+    return;
+  }
+  if (par_->shard_of[to] != ctx.index) {
+    throw std::logic_error(
+        "DirqNetwork: cross-shard delivery — node parent state diverged "
+        "from the spanning tree");
+  }
+  node_rx_[to] += 1;  // `to` belongs to this shard: no other thread writes it
+  nodes_[to].handle(msg, from, current_epoch_);
+}
+
+void DirqNetwork::run_shard_consume(std::size_t shard, std::int64_t epoch) {
+  ParallelEngine& pe = *par_;
+  EpochShardCtx& ctx = pe.ctx[shard];
+  const TlsShardGuard guard(&ctx);
+  const std::size_t type_count = pe.plan_nodes.size();
+  ctx.plan_cur.resize(type_count);
+  ctx.val_cur.resize(type_count);
+  for (std::size_t t = 0; t < type_count; ++t) {
+    ctx.plan_cur[t] = pe.plan_seg[t][shard];
+    ctx.val_cur[t] = pe.offsets(t)[shard];
+  }
+  for (NodeId u : pe.shards[shard]) {
+    if (!topo_.is_alive(u)) {
+      throw std::logic_error(
+          "DirqNetwork: aliveness changed without tree repair during a "
+          "parallel run");
+    }
+    const net::Node& info = topo_.node(u);
+    SamplingController& gate = samplers_[u];
+    if (!pe.gated) {
+      for (SensorType t : info.sensors) {
+        nodes_[u].sample(t, pe.values[t][ctx.val_cur[t]++], epoch);
+        gate.count_sample();
+      }
+    } else {
+      for (SensorType t : info.sensors) {
+        const std::size_t j = ctx.plan_cur[t]++;
+        if (epoch < pe.next_due[t][j]) {
+          gate.on_skip(t);
+          continue;
+        }
+        const double reading = pe.values[t][ctx.val_cur[t]++];
+        nodes_[u].sample(t, reading, epoch);
+        gate.on_sample(t, reading, nodes_[u].controller().theta(t), epoch);
+        pe.next_due[t][j] = gate.next_due(t);  // slot owned by this shard
+      }
+    }
+    nodes_[u].end_epoch(epoch);
+  }
+}
+
+void DirqNetwork::process_epoch_parallel(const data::ReadingSource& env,
+                                         std::int64_t epoch) {
+  ParallelEngine& pe = *par_;
+  if (pe.plan_dirty || pe.plan_alive != topo_.alive_count()) {
+    rebuild_parallel_plan();
+  }
+  const std::size_t S = pe.shards.size();
+  const std::size_t type_count = pe.plan_nodes.size();
+
+  // Gather: with the gate off (the paper's configuration) the cached plan
+  // lists *are* the batches — zero per-epoch work. With it on, the gate
+  // is one flat scan per type over the next_due mirror; slots only change
+  // through on_sample, so this filter branches exactly like the
+  // sequential should_sample walk.
+  if (pe.gated) {
+    for (std::size_t t = 0; t < type_count; ++t) {
+      pe.filt_nodes[t].clear();
+      const std::vector<NodeId>& pn = pe.plan_nodes[t];
+      const std::vector<std::int64_t>& due = pe.next_due[t];
+      for (std::size_t s = 0; s <= S; ++s) {
+        pe.filt_seg[t][s] = pe.filt_nodes[t].size();
+        for (std::size_t j = pe.plan_seg[t][s]; j < pe.plan_seg[t][s + 1];
+             ++j) {
+          if (epoch >= due[j]) pe.filt_nodes[t].push_back(pn[j]);
+        }
+      }
+      pe.filt_seg[t][S + 1] = pe.filt_nodes[t].size();
+    }
+  }
+
+  // Readings: one batch per sensor type; types run concurrently when the
+  // source's per-type state is disjoint (both synthetic backends), else
+  // serially — either way the same values, since readings are pure at a
+  // fixed epoch.
+  pe.active_types.clear();
+  for (std::size_t t = 0; t < type_count; ++t) {
+    const std::vector<NodeId>& batch = pe.batch(t);
+    pe.values[t].resize(batch.size());
+    if (!batch.empty()) pe.active_types.push_back(static_cast<SensorType>(t));
+  }
+  const auto fetch = [&](std::size_t k) {
+    const SensorType t = pe.active_types[k];
+    env.readings(t, pe.batch(t), pe.values[t]);
+  };
+  if (env.concurrent_type_batches()) {
+    pe.pool.parallel_for(pe.active_types.size(), fetch);
+  } else {
+    for (std::size_t k = 0; k < pe.active_types.size(); ++k) fetch(k);
+  }
+
+  // Consume: one task per shard.
+  for (std::size_t s = 0; s < S; ++s) {
+    EpochShardCtx& ctx = pe.ctx[s];
+    ctx.index = s;
+    ctx.ledger = CostLedger{};
+    ctx.update_msgs = 0;
+    ctx.to_root.clear();
+  }
+  pe.pool.parallel_for(S, [this, &pe, epoch](std::size_t k) {
+    run_shard_consume(pe.claim_order[k], epoch);
+  });
+
+  // Merge, in shard-index order (deterministic): ledgers and counters are
+  // sums, so totals equal the sequential pass; the update hook fires once
+  // per transmission with the same epoch, so recorded series are
+  // identical. Then the deferred root deliveries — the root's tables are
+  // keyed per child (FlatMap, key-sorted) and the root never forwards
+  // updates, so its final state is independent of shard arrival order.
+  CostLedger& ledger = instant_->mutable_costs();
+  for (std::size_t s = 0; s < S; ++s) {
+    const EpochShardCtx& ctx = pe.ctx[s];
+    ledger.query_tx += ctx.ledger.query_tx;
+    ledger.query_rx += ctx.ledger.query_rx;
+    ledger.update_tx += ctx.ledger.update_tx;
+    ledger.update_rx += ctx.ledger.update_rx;
+    ledger.control_tx += ctx.ledger.control_tx;
+    ledger.control_rx += ctx.ledger.control_rx;
+    updates_transmitted_ += ctx.update_msgs;
+    if (update_hook_) {
+      for (std::int64_t i = 0; i < ctx.update_msgs; ++i) update_hook_(epoch);
+    }
+  }
+  for (std::size_t s = 0; s < S; ++s) {
+    for (const auto& [from, msg] : pe.ctx[s].to_root) {
+      deliver(root_, from, msg);  // rx already charged by the shard
+    }
+  }
+
+  // The root itself, serially and last — as the reversed global walk does.
+  if (tree_.in_tree(root_)) {
+    if (!topo_.is_alive(root_)) {
+      throw std::logic_error(
+          "DirqNetwork: aliveness changed without tree repair during a "
+          "parallel run");
+    }
+    pe.root_plan_cur.resize(type_count);
+    pe.root_val_cur.resize(type_count);
+    for (std::size_t t = 0; t < type_count; ++t) {
+      pe.root_plan_cur[t] = pe.plan_seg[t][S];
+      pe.root_val_cur[t] = pe.offsets(t)[S];
+    }
+    const net::Node& info = topo_.node(root_);
+    SamplingController& gate = samplers_[root_];
+    if (!pe.gated) {
+      for (SensorType t : info.sensors) {
+        nodes_[root_].sample(t, pe.values[t][pe.root_val_cur[t]++], epoch);
+        gate.count_sample();
+      }
+    } else {
+      for (SensorType t : info.sensors) {
+        const std::size_t j = pe.root_plan_cur[t]++;
+        if (epoch < pe.next_due[t][j]) {
+          gate.on_skip(t);
+          continue;
+        }
+        const double reading = pe.values[t][pe.root_val_cur[t]++];
+        nodes_[root_].sample(t, reading, epoch);
+        gate.on_sample(t, reading, nodes_[root_].controller().theta(t), epoch);
+        pe.next_due[t][j] = gate.next_due(t);
+      }
+    }
+    nodes_[root_].end_epoch(epoch);
+  }
+}
+
 std::int64_t DirqNetwork::internal_node_count() const {
   return static_cast<std::int64_t>(tree_.internal_node_count());
 }
@@ -186,24 +584,21 @@ double DirqNetwork::mean_theta_pct(SensorType type) const {
   return n > 0 ? sum / static_cast<double>(n) : 0.0;
 }
 
-void DirqNetwork::broadcast_ehr(double expected_queries_per_hour,
-                                std::int64_t epoch) {
+double DirqNetwork::broadcast_ehr(double expected_queries_per_hour,
+                                  std::int64_t epoch) {
   current_epoch_ = epoch;
   const auto nodes = static_cast<std::int64_t>(tree_.size());
-  if (nodes < 2) return;
+  if (nodes < 2) return 0.0;
   const auto links = static_cast<std::int64_t>(topo_.link_count());
-  const double fmax =
-      analysis::f_max_graph(nodes, links, internal_node_count());
   EhrMessage msg;
   msg.expected_queries_per_hour = expected_queries_per_hour;
-  // Umax/Hr in update *messages* per hour (Fig. 6's unit): fMax is in
-  // network-wide update waves per query; one wave is N-1 messages.
-  msg.umax_per_hour = std::max(0.0, fmax) * expected_queries_per_hour *
-                      static_cast<double>(nodes - 1);
+  msg.umax_per_hour = analysis::umax_messages_per_hour(
+      nodes, links, internal_node_count(), expected_queries_per_hour);
   msg.alive_nodes = static_cast<std::uint32_t>(topo_.alive_count());
   msg.round = ++ehr_round_;
   // The gateway hands the estimate to the root node, which floods it.
   nodes_[root_].handle(Message{msg}, kNoNode, epoch);
+  return msg.umax_per_hour;
 }
 
 void DirqNetwork::begin_audit(QueryId id, std::int64_t epoch) {
@@ -264,6 +659,7 @@ QueryOutcome DirqNetwork::inject(const query::MultiQuery& q,
 
 void DirqNetwork::retarget_tree(std::int64_t epoch) {
   tree_.rebuild(topo_);
+  if (par_ != nullptr) par_->plan_dirty = true;
   if (nodes_.size() < topo_.size()) {
     // Brand-new node slots appended by Topology::add_node.
     for (NodeId u = static_cast<NodeId>(nodes_.size()); u < topo_.size(); ++u) {
@@ -274,10 +670,12 @@ void DirqNetwork::retarget_tree(std::int64_t epoch) {
       nodes_.back().set_position(info.x, info.y);
       wire_node(nodes_.back());
       samplers_.emplace_back(cfg_.sampling);
-      node_tx_.push_back(0);
-      node_rx_.push_back(0);
       prev_parent_.push_back(kNoNode);
     }
+    // resize, not push_back: deliver() may already have grown node_rx_ to
+    // the topology size inside the add_node → retarget window.
+    node_tx_.resize(nodes_.size(), 0);
+    node_rx_.resize(nodes_.size(), 0);
   }
 
   // Pass 1: install the new structure everywhere.
@@ -329,6 +727,7 @@ void DirqNetwork::handle_node_addition(NodeId added, std::int64_t epoch) {
 void DirqNetwork::handle_sensor_added(NodeId id, SensorType type,
                                       std::int64_t epoch) {
   current_epoch_ = epoch;
+  if (par_ != nullptr) par_->plan_dirty = true;
   nodes_.at(id).attach_sensor(type);
   // The new sensor announces itself with the node's next sample; nothing
   // to push yet (there is no reading).
@@ -337,6 +736,7 @@ void DirqNetwork::handle_sensor_added(NodeId id, SensorType type,
 void DirqNetwork::handle_sensor_removed(NodeId id, SensorType type,
                                         std::int64_t epoch) {
   current_epoch_ = epoch;
+  if (par_ != nullptr) par_->plan_dirty = true;
   nodes_.at(id).detach_sensor(type, epoch);
 }
 

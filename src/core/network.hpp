@@ -46,11 +46,14 @@ struct NetworkConfig {
   SamplingConfig sampling;
 };
 
+struct EpochShardCtx;  // parallel epoch internals (network.cpp)
+
 class DirqNetwork final : public MessageSink {
  public:
   /// Builds the node set and the BFS communication tree rooted at `root`.
   /// The topology must outlive the network.
   DirqNetwork(net::Topology& topo, NodeId root, NetworkConfig cfg);
+  ~DirqNetwork() override;
 
   DirqNetwork(const DirqNetwork&) = delete;
   DirqNetwork& operator=(const DirqNetwork&) = delete;
@@ -82,9 +85,29 @@ class DirqNetwork final : public MessageSink {
   /// unchanged.
   void process_epoch(const data::ReadingSource& env, std::int64_t epoch);
 
+  /// Intra-run worker count for process_epoch. 1 (the default) keeps the
+  /// exact sequential code path — the only configuration goldens are
+  /// recorded against; 0 means all hardware threads. With more than one
+  /// thread, epochs on the built-in instant transport shard the consume
+  /// pass by root-child subtree (all update traffic is up-tree unicast,
+  /// so shards only interact at the root, whose ledger/counter/FlatMap
+  /// state is order-independent) and run per-type reading batches
+  /// concurrently when the source allows — byte-identical summaries to
+  /// the sequential path on both synthetic backends. Epochs on a swapped
+  /// transport (LMAC, lossy) or inside an open query audit silently run
+  /// the sequential path. Callers that mutate topology aliveness or
+  /// sensors must route through the handle_* entry points (as always) so
+  /// the cached shard plan is invalidated.
+  void set_threads(unsigned threads);
+  [[nodiscard]] unsigned threads() const noexcept;
+
   /// Hourly root broadcast (paper §4): EHr plus the derived network-wide
   /// update budget Umax/Hr = fMax(graph) * EHr, flooded to every node.
-  void broadcast_ehr(double expected_queries_per_hour, std::int64_t epoch);
+  /// Returns the Umax/Hr value carried by the flooded message (0 when the
+  /// tree has fewer than two members and nothing is flooded) — the single
+  /// source the driver records, so the Fig. 6 series can never drift from
+  /// what the network disseminated.
+  double broadcast_ehr(double expected_queries_per_hour, std::int64_t epoch);
 
   /// Injects a query at the root and returns the audited outcome. With the
   /// instant transport the dissemination completes synchronously; with an
@@ -150,9 +173,13 @@ class DirqNetwork final : public MessageSink {
   /// Accounts the reception energy of a frame the radio received but the
   /// protocol never saw (CRC failure — a LossySink drop). The transport's
   /// ledger already charged this rx; calling it keeps the per-node
-  /// distribution reconciled with the ledger (see core/lossy.hpp).
+  /// distribution reconciled with the ledger (see core/lossy.hpp). Like
+  /// deliver(), grows the attribution array when the recipient's topology
+  /// slot exists but its protocol instance does not yet (the add_node →
+  /// retarget window) — the ledger was charged, so the node must be too.
   void note_dropped_rx(NodeId to) {
-    if (to < node_rx_.size()) node_rx_[to] += 1;
+    if (to >= node_rx_.size()) node_rx_.resize(topo_.size(), 0);
+    node_rx_.at(to) += 1;
   }
 
   /// Hook invoked once per Update Message transmission with the epoch —
@@ -165,12 +192,23 @@ class DirqNetwork final : public MessageSink {
   void deliver(NodeId to, NodeId from, const Message& msg) override;
 
  private:
+  struct ParallelEngine;
+
   void wire_node(DirqNode& n);
   void begin_audit(QueryId id, std::int64_t epoch);
   /// Re-runs BFS and reconciles every node's parent/children pointers,
   /// removing stale child tuples and re-announcing moved subtrees.
   void retarget_tree(std::int64_t epoch);
   [[nodiscard]] std::int64_t internal_node_count() const;
+
+  // Parallel epoch path (network.cpp): shard plan, per-shard consume,
+  // shard-local unicast mirroring InstantTransport's accounting.
+  void rebuild_parallel_plan();
+  void process_epoch_parallel(const data::ReadingSource& env,
+                              std::int64_t epoch);
+  void run_shard_consume(std::size_t shard, std::int64_t epoch);
+  void parallel_unicast(EpochShardCtx& ctx, NodeId from, NodeId to,
+                        const Message& msg);
 
   net::Topology& topo_;
   NodeId root_;
@@ -183,6 +221,10 @@ class DirqNetwork final : public MessageSink {
 
   std::unique_ptr<InstantTransport> instant_;
   Transport* transport_ = nullptr;
+
+  /// Present iff set_threads(> 1): the persistent worker pool plus the
+  /// cached shard-major walk plan (see network.cpp).
+  std::unique_ptr<ParallelEngine> par_;
 
   // Scratch for the batched sampling path (reused across epochs so the
   // hot loop never allocates): per sensor type, the nodes that will

@@ -45,10 +45,6 @@ void SamplingController::on_sample(SensorType type, double value, double theta,
   st.level = value;
   st.last_epoch = epoch;
 
-  if (!cfg_.enabled) {
-    st.next_due = epoch + 1;
-    return;
-  }
   const double margin = cfg_.margin_frac * theta;
   if (std::abs(value - predicted) <= margin) {
     st.interval = std::min(st.interval * 2, cfg_.max_interval);
@@ -63,6 +59,11 @@ void SamplingController::on_skip(SensorType /*type*/) { ++skipped_; }
 int SamplingController::interval(SensorType type) const {
   auto it = types_.find(type);
   return it == types_.end() ? 1 : it->second.interval;
+}
+
+std::int64_t SamplingController::next_due(SensorType type) const {
+  auto it = types_.find(type);
+  return it == types_.end() ? 0 : it->second.next_due;
 }
 
 }  // namespace dirq::core

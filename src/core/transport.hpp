@@ -80,10 +80,15 @@ class InstantTransport final : public Transport {
   [[nodiscard]] const CostLedger& costs() const override { return ledger_; }
   CostLedger& mutable_costs() noexcept { return ledger_; }
 
- private:
-  void charge_tx(const Message& msg, CostUnits n = 1);
-  void charge_rx(const Message& msg, CostUnits n = 1);
+  /// Message-kind classification of one charge (query / update / control),
+  /// shared with the parallel epoch engine's shard-local ledgers so the
+  /// kind split can never drift from the transport's.
+  static void charge_tx(CostLedger& ledger, const Message& msg,
+                        CostUnits n = 1);
+  static void charge_rx(CostLedger& ledger, const Message& msg,
+                        CostUnits n = 1);
 
+ private:
   const net::Topology& topo_;
   MessageSink& sink_;
   CostLedger ledger_;

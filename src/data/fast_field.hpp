@@ -199,6 +199,11 @@ class FastEnvironment final : public ReadingSource {
   void readings(SensorType type, std::span<const NodeId> nodes,
                 std::span<double> out) const override;
   [[nodiscard]] const FastField& field(SensorType type) const;
+  // Each type is its own FastField with its own memo caches — per-type
+  // batches touch disjoint state.
+  [[nodiscard]] bool concurrent_type_batches() const noexcept override {
+    return true;
+  }
   [[nodiscard]] std::size_t type_count() const noexcept override {
     return fields_.size();
   }

@@ -141,6 +141,11 @@ class Environment final : public ReadingSource {
   void readings(SensorType type, std::span<const NodeId> nodes,
                 std::span<double> out) const override;
   [[nodiscard]] const Field& field(SensorType type) const;
+  // Each type is its own Field with its own AR(1) state — per-type
+  // batches touch disjoint state.
+  [[nodiscard]] bool concurrent_type_batches() const noexcept override {
+    return true;
+  }
   [[nodiscard]] std::size_t type_count() const noexcept override {
     return fields_.size();
   }

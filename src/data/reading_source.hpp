@@ -38,6 +38,18 @@ class ReadingSource {
     }
   }
 
+  /// True when `readings` calls for *different* sensor types may run
+  /// concurrently (same epoch, no interleaved advance_to). Both synthetic
+  /// backends qualify — each type is an independent field object, so even
+  /// their mutable memo caches are disjoint per type — but the default is
+  /// false so an unknown source (trace replay, user subclass) is never
+  /// raced by the parallel epoch engine. Concurrent calls for the *same*
+  /// type are never made: a field's per-cell memo cache is shared across
+  /// the nodes in a cell.
+  [[nodiscard]] virtual bool concurrent_type_batches() const noexcept {
+    return false;
+  }
+
   /// Number of sensor types this source provides (types are 0..n-1).
   [[nodiscard]] virtual std::size_t type_count() const = 0;
 

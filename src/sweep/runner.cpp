@@ -4,33 +4,24 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "sim/thread_pool.hpp"
+
 namespace dirq::sweep {
 
 unsigned SweepRunner::thread_count(std::size_t cells) const {
-  unsigned n = opts_.threads;
-  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned n = sim::ThreadPool::resolve(opts_.threads);
   return static_cast<unsigned>(
       std::min<std::size_t>(n, std::max<std::size_t>(cells, 1)));
 }
 
 void SweepRunner::for_each_index(
     std::size_t count, const std::function<void(std::size_t)>& work) const {
-  const unsigned threads = thread_count(count);
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) work(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
-      work(i);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads - 1);
-  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
-  worker();  // the calling thread is part of the pool
-  for (std::thread& t : pool) t.join();
+  // The pool is per sweep, not per cell: a sweep makes exactly one
+  // for_each_index call, so constructing here matches the historical
+  // thread lifetime while sharing the claiming loop with the intra-run
+  // parallel epoch path.
+  sim::ThreadPool pool(thread_count(count));
+  pool.parallel_for(count, work);
 }
 
 std::vector<CellResult> SweepRunner::run(const ExperimentPlan& plan) const {

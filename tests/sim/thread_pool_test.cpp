@@ -1,0 +1,72 @@
+// sim::ThreadPool: the shared claiming loop under SweepRunner and the
+// parallel epoch engine — coverage, reuse across jobs, deterministic
+// exception reporting, size-1 inline execution.
+#include "sim/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dirq::sim {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SizeOneRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(17, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 17 * 16 / 2);
+  }
+}
+
+TEST(ThreadPool, LowestIndexedExceptionWins) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    try {
+      pool.parallel_for(32, [&](std::size_t i) {
+        if (i % 7 == 3) throw std::runtime_error("idx " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "idx 3");  // deterministic despite claiming
+    }
+  }
+}
+
+TEST(ThreadPool, CountBelowPoolSize) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(2);
+  pool.parallel_for(2, [&](std::size_t i) { hits[i].fetch_add(1); });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "no indices"; });
+}
+
+TEST(ThreadPool, ResolveZeroMeansHardware) {
+  EXPECT_GE(ThreadPool::resolve(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve(3), 3u);
+}
+
+}  // namespace
+}  // namespace dirq::sim

@@ -56,6 +56,10 @@ namespace {
       "  --sampling F      enable sampling suppression, margin F of theta\n"
       "  --burst SPEC      query arrivals: 'smooth' (default) or L/G —\n"
       "                    L-epoch bursts separated by G silent epochs\n"
+      "  --threads N       intra-run worker count for the epoch loop\n"
+      "                    (default 1 — the golden sequential path; 0 =\n"
+      "                    all hardware threads; lmac/lossy runs always\n"
+      "                    use 1)\n"
       "  --series          print the update-per-100-epoch TSV series\n"
       "  --help            this text\n"
       "\n"
@@ -555,6 +559,16 @@ int main(int argc, char** argv) {
       cfg.network.sampling.enabled = true;
       cfg.network.sampling.margin_frac = parse_double("--sampling", next);
       ++i;
+    } else if (arg == "--threads") {
+      // 0 is meaningful: all hardware threads (same contract as the
+      // sweep's worker-pool flag).
+      const std::int64_t v = parse_int("--threads", next);
+      if (v < 0 || v > 4096) {
+        std::cerr << "--threads must be in [0, 4096], got: " << next << "\n";
+        usage(2);
+      }
+      cfg.threads = static_cast<unsigned>(v);
+      ++i;
     } else if (arg == "--series") {
       print_series = true;
     } else {
@@ -610,6 +624,12 @@ int main(int argc, char** argv) {
   t.add_row({"epochs", std::to_string(cfg.epochs)});
   if (cfg.loss_rate > 0.0) {
     t.add_row({"loss rate", metrics::fmt(cfg.loss_rate, 2)});
+  }
+  // Only shown when the run actually parallelised: the default (and any
+  // forced fallback to the sequential path) keeps the table byte-stable
+  // against every recorded golden.
+  if (const unsigned eff = core::Experiment::effective_threads(cfg); eff != 1) {
+    t.add_row({"threads", std::to_string(eff)});
   }
   t.add_row({"queries injected", std::to_string(res.queries)});
   t.add_row({"update msgs transmitted", std::to_string(res.updates_transmitted)});

@@ -9,6 +9,9 @@
 #     (the fast-field large-topology guard cell: the counter backend is
 #      the backend 2000-node-and-beyond runs use, so its asymptotics are
 #      the ones worth guarding)
+#   * fast  2000n/2000e --threads 0 vs bench/baselines/scale_2000n_fast_mt.json
+#     (the intra-run parallel epoch engine on all cores; also guards the
+#      pool itself — a deadlocked or serialised pool shows up as >2x)
 #
 #   tools/perf_smoke.sh [build-dir]     (run from the repo root, against a
 #                                        Release build)
@@ -23,6 +26,7 @@ set -eu
 BUILD_DIR=${1:-build}
 PINNED_BASELINE=bench/baselines/scale_500n_2000e.json
 FAST_BASELINE=bench/baselines/scale_500n_fast.json
+MT_BASELINE=bench/baselines/scale_2000n_fast_mt.json
 OUT=$(mktemp)
 trap 'rm -f "$OUT"' EXIT
 
@@ -39,7 +43,7 @@ extract_run_seconds() {
 # does not pay for rows it ignores).
 run_cells() {
   "$BUILD_DIR/bench/bench_scale_topology" --nodes "$1" --epochs 2000 \
-    --field "$2" --no-burst --json "$OUT" >/dev/null
+    --field "$2" --no-burst --threads "${3:-1}" --json "$OUT" >/dev/null
 }
 
 # check BASELINE NODES FIELD — compare a cell of the last run_cells output.
@@ -69,3 +73,9 @@ check "$PINNED_BASELINE" 500 pinned
 run_cells 500,2000 fast
 check "$FAST_BASELINE" 500 fast
 check "$FAST_BASELINE" 2000 fast
+# Intra-run parallel cell: all hardware threads on the epoch loop. The
+# baseline was recorded sequentially, so any healthy multi-core runner
+# lands well under budget; a pool regression (serialisation, contention,
+# deadlock-adjacent slowdown) does not.
+run_cells 2000 fast 0
+check "$MT_BASELINE" 2000 fast

@@ -7,7 +7,11 @@
 #     throughput + peak RSS from bench_scale_topology);
 #   * scale_500n_fast.json — the same tier on the counter-based fast
 #     backend, at 500 and 2000 nodes (the fast cells perf_smoke.sh
-#     guards; the 2000-node row is the large-topology guard cell).
+#     guards; the 2000-node row is the large-topology guard cell);
+#   * scale_2000n_fast_mt.json — the 2000-node fast cell again with
+#     --threads 0 (all hardware threads on the epoch loop): the intra-run
+#     parallelism guard cell. The row's "threads" key records the count
+#     the recording host actually resolved.
 #
 #   tools/record_baseline.sh [build-dir]     (run from the repo root,
 #                                             against a Release build)
@@ -21,6 +25,7 @@ BUILD_DIR=${1:-build}
 OUT=bench/baselines/reference_50n_20000e.json
 SCALE_OUT=bench/baselines/scale_500n_2000e.json
 FAST_OUT=bench/baselines/scale_500n_fast.json
+MT_OUT=bench/baselines/scale_2000n_fast_mt.json
 
 mkdir -p bench/baselines
 "$BUILD_DIR/tools/dirqsim" sweep \
@@ -37,3 +42,7 @@ echo "scale baseline written to $SCALE_OUT"
 "$BUILD_DIR/bench/bench_scale_topology" --nodes 500,2000 --epochs 2000 \
   --field fast --json "$FAST_OUT"
 echo "fast-field scale baseline written to $FAST_OUT"
+
+"$BUILD_DIR/bench/bench_scale_topology" --nodes 2000 --epochs 2000 \
+  --field fast --threads 0 --no-burst --json "$MT_OUT"
+echo "parallel-epoch scale baseline written to $MT_OUT"
