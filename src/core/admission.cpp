@@ -1,0 +1,50 @@
+#include "core/admission.hpp"
+
+namespace dirq::core {
+
+double QueryAdmission::mean_depth(TreeId tree) const {
+  const net::SpanningTree& tr = trees_->tree(tree);
+  if (tr.size() == 0) return 0.0;
+  std::int64_t sum = 0;
+  for (NodeId u : tr.bfs_order()) sum += tr.depth(u);
+  return static_cast<double>(sum) / static_cast<double>(tr.size());
+}
+
+double QueryAdmission::marginal(TreeId tree) const {
+  // Best available estimate of "what one more query costs here", in order
+  // of preference: this sink's own audited average, the global audited
+  // average (before this sink has served a query), the hop-depth prior
+  // (before any query has been audited anywhere).
+  if (noted_count_[tree] > 0) {
+    return static_cast<double>(noted_cost_[tree]) /
+           static_cast<double>(noted_count_[tree]);
+  }
+  CostUnits total = 0;
+  std::int64_t count = 0;
+  for (std::size_t k = 0; k < noted_cost_.size(); ++k) {
+    total += noted_cost_[k];
+    count += noted_count_[k];
+  }
+  if (count > 0) return static_cast<double>(total) / static_cast<double>(count);
+  return 1.0 + mean_depth(tree);
+}
+
+TreeId QueryAdmission::route() {
+  const std::size_t n = trees_->count();
+  if (policy_ == RoutingPolicy::RoundRobin) {
+    return static_cast<TreeId>(injected_++ % n);
+  }
+  TreeId best = 0;
+  double best_score = 0.0;
+  for (TreeId t = 0; t < n; ++t) {
+    const double score = static_cast<double>(load_[t]) + marginal(t);
+    if (t == 0 || score < best_score) {  // strict <: ties -> lowest TreeId
+      best = t;
+      best_score = score;
+    }
+  }
+  ++injected_;
+  return best;
+}
+
+}  // namespace dirq::core

@@ -1,0 +1,85 @@
+// Query admission for the multi-sink query plane: which sink should
+// inject the next query?
+//
+// The paper's deployment has one sink, so every query enters at the one
+// root. With N sinks the gateway has a choice, and the choice drives both
+// total cost (a deeper tree forwards each query across more hops) and
+// energy balance (a hot sink's subtree drains first, and the first dead
+// battery ends the deployment). The admission policy is greedy
+// projected-energy routing: score each sink by
+//
+//   load_k + marginal_k
+//
+// where load_k is the energy that sink's tree has drawn so far (the
+// gateway mirrors it from the per-sink ledger via sync_load) and
+// marginal_k is the expected cost of one more query there — the running
+// average of audited query costs previously routed to k, the global
+// average before k has seen one, and a hop-depth prior (1 + mean tree
+// depth, a depth-proportional unit-free proxy) before any query has been
+// audited at all. Deeper trees cost more per query, so depth enters
+// through the marginal; as ledgers diverge the load term dominates and
+// routing turns into least-drained-first — the online greedy that keeps
+// the worst per-sink energy (the deployment's lifetime) minimal. The
+// argmin breaks ties toward the lowest TreeId, every input is observable
+// at the gateway (tree structure, its own ledgers, its own audits), and
+// the whole layer is RNG-free, so a run is deterministic for a fixed
+// query stream.
+//
+// RoundRobin is the strawman baseline bench_multi_sink compares against:
+// a modulo counter, blind to depth and load.
+#pragma once
+
+#include <cstdint>
+
+#include "net/tree_set.hpp"
+#include "sim/types.hpp"
+
+namespace dirq::core {
+
+enum class RoutingPolicy { Admission, RoundRobin };
+
+class QueryAdmission {
+ public:
+  /// The TreeSet must outlive the admission layer; its current structure
+  /// (post-churn) is re-read on every route() call.
+  QueryAdmission(RoutingPolicy policy, const net::TreeSet& trees)
+      : policy_(policy),
+        trees_(&trees),
+        load_(trees.count(), 0),
+        noted_cost_(trees.count(), 0),
+        noted_count_(trees.count(), 0) {}
+
+  /// Picks the sink for the next query. Admission: argmin of
+  /// load + expected marginal query cost, tie -> lowest TreeId.
+  /// RoundRobin: the injection counter modulo the sink count.
+  [[nodiscard]] TreeId route();
+
+  /// Mirrors a sink's accumulated energy (its ledger total) into the load
+  /// term. Replaces, never adds: the ledger is the single source of truth
+  /// and already contains every audited query.
+  void sync_load(TreeId tree, CostUnits total) { load_.at(tree) = total; }
+
+  /// Feeds the audited dissemination cost of a finished query back into
+  /// its sink's marginal-cost estimate. Called by the driver at query
+  /// finalize.
+  void note_cost(TreeId tree, CostUnits cost) {
+    noted_cost_.at(tree) += cost;
+    ++noted_count_.at(tree);
+  }
+
+  [[nodiscard]] CostUnits load(TreeId tree) const { return load_.at(tree); }
+  [[nodiscard]] RoutingPolicy policy() const noexcept { return policy_; }
+
+ private:
+  [[nodiscard]] double mean_depth(TreeId tree) const;
+  [[nodiscard]] double marginal(TreeId tree) const;
+
+  RoutingPolicy policy_;
+  const net::TreeSet* trees_;
+  std::vector<CostUnits> load_;        // mirrored per-sink energy
+  std::vector<CostUnits> noted_cost_;  // audited query cost per sink
+  std::vector<std::int64_t> noted_count_;
+  std::uint64_t injected_ = 0;  // RoundRobin counter
+};
+
+}  // namespace dirq::core

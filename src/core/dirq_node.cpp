@@ -8,21 +8,27 @@ namespace dirq::core {
 
 DirqNode::DirqNode(NodeId id, std::vector<SensorType> sensors,
                    std::unique_ptr<ThetaController> controller)
-    : id_(id), sensors_(std::move(sensors)), controller_(std::move(controller)) {
+    : id_(id), sensors_(std::move(sensors)) {
   std::sort(sensors_.begin(), sensors_.end());
   sensors_.erase(std::unique(sensors_.begin(), sensors_.end()), sensors_.end());
+  slots_.emplace_back();
+  slots_.back().controller = std::move(controller);
 }
 
-void DirqNode::set_children(std::vector<NodeId> children) {
+void DirqNode::add_slot(std::unique_ptr<ThetaController> controller) {
+  slots_.emplace_back();
+  slots_.back().controller = std::move(controller);
+}
+
+void DirqNode::set_children(TreeId tree, std::vector<NodeId> children) {
   std::sort(children.begin(), children.end());
-  children_ = std::move(children);
+  slots_.at(tree).children = std::move(children);
 }
 
-RangeTable& DirqNode::table_mut(SensorType type) { return tables_[type]; }
-
-const RangeTable* DirqNode::table(SensorType type) const {
-  auto it = tables_.find(type);
-  if (it == tables_.end() || !it->second.has_any()) return nullptr;
+const RangeTable* DirqNode::table(TreeId tree, SensorType type) const {
+  const TreeSlot& slot = slots_.at(tree);
+  auto it = slot.tables.find(type);
+  if (it == slot.tables.end() || !it->second.has_any()) return nullptr;
   return &it->second;
 }
 
@@ -30,23 +36,34 @@ void DirqNode::sample(SensorType type, double reading, std::int64_t epoch) {
   if (!std::binary_search(sensors_.begin(), sensors_.end(), type)) {
     return;  // not our sensor: ignore
   }
-  controller_->on_reading(type, reading);
-  RangeTable& t = table_mut(type);
-  if (t.observe(reading, controller_->theta(type))) {
-    maybe_send_update(type, epoch);
+  // One physical sample, observed by every tree slot: each tree keeps its
+  // own theta and its own sent tuple, so one reading can trigger an update
+  // in one tree and none in another.
+  for (TreeId tree = 0; tree < slots_.size(); ++tree) {
+    TreeSlot& slot = slots_[tree];
+    slot.controller->on_reading(type, reading);
+    RangeTable& t = slot.tables[type];
+    if (t.observe(reading, slot.controller->theta(type))) {
+      maybe_send_update(tree, type, epoch);
+    }
   }
 }
 
-void DirqNode::end_epoch(std::int64_t epoch) { controller_->on_epoch(epoch); }
+void DirqNode::end_epoch(std::int64_t epoch) {
+  for (TreeSlot& slot : slots_) slot.controller->on_epoch(epoch);
+}
 
-void DirqNode::maybe_send_update(SensorType type, std::int64_t epoch) {
-  RangeTable& t = table_mut(type);
-  if (!t.needs_update(controller_->theta(type))) return;
+void DirqNode::maybe_send_update(TreeId tree, SensorType type,
+                                 std::int64_t epoch) {
+  TreeSlot& slot = slots_.at(tree);
+  RangeTable& t = slot.tables[type];
+  if (!t.needs_update(slot.controller->theta(type))) return;
   const RangeAggregate agg = t.aggregate();
   t.mark_sent();
-  if (parent_ == kNoNode) return;  // root: aggregates stop here
+  if (slot.parent == kNoNode) return;  // root: aggregates stop here
   UpdateMessage u;
   u.from = id_;
+  u.tree = tree;
   u.type = type;
   if (agg.has_value()) {
     u.min = agg->min;
@@ -56,11 +73,14 @@ void DirqNode::maybe_send_update(SensorType type, std::int64_t epoch) {
     u.has_range = false;  // retraction: type left this subtree
   }
   ++updates_sent_;
-  controller_->on_update_sent(type, epoch);
-  if (send_) send_(id_, parent_, Message{u});
+  slot.controller->on_update_sent(type, epoch);
+  if (send_) send_(id_, slot.parent, Message{u});
 }
 
 void DirqNode::handle(const Message& msg, NodeId from, std::int64_t epoch) {
+  // A message tagged for a tree this node has no slot for (e.g. in flight
+  // across a reconfiguration) is dropped, mirroring the stale-sender rule.
+  if (!slot_exists(message_tree(msg))) return;
   if (const auto* u = std::get_if<UpdateMessage>(&msg)) {
     handle_update(*u, from, epoch);
   } else if (const auto* q = std::get_if<QueryMessage>(&msg)) {
@@ -76,16 +96,19 @@ void DirqNode::handle(const Message& msg, NodeId from, std::int64_t epoch) {
 
 void DirqNode::handle_update(const UpdateMessage& u, NodeId from,
                              std::int64_t epoch) {
+  TreeSlot& slot = slots_.at(u.tree);
   // Updates are only meaningful from tree children; stale senders (e.g. a
   // message in flight across a re-parenting) are ignored.
-  if (!std::binary_search(children_.begin(), children_.end(), from)) return;
-  RangeTable& t = table_mut(u.type);
+  if (!std::binary_search(slot.children.begin(), slot.children.end(), from)) {
+    return;
+  }
+  RangeTable& t = slot.tables[u.type];
   if (u.has_range) {
     t.set_child(from, RangeEntry{u.min, u.max});
   } else {
     t.remove_child(from);
   }
-  maybe_send_update(u.type, epoch);
+  maybe_send_update(u.tree, u.type, epoch);
 }
 
 void DirqNode::handle_query(const QueryMessage& qm, std::int64_t /*epoch*/) {
@@ -93,83 +116,94 @@ void DirqNode::handle_query(const QueryMessage& qm, std::int64_t /*epoch*/) {
   // directs the query onward: one transmission addressed to every child
   // whose announced range overlaps the query window (§4.1, Eq. 6 cost
   // accounting). Answering (data extraction) is out of the paper's scope.
-  const std::vector<NodeId> targets = forwarding_set(qm.q);
+  const std::vector<NodeId> targets = forwarding_set(qm.tree, qm.q);
   if (!targets.empty() && multicast_) multicast_(id_, targets, Message{qm});
 }
 
 void DirqNode::handle_multi_query(const MultiQueryMessage& qm,
                                   std::int64_t /*epoch*/) {
-  const std::vector<NodeId> targets = forwarding_set(qm.q);
+  const std::vector<NodeId> targets = forwarding_set(qm.tree, qm.q);
   if (!targets.empty() && multicast_) multicast_(id_, targets, Message{qm});
 }
 
-net::BBox DirqNode::subtree_box() const {
+net::BBox DirqNode::subtree_box(TreeId tree) const {
+  const TreeSlot& slot = slots_.at(tree);
   net::BBox box = has_position_ ? net::BBox::point(x_, y_) : net::BBox::empty();
-  for (const auto& [child, b] : child_boxes_) box = box.join(b);
+  for (const auto& [child, b] : slot.child_boxes) box = box.join(b);
   return box;
 }
 
-void DirqNode::announce_location(std::int64_t /*epoch*/) {
-  const net::BBox box = subtree_box();
+void DirqNode::announce_location(TreeId tree, std::int64_t /*epoch*/) {
+  TreeSlot& slot = slots_.at(tree);
+  const net::BBox box = subtree_box(tree);
   if (box.is_empty()) return;  // nothing located in this subtree
-  if (box_sent_ && box == sent_box_) return;
-  sent_box_ = box;
-  box_sent_ = true;
-  if (parent_ != kNoNode && send_) {
-    send_(id_, parent_, Message{LocationAnnounce{id_, box}});
+  if (slot.box_sent && box == slot.sent_box) return;
+  slot.sent_box = box;
+  slot.box_sent = true;
+  if (slot.parent != kNoNode && send_) {
+    send_(id_, slot.parent, Message{LocationAnnounce{id_, tree, box}});
   }
 }
 
 void DirqNode::handle_location(const LocationAnnounce& l, NodeId from,
                                std::int64_t epoch) {
-  if (!std::binary_search(children_.begin(), children_.end(), from)) return;
-  child_boxes_[from] = l.box;
-  announce_location(epoch);  // propagate growth toward the root
+  TreeSlot& slot = slots_.at(l.tree);
+  if (!std::binary_search(slot.children.begin(), slot.children.end(), from)) {
+    return;
+  }
+  slot.child_boxes[from] = l.box;
+  announce_location(l.tree, epoch);  // propagate growth toward the root
 }
 
 void DirqNode::handle_ehr(const EhrMessage& e, NodeId /*from*/,
                           std::int64_t epoch) {
-  if (e.round <= last_ehr_round_) return;  // duplicate of this flood round
-  last_ehr_round_ = e.round;
-  controller_->on_ehr(e, epoch);
+  TreeSlot& slot = slots_.at(e.tree);
+  if (e.round <= slot.last_ehr_round) return;  // duplicate of this flood round
+  slot.last_ehr_round = e.round;
+  slot.controller->on_ehr(e, epoch);
   if (broadcast_) broadcast_(id_, Message{e});  // re-flood once
 }
 
 bool DirqNode::child_may_be_in_region(
-    NodeId child, const std::optional<net::BBox>& region) const {
+    const TreeSlot& slot, NodeId child,
+    const std::optional<net::BBox>& region) const {
   if (!region.has_value()) return true;
-  auto it = child_boxes_.find(child);
-  if (it == child_boxes_.end()) return true;  // unknown box: never prune
+  auto it = slot.child_boxes.find(child);
+  if (it == slot.child_boxes.end()) return true;  // unknown box: never prune
   return region->intersects(it->second);
 }
 
-std::vector<NodeId> DirqNode::forwarding_set(const query::RangeQuery& q) const {
+std::vector<NodeId> DirqNode::forwarding_set(TreeId tree,
+                                             const query::RangeQuery& q) const {
+  const TreeSlot& slot = slots_.at(tree);
   std::vector<NodeId> out;
-  auto it = tables_.find(q.type);
-  if (it == tables_.end()) return out;
+  auto it = slot.tables.find(q.type);
+  if (it == slot.tables.end()) return out;
   for (const auto& [child, range] : it->second.children()) {
     if (q.overlaps(range.min, range.max) &&
-        child_may_be_in_region(child, q.region)) {
+        child_may_be_in_region(slot, child, q.region)) {
       out.push_back(child);
     }
   }
   return out;
 }
 
-std::vector<NodeId> DirqNode::forwarding_set(const query::MultiQuery& q) const {
+std::vector<NodeId> DirqNode::forwarding_set(TreeId tree,
+                                             const query::MultiQuery& q) const {
   // Conjunctive pruning: a child survives only if EVERY predicate's
   // subtree range overlaps (and the region test passes). A child that
   // never announced some predicate's type provably has no node carrying
   // all types in its subtree — prune it.
+  const TreeSlot& slot = slots_.at(tree);
   std::vector<NodeId> out;
   if (q.predicates.empty()) return out;
-  for (NodeId child : children_) {
-    bool all = child_may_be_in_region(child, q.region);
+  for (NodeId child : slot.children) {
+    bool all = child_may_be_in_region(slot, child, q.region);
     for (const query::AttributePredicate& p : q.predicates) {
       if (!all) break;
-      auto it = tables_.find(p.type);
+      auto it = slot.tables.find(p.type);
       const std::optional<RangeEntry> range =
-          it == tables_.end() ? std::nullopt : it->second.child(child);
+          it == slot.tables.end() ? std::nullopt : it->second.child(child);
       all = range.has_value() && p.overlaps(range->min, range->max);
     }
     if (all) out.push_back(child);
@@ -177,60 +211,67 @@ std::vector<NodeId> DirqNode::forwarding_set(const query::MultiQuery& q) const {
   return out;
 }
 
-bool DirqNode::believes_relevant(const query::RangeQuery& q) const {
+bool DirqNode::believes_relevant(TreeId tree,
+                                 const query::RangeQuery& q) const {
+  const TreeSlot& slot = slots_.at(tree);
   if (q.region && has_position_ && !q.region->contains(x_, y_)) return false;
-  auto it = tables_.find(q.type);
-  if (it == tables_.end() || !it->second.own().has_value()) return false;
+  auto it = slot.tables.find(q.type);
+  if (it == slot.tables.end() || !it->second.own().has_value()) return false;
   const RangeEntry& own = *it->second.own();
   return q.overlaps(own.min, own.max);
 }
 
-bool DirqNode::believes_relevant(const query::MultiQuery& q) const {
+bool DirqNode::believes_relevant(TreeId tree,
+                                 const query::MultiQuery& q) const {
+  const TreeSlot& slot = slots_.at(tree);
   if (q.predicates.empty()) return false;
   if (q.region && has_position_ && !q.region->contains(x_, y_)) return false;
   for (const query::AttributePredicate& p : q.predicates) {
     if (!std::binary_search(sensors_.begin(), sensors_.end(), p.type)) {
       return false;
     }
-    auto it = tables_.find(p.type);
-    if (it == tables_.end() || !it->second.own().has_value()) return false;
+    auto it = slot.tables.find(p.type);
+    if (it == slot.tables.end() || !it->second.own().has_value()) return false;
     const RangeEntry& own = *it->second.own();
     if (!p.overlaps(own.min, own.max)) return false;
   }
   return true;
 }
 
-void DirqNode::on_child_lost(NodeId child, std::int64_t epoch) {
-  for (auto& [type, t] : tables_) {
+void DirqNode::on_child_lost(TreeId tree, NodeId child, std::int64_t epoch) {
+  TreeSlot& slot = slots_.at(tree);
+  for (auto& [type, t] : slot.tables) {
     if (t.remove_child(child)) {
       sim::log(sim::LogLevel::Debug, "dirq", "node ", id_,
                " dropped child ", child, " from table ", type);
-      maybe_send_update(type, epoch);
+      maybe_send_update(tree, type, epoch);
     }
   }
-  if (child_boxes_.erase(child) > 0) announce_location(epoch);
-  std::erase(children_, child);
+  if (slot.child_boxes.erase(child) > 0) announce_location(tree, epoch);
+  std::erase(slot.children, child);
 }
 
-void DirqNode::force_reannounce(std::int64_t epoch) {
-  for (auto& [type, t] : tables_) {
+void DirqNode::force_reannounce(TreeId tree, std::int64_t epoch) {
+  TreeSlot& slot = slots_.at(tree);
+  for (auto& [type, t] : slot.tables) {
     if (!t.has_any()) continue;
     const RangeAggregate agg = t.aggregate();
     t.mark_sent();
-    if (parent_ == kNoNode) continue;
+    if (slot.parent == kNoNode) continue;
     UpdateMessage u;
     u.from = id_;
+    u.tree = tree;
     u.type = type;
     u.min = agg->min;
     u.max = agg->max;
     u.has_range = true;
     ++updates_sent_;
-    controller_->on_update_sent(type, epoch);
-    if (send_) send_(id_, parent_, Message{u});
+    slot.controller->on_update_sent(type, epoch);
+    if (send_) send_(id_, slot.parent, Message{u});
   }
   // The new parent also needs our subtree bounding box.
-  box_sent_ = false;
-  announce_location(epoch);
+  slot.box_sent = false;
+  announce_location(tree, epoch);
 }
 
 void DirqNode::attach_sensor(SensorType type) {
@@ -242,10 +283,13 @@ void DirqNode::detach_sensor(SensorType type, std::int64_t epoch) {
   const auto s = std::lower_bound(sensors_.begin(), sensors_.end(), type);
   if (s == sensors_.end() || *s != type) return;
   sensors_.erase(s);
-  auto it = tables_.find(type);
-  if (it == tables_.end()) return;
-  it->second.clear_own();
-  maybe_send_update(type, epoch);
+  for (TreeId tree = 0; tree < slots_.size(); ++tree) {
+    TreeSlot& slot = slots_[tree];
+    auto it = slot.tables.find(type);
+    if (it == slot.tables.end()) continue;
+    it->second.clear_own();
+    maybe_send_update(tree, type, epoch);
+  }
 }
 
 }  // namespace dirq::core

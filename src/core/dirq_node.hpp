@@ -6,6 +6,15 @@
 // events, and it emits messages through a send callback. All decisions use
 // only locally available information (own readings, one-hop child tuples,
 // the hourly EHr broadcast) — the paper's core autonomy claim.
+//
+// Multi-sink refactor: the per-tree protocol state (parent, children,
+// range tables, subtree bounding box, threshold controller, EHr dedup)
+// lives in TreeSlots keyed by a dense TreeId — one slot per spanning tree
+// of the owning net::TreeSet. Readings, the sensor list and the sampling
+// gate stay shared: a physical sample is taken once and observed by every
+// slot, but each tree propagates its own updates with its own thresholds.
+// The original single-tree accessors are tree-0 wrappers, so the paper's
+// single-sink deployment is byte-identical to the pre-refactor code.
 #pragma once
 
 #include <functional>
@@ -30,6 +39,7 @@ class DirqNode {
   /// Link-layer broadcast (used to re-flood the EHr estimate).
   using BroadcastFn = std::function<void(NodeId from, const Message&)>;
 
+  /// Constructs with one tree slot (tree 0) owning `controller`.
   DirqNode(NodeId id, std::vector<SensorType> sensors,
            std::unique_ptr<ThetaController> controller);
 
@@ -41,12 +51,31 @@ class DirqNode {
   void set_multicast(MulticastFn fn) { multicast_ = std::move(fn); }
   void set_broadcast(BroadcastFn fn) { broadcast_ = std::move(fn); }
 
+  /// Appends one more tree slot (the network adds a slot per extra sink).
+  void add_slot(std::unique_ptr<ThetaController> controller);
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return slots_.size();
+  }
+
   /// Tree position maintenance (driven by DirqNetwork on build/churn).
-  void set_parent(NodeId parent) noexcept { parent_ = parent; }
-  [[nodiscard]] NodeId parent() const noexcept { return parent_; }
-  void set_children(std::vector<NodeId> children);
+  /// The TreeId-less forms address tree 0 — the paper's single tree.
+  void set_parent(NodeId parent) { set_parent(0, parent); }
+  void set_parent(TreeId tree, NodeId parent) {
+    slots_.at(tree).parent = parent;
+  }
+  [[nodiscard]] NodeId parent() const { return parent(0); }
+  [[nodiscard]] NodeId parent(TreeId tree) const {
+    return slots_.at(tree).parent;
+  }
+  void set_children(std::vector<NodeId> children) {
+    set_children(0, std::move(children));
+  }
+  void set_children(TreeId tree, std::vector<NodeId> children);
   [[nodiscard]] const std::vector<NodeId>& children() const noexcept {
-    return children_;
+    return slots_.front().children;
+  }
+  [[nodiscard]] const std::vector<NodeId>& children(TreeId tree) const {
+    return slots_.at(tree).children;
   }
 
   /// Physical position — the optional static location attribute (§2).
@@ -61,37 +90,46 @@ class DirqNode {
 
   // --- sensing (paper §4.1, Fig. 1) ----------------------------------------
 
-  /// Feeds one epoch's reading for an attached sensor. May emit an Update
-  /// Message toward the parent if an aggregate moved beyond theta.
+  /// Feeds one epoch's reading for an attached sensor. The reading is
+  /// observed by every tree slot (one physical sample, N protocol views);
+  /// each slot may emit an Update Message toward its own parent if its
+  /// aggregate moved beyond its theta.
   void sample(SensorType type, double reading, std::int64_t epoch);
 
-  /// End-of-epoch hook: drives the threshold controller's window/steps.
+  /// End-of-epoch hook: drives every slot's threshold controller.
   void end_epoch(std::int64_t epoch);
 
   // --- message handling ----------------------------------------------------
 
-  /// Delivered message from a one-hop neighbour.
+  /// Delivered message from a one-hop neighbour; dispatches to the slot
+  /// named by the message's TreeId tag.
   void handle(const Message& msg, NodeId from, std::int64_t epoch);
 
   // --- topology dynamics (paper §4.2) ---------------------------------------
 
-  /// A one-hop child vanished (cross-layer notification routed through the
-  /// network): drop its tuples from every table, propagate any resulting
-  /// aggregate changes.
-  void on_child_lost(NodeId child, std::int64_t epoch);
+  /// A one-hop child vanished in the given tree (cross-layer notification
+  /// routed through the network): drop its tuples from that slot's
+  /// tables, propagate any resulting aggregate changes.
+  void on_child_lost(NodeId child, std::int64_t epoch) {
+    on_child_lost(0, child, epoch);
+  }
+  void on_child_lost(TreeId tree, NodeId child, std::int64_t epoch);
 
-  /// Node re-parented after tree repair: every table (and the subtree
+  /// Node re-parented after a tree repair: the slot's tables (and subtree
   /// bounding box) must be re-announced to the new parent regardless of
   /// theta (it knows nothing of us).
-  void force_reannounce(std::int64_t epoch);
+  void force_reannounce(std::int64_t epoch) { force_reannounce(0, epoch); }
+  void force_reannounce(TreeId tree, std::int64_t epoch);
 
-  /// Announces the subtree bounding box to the parent if it changed since
-  /// the last announcement (bootstrap, churn, child box growth).
-  void announce_location(std::int64_t epoch);
+  /// Announces the slot's subtree bounding box to its parent if it
+  /// changed since the last announcement.
+  void announce_location(std::int64_t epoch) { announce_location(0, epoch); }
+  void announce_location(TreeId tree, std::int64_t epoch);
 
-  /// This node's current subtree bounding box (own point + child boxes);
-  /// empty when the node has no position and no located descendants.
-  [[nodiscard]] net::BBox subtree_box() const;
+  /// This node's current subtree bounding box in a tree (own point +
+  /// child boxes); empty when nothing in the subtree is located.
+  [[nodiscard]] net::BBox subtree_box() const { return subtree_box(0); }
+  [[nodiscard]] net::BBox subtree_box(TreeId tree) const;
 
   /// Post-deployment sensor change on this node (§4.2 scalability).
   void attach_sensor(SensorType type);
@@ -103,37 +141,85 @@ class DirqNode {
 
   // --- inspection ------------------------------------------------------------
 
-  /// Range table for a type, or nullptr if the type is absent from this
-  /// node's subtree (tables exist lazily, Fig. 4).
-  [[nodiscard]] const RangeTable* table(SensorType type) const;
+  /// Range table for a type in a tree, or nullptr if the type is absent
+  /// from this node's subtree there (tables exist lazily, Fig. 4).
+  [[nodiscard]] const RangeTable* table(SensorType type) const {
+    return table(0, type);
+  }
+  [[nodiscard]] const RangeTable* table(TreeId tree, SensorType type) const;
 
   /// True if this node believes its own reading may satisfy the query
-  /// (its own stored tuple overlaps the query window, and it lies inside
-  /// the region when one is given). This is DirQ's local relevance test;
-  /// it can err toward extra deliveries (overshoot) because the tuple is
-  /// theta-wide.
-  [[nodiscard]] bool believes_relevant(const query::RangeQuery& q) const;
-  [[nodiscard]] bool believes_relevant(const query::MultiQuery& q) const;
+  /// (its own stored tuple in the tree's slot overlaps the query window,
+  /// and it lies inside the region when one is given). This is DirQ's
+  /// local relevance test; it can err toward extra deliveries (overshoot)
+  /// because the tuple is theta-wide.
+  [[nodiscard]] bool believes_relevant(const query::RangeQuery& q) const {
+    return believes_relevant(0, q);
+  }
+  [[nodiscard]] bool believes_relevant(const query::MultiQuery& q) const {
+    return believes_relevant(0, q);
+  }
+  [[nodiscard]] bool believes_relevant(TreeId tree,
+                                       const query::RangeQuery& q) const;
+  [[nodiscard]] bool believes_relevant(TreeId tree,
+                                       const query::MultiQuery& q) const;
 
-  /// Children this node would forward the query to right now.
-  [[nodiscard]] std::vector<NodeId> forwarding_set(const query::RangeQuery& q) const;
-  [[nodiscard]] std::vector<NodeId> forwarding_set(const query::MultiQuery& q) const;
+  /// Children this node would forward the query to right now (per tree).
+  [[nodiscard]] std::vector<NodeId> forwarding_set(
+      const query::RangeQuery& q) const {
+    return forwarding_set(0, q);
+  }
+  [[nodiscard]] std::vector<NodeId> forwarding_set(
+      const query::MultiQuery& q) const {
+    return forwarding_set(0, q);
+  }
+  [[nodiscard]] std::vector<NodeId> forwarding_set(
+      TreeId tree, const query::RangeQuery& q) const;
+  [[nodiscard]] std::vector<NodeId> forwarding_set(
+      TreeId tree, const query::MultiQuery& q) const;
 
-  [[nodiscard]] ThetaController& controller() noexcept { return *controller_; }
+  [[nodiscard]] ThetaController& controller() noexcept {
+    return *slots_.front().controller;
+  }
   [[nodiscard]] const ThetaController& controller() const noexcept {
-    return *controller_;
+    return *slots_.front().controller;
+  }
+  [[nodiscard]] ThetaController& controller(TreeId tree) {
+    return *slots_.at(tree).controller;
+  }
+  [[nodiscard]] const ThetaController& controller(TreeId tree) const {
+    return *slots_.at(tree).controller;
   }
 
-  /// Update Messages this node transmitted (origin + relay).
+  /// Update Messages this node transmitted (origin + relay, all trees).
   [[nodiscard]] std::int64_t updates_sent() const noexcept { return updates_sent_; }
 
   /// EHr rounds seen (flood dedup state), exposed for tests.
-  [[nodiscard]] std::int64_t last_ehr_round() const noexcept { return last_ehr_round_; }
+  [[nodiscard]] std::int64_t last_ehr_round() const noexcept {
+    return slots_.front().last_ehr_round;
+  }
+  [[nodiscard]] std::int64_t last_ehr_round(TreeId tree) const {
+    return slots_.at(tree).last_ehr_round;
+  }
 
  private:
-  RangeTable& table_mut(SensorType type);
-  /// Emits an update/retraction for `type` if the table demands one.
-  void maybe_send_update(SensorType type, std::int64_t epoch);
+  /// Everything DirQ keeps per spanning tree: position in the tree, the
+  /// aggregated range tables, the location attribute, the threshold
+  /// controller, and the EHr flood dedup round.
+  struct TreeSlot {
+    NodeId parent = kNoNode;
+    std::vector<NodeId> children;
+    sim::FlatMap<SensorType, RangeTable> tables;
+    sim::FlatMap<NodeId, net::BBox> child_boxes;
+    net::BBox sent_box = net::BBox::empty();
+    bool box_sent = false;
+    std::unique_ptr<ThetaController> controller;
+    std::int64_t last_ehr_round = -1;
+  };
+
+  /// Emits an update/retraction for `type` in `tree` if the slot's table
+  /// demands one.
+  void maybe_send_update(TreeId tree, SensorType type, std::int64_t epoch);
   void handle_update(const UpdateMessage& u, NodeId from, std::int64_t epoch);
   void handle_query(const QueryMessage& qm, std::int64_t epoch);
   void handle_multi_query(const MultiQueryMessage& qm, std::int64_t epoch);
@@ -143,26 +229,23 @@ class DirqNode {
   /// Region pruning for a child: false only when the child's box is known
   /// and provably outside the region (unknown boxes are never pruned).
   [[nodiscard]] bool child_may_be_in_region(
-      NodeId child, const std::optional<net::BBox>& region) const;
+      const TreeSlot& slot, NodeId child,
+      const std::optional<net::BBox>& region) const;
+  [[nodiscard]] bool slot_exists(TreeId tree) const noexcept {
+    return tree < slots_.size();
+  }
 
   NodeId id_;
-  NodeId parent_ = kNoNode;
-  std::vector<NodeId> children_;
   // Hot-path state is flat: sorted vectors / FlatMaps keyed by the dense
   // sensor-type and node-id domains, iterated every epoch by every node.
-  std::vector<SensorType> sensors_;  // sorted, unique
-  sim::FlatMap<SensorType, RangeTable> tables_;
+  std::vector<SensorType> sensors_;  // sorted, unique; shared by all slots
+  std::vector<TreeSlot> slots_;      // one per spanning tree, TreeId-dense
   double x_ = 0.0, y_ = 0.0;
   bool has_position_ = false;
-  sim::FlatMap<NodeId, net::BBox> child_boxes_;
-  net::BBox sent_box_ = net::BBox::empty();
-  bool box_sent_ = false;
-  std::unique_ptr<ThetaController> controller_;
   SendFn send_;
   MulticastFn multicast_;
   BroadcastFn broadcast_;
   std::int64_t updates_sent_ = 0;
-  std::int64_t last_ehr_round_ = -1;
 };
 
 }  // namespace dirq::core

@@ -21,6 +21,7 @@ namespace dirq::core {
 
 unsigned Experiment::effective_threads(const ExperimentConfig& cfg) {
   if (cfg.transport == TransportKind::Lmac || cfg.loss_rate > 0.0) return 1;
+  if (cfg.resolved_sink_count() > 1) return 1;
   return sim::ThreadPool::resolve(cfg.threads);
 }
 
@@ -38,6 +39,37 @@ void ExperimentConfig::validate() const {
   }
   if (!(loss_rate >= 0.0 && loss_rate < 1.0)) {
     fail("loss_rate must be in [0, 1)");
+  }
+  if (sinks.empty() && sink_count < 1) fail("sink_count must be >= 1");
+  if (resolved_sink_count() > static_cast<std::size_t>(placement.node_count)) {
+    fail("sink count exceeds placement.node_count");
+  }
+  if (!sinks.empty()) {
+    std::vector<NodeId> sorted = sinks;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      fail("duplicate sink id " +
+           std::to_string(*std::adjacent_find(sorted.begin(), sorted.end())));
+    }
+    for (NodeId s : sinks) {
+      if (s >= static_cast<NodeId>(placement.node_count)) {
+        fail("sink id " + std::to_string(s) +
+             " is outside the topology (placement.node_count = " +
+             std::to_string(placement.node_count) + ")");
+      }
+    }
+  }
+  if (!(multi_attr_fraction >= 0.0 && multi_attr_fraction <= 1.0)) {
+    fail("multi_attr_fraction must be in [0, 1]");
+  }
+  if (multi_attr_fraction > 0.0) {
+    if (multi_attr_count < 2) {
+      fail("multi_attr_count must be >= 2 when multi_attr_fraction > 0");
+    }
+    if (multi_attr_count >
+        static_cast<std::size_t>(placement.sensor_type_count)) {
+      fail("multi_attr_count exceeds placement.sensor_type_count");
+    }
   }
   if (burst_length_epochs < 0) fail("burst_length_epochs must be >= 0");
   if (burst_gap_epochs < 0) fail("burst_gap_epochs must be >= 0");
@@ -65,7 +97,19 @@ ExperimentResults Experiment::run() {
       cfg_.field_backend, topo, cfg_.placement.sensor_type_count,
       rng.substream("environment"));
   data::ReadingSource& env = *env_owner;
-  DirqNetwork network(topo, /*root=*/0, cfg_.network);
+  // Sink roots: the explicit list, or spread_roots for a bare count. Both
+  // paths keep node 0 — the paper's root — as tree 0 when sink_count is 1,
+  // so the default deployment is byte-identical to the single-root ctor.
+  std::vector<NodeId> roots;
+  if (!cfg_.sinks.empty()) {
+    roots = cfg_.sinks;
+  } else if (cfg_.sink_count <= 1) {
+    roots = {0};
+  } else {
+    roots = net::spread_roots(topo, cfg_.sink_count);
+  }
+  DirqNetwork network(topo, roots, cfg_.network);
+  const std::size_t n_sinks = network.tree_count();
 
   // Backend plumbing. The constructor's bootstrap announce wave ran on the
   // network's built-in instant transport (deployment happens before the
@@ -83,8 +127,8 @@ ExperimentResults Experiment::run() {
   MessageSink* sink = &network;
   if (cfg_.loss_rate > 0.0) {
     lossy.emplace(network, cfg_.loss_rate, rng.substream("loss"));
-    lossy->set_drop_hook([&network](NodeId to, NodeId, const Message&) {
-      network.note_dropped_rx(to);
+    lossy->set_drop_hook([&network](NodeId to, NodeId, const Message& msg) {
+      network.note_dropped_rx(to, msg);
     });
     sink = &*lossy;
   }
@@ -116,14 +160,35 @@ ExperimentResults Experiment::run() {
   const unsigned threads = effective_threads(cfg_);
   if (threads > 1) network.set_threads(threads);
 
+  // The generator stays bound to tree 0 whatever the sink count, so the
+  // query *stream* is identical across 1-vs-N runs — only the admission
+  // decision (which sink injects) varies. Ground-truth involvement is
+  // computed per query against the tree it was actually routed to.
   query::WorkloadGenerator workload(
       topo, network.tree(), env,
       query::WorkloadConfig{cfg_.relevant_fraction, 0.02},
       rng.substream("workload"));
-  query::QueryRatePredictor predictor(0.4, cfg_.epochs_per_hour);
+  // One rate predictor per sink: each sink floods the EHr it observed.
+  std::vector<query::QueryRatePredictor> predictors;
+  predictors.reserve(n_sinks);
+  for (std::size_t t = 0; t < n_sinks; ++t) {
+    predictors.emplace_back(0.4, cfg_.epochs_per_hour);
+  }
+  QueryAdmission admission(cfg_.routing, network.trees());
+  // The multi-attribute mix draws from its own named substream, and only
+  // when the mix is enabled — a 0-fraction run consumes no RNG here and
+  // every pre-existing golden stays byte-identical.
+  std::optional<sim::Rng> multi_rng;
+  if (cfg_.multi_attr_fraction > 0.0) {
+    multi_rng.emplace(rng.substream("multi-attr"));
+  }
   FloodingScheme flooding(topo);
 
   ExperimentResults res;
+  res.sink_roots = roots;
+  res.sink_ledgers.resize(n_sinks);
+  res.sink_queries.assign(n_sinks, 0);
+  res.sink_umax_per_hour.resize(n_sinks);
   res.updates_per_bin = sim::TimeSeries(cfg_.series_bin);
   network.set_update_hook(
       [&res](std::int64_t epoch) { res.updates_per_bin.record(epoch); });
@@ -133,6 +198,7 @@ ExperimentResults Experiment::run() {
   // after the post-run drain). The instant backend collects synchronously.
   struct PendingQuery {
     std::int64_t epoch = 0;
+    TreeId tree = 0;  // sink the admission layer routed it to
     SensorType type = 0;
     query::Involvement truth;
     std::size_t population = 0;
@@ -140,8 +206,9 @@ ExperimentResults Experiment::run() {
   };
   std::optional<PendingQuery> pending;
 
-  const auto finalize_query = [this, &res](const PendingQuery& p,
-                                           const QueryOutcome& outcome) {
+  const auto finalize_query = [this, &res, &admission](
+                                  const PendingQuery& p,
+                                  const QueryOutcome& outcome) {
     const metrics::QueryAudit audit =
         metrics::audit_query(p.truth.involved, outcome.received);
     const metrics::QueryAudit source_audit =
@@ -161,6 +228,10 @@ ExperimentResults Experiment::run() {
     res.source_coverage_pct.push(source_audit.coverage_pct());
     res.flooding_total += p.flooding_cost;
     ++res.queries;
+    ++res.sink_queries[p.tree];
+    // Close the admission feedback loop: the audited dissemination cost of
+    // this query becomes part of its sink's load score.
+    admission.note_cost(p.tree, outcome.cost);
 
     if (cfg_.keep_records) {
       QueryRecord rec;
@@ -186,14 +257,25 @@ ExperimentResults Experiment::run() {
     env.advance_to(epoch);
 
     if (epoch % cfg_.epochs_per_hour == 0) {
-      const double ehr = predictor.completed_hours() > 0
-                             ? predictor.predict_next_hour()
-                             : prior_ehr;
-      // Record the exact Umax/Hr the root flooded (Fig. 6 lines): the
-      // broadcast's return value is the single source of truth
-      // (analysis::umax_messages_per_hour), never a re-derivation.
-      res.umax_per_hour.push_back(network.broadcast_ehr(ehr, epoch));
-      res.ehr_per_hour.push_back(ehr);
+      for (TreeId t = 0; t < static_cast<TreeId>(n_sinks); ++t) {
+        // Each sink floods the EHr *it* observed; hour 0 splits the
+        // advertised prior evenly (== prior_ehr when n_sinks is 1, so the
+        // single-sink series is bit-identical to the pre-multi-sink code).
+        const double ehr =
+            predictors[t].completed_hours() > 0
+                ? predictors[t].predict_next_hour()
+                : prior_ehr / static_cast<double>(n_sinks);
+        // Record the exact Umax/Hr each root flooded (Fig. 6 lines): the
+        // broadcast's return value is the single source of truth
+        // (analysis::umax_messages_per_hour), never a re-derivation.
+        const double umax = network.broadcast_ehr(t, ehr, epoch);
+        res.sink_umax_per_hour[t].push_back(umax);
+        if (t == 0) {
+          // The global series stays the tree-0 view — the paper's root.
+          res.umax_per_hour.push_back(umax);
+          res.ehr_per_hour.push_back(ehr);
+        }
+      }
     }
 
     network.process_epoch(env, epoch);
@@ -211,20 +293,43 @@ ExperimentResults Experiment::run() {
           epoch % (cfg_.burst_length_epochs + cfg_.burst_gap_epochs) <
               cfg_.burst_length_epochs;
       if (in_burst) {
-        query::RangeQuery q = workload.next(epoch);
-        predictor.record_query(epoch);
+        // Admission decides *where* the query enters; the workload decides
+        // *what* it asks. Keeping the two independent means the query
+        // stream is identical across sink counts and routing policies.
+        for (TreeId t = 0; t < static_cast<TreeId>(n_sinks); ++t) {
+          admission.sync_load(t, network.tree_ledger(t).total());
+        }
+        const TreeId routed = admission.route();
+        const net::SpanningTree& sink_tree = network.tree(routed);
+        predictors[routed].record_query(epoch);
         PendingQuery p;
         p.epoch = epoch;
-        p.type = q.type;
-        p.truth = query::compute_involvement(q, topo, network.tree(), env);
-        p.population =
-            network.tree().size() > 0 ? network.tree().size() - 1 : 0;
+        p.tree = routed;
+        p.population = sink_tree.size() > 0 ? sink_tree.size() - 1 : 0;
         p.flooding_cost = flooding.analytical_cost();
-        if (use_lmac) {
-          network.inject_async(q, epoch);
-          pending = std::move(p);
+        const bool is_multi =
+            multi_rng && multi_rng->bernoulli(cfg_.multi_attr_fraction);
+        if (is_multi) {
+          query::MultiQuery q =
+              workload.next_multi(epoch, cfg_.multi_attr_count);
+          p.type = q.predicates.empty() ? 0 : q.predicates.front().type;
+          p.truth = query::compute_involvement(q, topo, sink_tree, env);
+          if (use_lmac) {
+            network.inject_async(routed, q, epoch);
+            pending = std::move(p);
+          } else {
+            finalize_query(p, network.inject(routed, q, epoch));
+          }
         } else {
-          finalize_query(p, network.inject(q, epoch));
+          query::RangeQuery q = workload.next(epoch);
+          p.type = q.type;
+          p.truth = query::compute_involvement(q, topo, sink_tree, env);
+          if (use_lmac) {
+            network.inject_async(routed, q, epoch);
+            pending = std::move(p);
+          } else {
+            finalize_query(p, network.inject(routed, q, epoch));
+          }
         }
       }
     }
@@ -273,6 +378,17 @@ ExperimentResults Experiment::run() {
   if (use_lmac) res.mac_control_drain = mac_control_sum() - res.mac_control_total;
 
   res.ledger = network.costs();
+  for (TreeId t = 0; t < static_cast<TreeId>(n_sinks); ++t) {
+    res.sink_ledgers[t] = network.tree_ledger(t);
+  }
+  // Marginal maintenance price of the extra trees: everything the k>=1
+  // overlays spent on updates and control. Tree 0 is the baseline the
+  // single-sink deployment would have paid anyway.
+  res.cross_tree_update_overhead = 0;
+  for (TreeId t = 1; t < static_cast<TreeId>(n_sinks); ++t) {
+    res.cross_tree_update_overhead += res.sink_ledgers[t].update_cost() +
+                                      res.sink_ledgers[t].control_cost();
+  }
   res.updates_transmitted = network.updates_transmitted();
   res.samples_taken = network.samples_taken();
   res.samples_skipped = network.samples_skipped();

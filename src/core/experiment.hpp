@@ -16,6 +16,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/admission.hpp"
 #include "core/flooding.hpp"
 #include "core/network.hpp"
 #include "data/reading_source.hpp"
@@ -42,6 +43,21 @@ struct ExperimentConfig {
   std::int64_t epochs = 20000;             // paper §7
   std::int64_t query_period = 20;          // paper §7
   double relevant_fraction = 0.4;          // 0.2 / 0.4 / 0.6 in the paper
+  /// Multi-sink query plane. `sinks` names the sink roots explicitly;
+  /// when empty, `sink_count` roots are chosen by net::spread_roots
+  /// (node 0 — the paper's root — first, then greedy farthest-point).
+  /// The defaults reproduce the paper's single-sink deployment exactly.
+  std::vector<NodeId> sinks{};
+  std::size_t sink_count = 1;
+  /// How the gateway assigns each query to a sink when several exist
+  /// (see core/admission.hpp). Irrelevant with one sink.
+  RoutingPolicy routing = RoutingPolicy::Admission;
+  /// Fraction of injected queries drawn as conjunctive multi-attribute
+  /// queries over `multi_attr_count` sensor types (paper §2: "DirQ can
+  /// use multiple attributes"). 0 (the default, every golden) keeps the
+  /// paper's pure range-query stream and consumes no extra RNG.
+  double multi_attr_fraction = 0.0;
+  std::size_t multi_attr_count = 2;
   /// Channel drop probability in [0, 1). 0 keeps the paper's lossless
   /// setup; > 0 routes every operational delivery through a LossySink
   /// (CRC-failed receptions: tx and rx energy are still spent, the frame
@@ -82,9 +98,20 @@ struct ExperimentConfig {
   /// epoch regardless of the geometry chosen here.
   mac::LmacConfig lmac{};
 
+  /// Sinks this config deploys: the explicit list's size when one is
+  /// given, `sink_count` otherwise.
+  [[nodiscard]] std::size_t resolved_sink_count() const noexcept {
+    return sinks.empty() ? sink_count : sinks.size();
+  }
+
   /// Validates every field the driver divides or modulos by (and the
-  /// probability/fraction knobs). Called by Experiment::run; throws
-  /// std::invalid_argument naming the offending field.
+  /// probability/fraction knobs), including the sink plane: duplicate
+  /// sink ids, ids outside the placement, and a zero sink count all throw
+  /// with a message naming the problem. (Initial placements are fully
+  /// alive, so "dead root" cannot arise here; net::TreeSet re-checks
+  /// aliveness at construction for callers that mutate first.) Called by
+  /// Experiment::run; throws std::invalid_argument naming the offending
+  /// field.
   void validate() const;
 };
 
@@ -149,6 +176,37 @@ struct ExperimentResults {
   std::vector<CostUnits> node_tx;
   std::vector<CostUnits> node_rx;
   std::vector<QueryRecord> records;
+  // Multi-sink accounting. Sized to the deployed sink count (1 for the
+  // paper's configuration — the tree-0 entries then mirror the globals).
+  std::vector<NodeId> sink_roots;          // resolved root of each tree
+  std::vector<CostLedger> sink_ledgers;    // per-sink share; sums to ledger
+  std::vector<std::int64_t> sink_queries;  // queries routed to each sink
+  // Per-sink hourly Umax/Hr — each sink floods its own budget from its
+  // own tree's fMax and its own predicted EHr (umax_per_hour above stays
+  // the tree-0 series the Fig. 6 goldens record).
+  std::vector<std::vector<double>> sink_umax_per_hour;
+  /// Update+control energy spent maintaining the extra trees (k >= 1) on
+  /// top of the paper's single tree — the price of multi-sink redundancy.
+  CostUnits cross_tree_update_overhead = 0;
+
+  /// Energy-balance spread across sinks: (max - min) / mean of per-sink
+  /// total cost. 0 for a single sink (or an all-idle plane). The
+  /// admission policy's target metric — bench_multi_sink compares it
+  /// against round-robin.
+  [[nodiscard]] double sink_energy_spread() const noexcept {
+    if (sink_ledgers.size() < 2) return 0.0;
+    CostUnits lo = sink_ledgers.front().total(), hi = lo, sum = 0;
+    for (const CostLedger& l : sink_ledgers) {
+      const CostUnits t = l.total();
+      lo = t < lo ? t : lo;
+      hi = t > hi ? t : hi;
+      sum += t;
+    }
+    if (sum == 0) return 0.0;
+    const double mean =
+        static_cast<double>(sum) / static_cast<double>(sink_ledgers.size());
+    return static_cast<double>(hi - lo) / mean;
+  }
 
   /// Headline ratio: DirQ total cost / flooding total cost (paper:
   /// "DirQ spends between 45% and 55% the cost of flooding").
@@ -176,9 +234,10 @@ class Experiment {
   /// The worker count a config actually runs with: cfg.threads resolved
   /// (0 → hardware concurrency), clamped to 1 on order-sensitive backends
   /// — the LMAC transport (slot-synchronous deliveries interleave with
-  /// the walk) and lossy channels (the drop RNG is consumed in delivery
-  /// order). Exposed so the CLI can report the fallback instead of
-  /// silently pretending to parallelise.
+  /// the walk), lossy channels (the drop RNG is consumed in delivery
+  /// order), and multi-sink deployments (the shard partition is a
+  /// single-tree property). Exposed so the CLI can report the fallback
+  /// instead of silently pretending to parallelise.
   [[nodiscard]] static unsigned effective_threads(const ExperimentConfig& cfg);
 
   [[nodiscard]] const ExperimentConfig& config() const noexcept { return cfg_; }

@@ -9,6 +9,12 @@
 //   EhrMessage    — root -> everyone, hourly; the expected query count for
 //                   the next hour plus the derived network-wide update
 //                   budget Umax/Hr that parameterises ATC (§6, Fig. 6).
+//
+// Every message carries the TreeId of the spanning tree it belongs to:
+// the multi-sink query plane runs N trees over one topology, and a node's
+// per-tree protocol slots dispatch on this tag. Single-sink deployments
+// leave it at the default 0, so the wire format (and every golden) is
+// unchanged for the paper's configuration.
 #pragma once
 
 #include <variant>
@@ -20,6 +26,7 @@ namespace dirq::core {
 
 struct UpdateMessage {
   NodeId from = kNoNode;
+  TreeId tree = 0;
   SensorType type = 0;
   double min = 0.0;
   double max = 0.0;
@@ -29,11 +36,13 @@ struct UpdateMessage {
 
 struct QueryMessage {
   query::RangeQuery q;
+  TreeId tree = 0;
 };
 
 /// Conjunctive multi-attribute query in flight (paper §2 capability).
 struct MultiQueryMessage {
   query::MultiQuery q;
+  TreeId tree = 0;
 };
 
 /// Static-attribute announcement: the sender's subtree bounding box
@@ -41,10 +50,12 @@ struct MultiQueryMessage {
 /// churn; parents fold child boxes into their own subtree box.
 struct LocationAnnounce {
   NodeId from = kNoNode;
+  TreeId tree = 0;
   net::BBox box;
 };
 
 struct EhrMessage {
+  TreeId tree = 0;
   double expected_queries_per_hour = 0.0;  // EHr
   double umax_per_hour = 0.0;              // fMax(k,d) * EHr (DESIGN.md §1.7)
   std::uint32_t alive_nodes = 0;           // for fair per-node budget shares
@@ -53,5 +64,11 @@ struct EhrMessage {
 
 using Message = std::variant<UpdateMessage, QueryMessage, MultiQueryMessage,
                              EhrMessage, LocationAnnounce>;
+
+/// The spanning tree a message belongs to (the per-sink cost ledgers and
+/// the per-tree slot dispatch both key on this).
+inline TreeId message_tree(const Message& msg) noexcept {
+  return std::visit([](const auto& m) { return m.tree; }, msg);
+}
 
 }  // namespace dirq::core

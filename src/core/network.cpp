@@ -41,6 +41,15 @@ struct TlsShardGuard {
   TlsShardGuard(const TlsShardGuard&) = delete;
   TlsShardGuard& operator=(const TlsShardGuard&) = delete;
 };
+
+void accumulate(CostLedger& into, const CostLedger& from) {
+  into.query_tx += from.query_tx;
+  into.query_rx += from.query_rx;
+  into.update_tx += from.update_tx;
+  into.update_rx += from.update_rx;
+  into.control_tx += from.control_tx;
+  into.control_rx += from.control_rx;
+}
 }  // namespace
 
 /// The parallel epoch engine: a persistent pool plus the cached shard plan.
@@ -100,39 +109,65 @@ std::unique_ptr<ThetaController> make_controller(const NetworkConfig& cfg) {
 }
 
 DirqNetwork::DirqNetwork(net::Topology& topo, NodeId root, NetworkConfig cfg)
-    : topo_(topo), root_(root), cfg_(cfg), tree_(topo, root) {
+    : DirqNetwork(topo, std::vector<NodeId>{root}, cfg) {}
+
+DirqNetwork::DirqNetwork(net::Topology& topo, std::vector<NodeId> roots,
+                         NetworkConfig cfg)
+    : topo_(topo),
+      cfg_(cfg),
+      trees_(topo, std::move(roots)),
+      root_(trees_.root(0)) {
+  const std::size_t n_trees = trees_.count();
   nodes_.reserve(topo.size());
   for (const net::Node& n : topo.nodes()) {
     nodes_.emplace_back(n.id,
                         std::vector<SensorType>(n.sensors.begin(), n.sensors.end()),
                         make_controller(cfg_));
+    for (TreeId t = 1; t < n_trees; ++t) {
+      nodes_.back().add_slot(make_controller(cfg_));
+    }
     samplers_.emplace_back(cfg_.sampling);
   }
   node_tx_.assign(topo.size(), 0);
   node_rx_.assign(topo.size(), 0);
+  tree_ledgers_.assign(n_trees, CostLedger{});
   instant_ = std::make_unique<InstantTransport>(topo_, *this);
   transport_ = instant_.get();
-  prev_parent_.assign(topo.size(), kNoNode);
+  prev_parent_.assign(n_trees, std::vector<NodeId>(topo.size(), kNoNode));
   for (NodeId u = 0; u < topo.size(); ++u) {
     nodes_[u].set_position(topo.node(u).x, topo.node(u).y);
-    if (!tree_.in_tree(u)) continue;
-    nodes_[u].set_parent(tree_.parent(u));
-    const auto ch = tree_.children(u);
-    nodes_[u].set_children(std::vector<NodeId>(ch.begin(), ch.end()));
-    prev_parent_[u] = tree_.parent(u);
+    for (TreeId t = 0; t < n_trees; ++t) {
+      const net::SpanningTree& tr = trees_.tree(t);
+      if (!tr.in_tree(u)) continue;
+      nodes_[u].set_parent(t, tr.parent(u));
+      const auto ch = tr.children(u);
+      nodes_[u].set_children(t, std::vector<NodeId>(ch.begin(), ch.end()));
+      prev_parent_[t][u] = tr.parent(u);
+    }
   }
   for (DirqNode& n : nodes_) wire_node(n);
   // Bootstrap the static location attribute: leaves-first announcement so
-  // subtree bounding boxes aggregate toward the root in a single wave.
-  const std::vector<NodeId>& order = tree_.bfs_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    nodes_[*it].announce_location(0);
+  // subtree bounding boxes aggregate toward each root in a single wave
+  // per tree.
+  for (TreeId t = 0; t < n_trees; ++t) {
+    const std::vector<NodeId>& order = trees_.tree(t).bfs_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      nodes_[*it].announce_location(t, 0);
+    }
   }
+  rebuild_union_walk();
 }
 
 DirqNetwork::~DirqNetwork() = default;
 
 void DirqNetwork::set_threads(unsigned threads) {
+  if (trees_.count() > 1) {
+    // The shard partition is the root's child subtrees of ONE tree; with
+    // several overlapping trees the shards are not write-disjoint. Stay
+    // sequential — the experiment layer reports effective_threads == 1.
+    par_.reset();
+    return;
+  }
   const unsigned n = sim::ThreadPool::resolve(threads);
   if (n <= 1) {
     par_.reset();
@@ -146,11 +181,27 @@ unsigned DirqNetwork::threads() const noexcept {
   return par_ ? par_->pool.size() : 1;
 }
 
+void DirqNetwork::charge_tree_tx(const Message& msg) {
+  const TreeId t = message_tree(msg);
+  if (t < tree_ledgers_.size()) {
+    InstantTransport::charge_tx(tree_ledgers_[t], msg);
+  }
+}
+
+void DirqNetwork::charge_tree_rx(const Message& msg) {
+  const TreeId t = message_tree(msg);
+  if (t < tree_ledgers_.size()) {
+    InstantTransport::charge_rx(tree_ledgers_[t], msg);
+  }
+}
+
 void DirqNetwork::wire_node(DirqNode& n) {
   n.set_send([this](NodeId from, NodeId to, const Message& msg) {
     if (EpochShardCtx* ctx = tls_shard) {
       // Parallel consume pass: charge the shard, not the shared ledger;
-      // the update hook is replayed (same epoch, same count) at merge.
+      // the update hook is replayed (same epoch, same count) at merge,
+      // and the shard ledger is merged into the tree-0 mirror (the
+      // parallel path only runs single-tree).
       if (std::holds_alternative<UpdateMessage>(msg)) ++ctx->update_msgs;
       node_tx_.at(from) += 1;  // `from` belongs to this shard
       parallel_unicast(*ctx, from, to, msg);
@@ -161,6 +212,7 @@ void DirqNetwork::wire_node(DirqNode& n) {
       if (update_hook_) update_hook_(current_epoch_);
     }
     node_tx_.at(from) += 1;
+    charge_tree_tx(msg);
     transport_->unicast(from, to, msg);
   });
   n.set_multicast([this](NodeId from, const std::vector<NodeId>& targets,
@@ -171,6 +223,7 @@ void DirqNetwork::wire_node(DirqNode& n) {
       throw std::logic_error("DirqNetwork: multicast during a parallel epoch");
     }
     node_tx_.at(from) += 1;  // one transmission regardless of target count
+    charge_tree_tx(msg);
     transport_->multicast(from, targets, msg);
   });
   n.set_broadcast([this](NodeId from, const Message& msg) {
@@ -178,6 +231,7 @@ void DirqNetwork::wire_node(DirqNode& n) {
       throw std::logic_error("DirqNetwork: broadcast during a parallel epoch");
     }
     node_tx_.at(from) += 1;
+    charge_tree_tx(msg);
     transport_->broadcast(from, msg);
   });
 }
@@ -192,6 +246,10 @@ void DirqNetwork::deliver(NodeId to, NodeId from, const Message& msg) {
   if (to >= topo_.size()) {
     throw std::logic_error("DirqNetwork::deliver: recipient outside topology");
   }
+  // Mirror the rx into the message's tree ledger — except while replaying
+  // deferred root deliveries at the parallel merge, whose rx the shard
+  // ledger already booked.
+  if (!merging_parallel_) charge_tree_rx(msg);
   if (to >= node_rx_.size()) node_rx_.resize(topo_.size(), 0);
   node_rx_[to] += 1;
   if (to >= nodes_.size()) return;  // heard, but not yet integrated
@@ -199,20 +257,46 @@ void DirqNetwork::deliver(NodeId to, NodeId from, const Message& msg) {
     if (const auto* qm = std::get_if<QueryMessage>(&msg);
         qm != nullptr && qm->q.id == audit_query_) {
       audit_received_.push_back(to);
-      if (nodes_[to].believes_relevant(qm->q)) audit_believed_.push_back(to);
+      if (nodes_[to].believes_relevant(qm->tree, qm->q)) {
+        audit_believed_.push_back(to);
+      }
     } else if (const auto* mq = std::get_if<MultiQueryMessage>(&msg);
                mq != nullptr && mq->q.id == audit_query_) {
       audit_received_.push_back(to);
-      if (nodes_[to].believes_relevant(mq->q)) audit_believed_.push_back(to);
+      if (nodes_[to].believes_relevant(mq->tree, mq->q)) {
+        audit_believed_.push_back(to);
+      }
     }
   }
   nodes_[to].handle(msg, from, current_epoch_);
 }
 
+const std::vector<NodeId>& DirqNetwork::epoch_walk_order() const {
+  return trees_.count() == 1 ? trees_.tree(0).bfs_order() : union_order_;
+}
+
+void DirqNetwork::rebuild_union_walk() {
+  union_order_.clear();
+  if (trees_.count() == 1) return;  // tree 0's cached order is the walk
+  // Tree 0's BFS order first — identical prefix to the single-sink walk —
+  // then members of the other trees outside tree 0, in their own BFS
+  // order. Deterministic, and any order is correct for the cascade (each
+  // parent re-checks on every child update).
+  std::vector<char> seen(topo_.size(), 0);
+  for (TreeId t = 0; t < trees_.count(); ++t) {
+    for (NodeId u : trees_.tree(t).bfs_order()) {
+      if (seen[u]) continue;
+      seen[u] = 1;
+      union_order_.push_back(u);
+    }
+  }
+}
+
 void DirqNetwork::process_epoch(const data::ReadingSource& env,
                                 std::int64_t epoch) {
   current_epoch_ = epoch;
-  if (par_ != nullptr && transport_ == instant_.get() && !audit_active_) {
+  if (par_ != nullptr && transport_ == instant_.get() && !audit_active_ &&
+      trees_.count() == 1) {
     process_epoch_parallel(env, epoch);
     return;
   }
@@ -223,12 +307,13 @@ void DirqNetwork::process_epoch(const data::ReadingSource& env,
   // Leaves-first (reverse BFS) ordering makes the within-epoch update
   // cascade settle in a single pass with the instant transport; any order
   // is correct since parents re-check on every child update. The order is
-  // the tree's cached (alive-only) BFS order — no per-epoch allocation —
-  // and each node's epoch work (sampling, theta checks, update
-  // propagation, controller end-of-epoch step) is batched into this one
-  // walk. The end-of-epoch step only mutates the node's own controller, so
-  // running it per node inside the pass is equivalent to a separate
-  // whole-network sweep.
+  // tree 0's cached (alive-only) BFS order — extended by other trees'
+  // extra members when several sinks are deployed — no per-epoch
+  // allocation — and each node's epoch work (sampling, theta checks,
+  // update propagation, controller end-of-epoch step) is batched into
+  // this one walk. The end-of-epoch step only mutates the node's own
+  // controllers, so running it per node inside the pass is equivalent to
+  // a separate whole-network sweep.
   //
   // Readings cross the environment boundary in one batch per sensor type:
   // pass 1 gathers, per type and in walk order, the nodes that will
@@ -237,7 +322,7 @@ void DirqNetwork::process_epoch(const data::ReadingSource& env,
   // pure at a fixed epoch and the gate decision for (node, type) reads
   // only prior-epoch state, so both passes branch identically and the
   // per-node evaluation order (messages, goldens) is unchanged.
-  const std::vector<NodeId>& order = tree_.bfs_order();
+  const std::vector<NodeId>& order = epoch_walk_order();
   if (batch_nodes_.size() < env.type_count()) {
     batch_nodes_.resize(env.type_count());
     batch_values_.resize(env.type_count());
@@ -307,7 +392,8 @@ void DirqNetwork::process_epoch(const data::ReadingSource& env,
 
 void DirqNetwork::rebuild_parallel_plan() {
   ParallelEngine& pe = *par_;
-  pe.shards = tree_.subtree_partition();
+  const net::SpanningTree& tree0 = trees_.tree(0);
+  pe.shards = tree0.subtree_partition();
   // Leaves-first within each shard: the same relative order the reversed
   // global walk visits that subtree in, so intra-shard cascades settle in
   // one pass exactly as they do sequentially.
@@ -336,7 +422,7 @@ void DirqNetwork::rebuild_parallel_plan() {
   for (const std::vector<NodeId>& shard : pe.shards) {
     for (NodeId u : shard) scan_types(u);
   }
-  const bool root_in_tree = tree_.in_tree(root_);
+  const bool root_in_tree = tree0.in_tree(root_);
   if (root_in_tree) scan_types(root_);
 
   pe.plan_nodes.assign(type_count, {});
@@ -509,31 +595,31 @@ void DirqNetwork::process_epoch_parallel(const data::ReadingSource& env,
   // Merge, in shard-index order (deterministic): ledgers and counters are
   // sums, so totals equal the sequential pass; the update hook fires once
   // per transmission with the same epoch, so recorded series are
-  // identical. Then the deferred root deliveries — the root's tables are
-  // keyed per child (FlatMap, key-sorted) and the root never forwards
-  // updates, so its final state is independent of shard arrival order.
+  // identical. The shard ledgers also merge into the tree-0 mirror — the
+  // parallel path is single-tree, so every charge belongs to it. Then the
+  // deferred root deliveries — the root's tables are keyed per child
+  // (FlatMap, key-sorted) and the root never forwards updates, so its
+  // final state is independent of shard arrival order.
   CostLedger& ledger = instant_->mutable_costs();
   for (std::size_t s = 0; s < S; ++s) {
     const EpochShardCtx& ctx = pe.ctx[s];
-    ledger.query_tx += ctx.ledger.query_tx;
-    ledger.query_rx += ctx.ledger.query_rx;
-    ledger.update_tx += ctx.ledger.update_tx;
-    ledger.update_rx += ctx.ledger.update_rx;
-    ledger.control_tx += ctx.ledger.control_tx;
-    ledger.control_rx += ctx.ledger.control_rx;
+    accumulate(ledger, ctx.ledger);
+    accumulate(tree_ledgers_[0], ctx.ledger);
     updates_transmitted_ += ctx.update_msgs;
     if (update_hook_) {
       for (std::int64_t i = 0; i < ctx.update_msgs; ++i) update_hook_(epoch);
     }
   }
+  merging_parallel_ = true;
   for (std::size_t s = 0; s < S; ++s) {
     for (const auto& [from, msg] : pe.ctx[s].to_root) {
       deliver(root_, from, msg);  // rx already charged by the shard
     }
   }
+  merging_parallel_ = false;
 
   // The root itself, serially and last — as the reversed global walk does.
-  if (tree_.in_tree(root_)) {
+  if (trees_.tree(0).in_tree(root_)) {
     if (!topo_.is_alive(root_)) {
       throw std::logic_error(
           "DirqNetwork: aliveness changed without tree repair during a "
@@ -570,13 +656,13 @@ void DirqNetwork::process_epoch_parallel(const data::ReadingSource& env,
 }
 
 std::int64_t DirqNetwork::internal_node_count() const {
-  return static_cast<std::int64_t>(tree_.internal_node_count());
+  return static_cast<std::int64_t>(trees_.tree(0).internal_node_count());
 }
 
 double DirqNetwork::mean_theta_pct(SensorType type) const {
   double sum = 0.0;
   std::size_t n = 0;
-  for (NodeId u : tree_.bfs_order()) {
+  for (NodeId u : trees_.tree(0).bfs_order()) {
     if (u == root_ || !topo_.is_alive(u)) continue;
     sum += nodes_[u].controller().theta_pct(type);
     ++n;
@@ -584,45 +670,55 @@ double DirqNetwork::mean_theta_pct(SensorType type) const {
   return n > 0 ? sum / static_cast<double>(n) : 0.0;
 }
 
-double DirqNetwork::broadcast_ehr(double expected_queries_per_hour,
+double DirqNetwork::broadcast_ehr(TreeId tree,
+                                  double expected_queries_per_hour,
                                   std::int64_t epoch) {
   current_epoch_ = epoch;
-  const auto nodes = static_cast<std::int64_t>(tree_.size());
+  const net::SpanningTree& tr = trees_.tree(tree);
+  const auto nodes = static_cast<std::int64_t>(tr.size());
   if (nodes < 2) return 0.0;
   const auto links = static_cast<std::int64_t>(topo_.link_count());
   EhrMessage msg;
+  msg.tree = tree;
   msg.expected_queries_per_hour = expected_queries_per_hour;
   msg.umax_per_hour = analysis::umax_messages_per_hour(
-      nodes, links, internal_node_count(), expected_queries_per_hour);
+      nodes, links, static_cast<std::int64_t>(tr.internal_node_count()),
+      expected_queries_per_hour);
   msg.alive_nodes = static_cast<std::uint32_t>(topo_.alive_count());
   msg.round = ++ehr_round_;
-  // The gateway hands the estimate to the root node, which floods it.
-  nodes_[root_].handle(Message{msg}, kNoNode, epoch);
+  // The gateway hands the estimate to the tree's root, which floods it.
+  nodes_[trees_.root(tree)].handle(Message{msg}, kNoNode, epoch);
   return msg.umax_per_hour;
 }
 
-void DirqNetwork::begin_audit(QueryId id, std::int64_t epoch) {
+void DirqNetwork::begin_audit(QueryId id, TreeId tree, std::int64_t epoch) {
   if (audit_active_) {
     throw std::logic_error("DirqNetwork: previous query audit still open");
   }
   current_epoch_ = epoch;
   audit_active_ = true;
   audit_query_ = id;
+  audit_tree_ = tree;
   audit_received_.clear();
   audit_believed_.clear();
   audit_cost_start_ = transport_->costs().query_cost();
 }
 
-void DirqNetwork::inject_async(const query::RangeQuery& q, std::int64_t epoch) {
-  begin_audit(q.id, epoch);
-  // The gateway delivers the query to the root (no radio cost: the root is
-  // wired to the server, paper §3). The root then directs it down-tree.
-  nodes_[root_].handle(Message{QueryMessage{q}}, kNoNode, epoch);
+void DirqNetwork::inject_async(TreeId tree, const query::RangeQuery& q,
+                               std::int64_t epoch) {
+  begin_audit(q.id, tree, epoch);
+  // The gateway delivers the query to the sink's root (no radio cost: the
+  // root is wired to the server, paper §3). The root then directs it
+  // down its own tree.
+  nodes_[trees_.root(tree)].handle(Message{QueryMessage{q, tree}}, kNoNode,
+                                   epoch);
 }
 
-void DirqNetwork::inject_async(const query::MultiQuery& q, std::int64_t epoch) {
-  begin_audit(q.id, epoch);
-  nodes_[root_].handle(Message{MultiQueryMessage{q}}, kNoNode, epoch);
+void DirqNetwork::inject_async(TreeId tree, const query::MultiQuery& q,
+                               std::int64_t epoch) {
+  begin_audit(q.id, tree, epoch);
+  nodes_[trees_.root(tree)].handle(Message{MultiQueryMessage{q, tree}},
+                                   kNoNode, epoch);
 }
 
 QueryOutcome DirqNetwork::collect_outcome() {
@@ -631,6 +727,7 @@ QueryOutcome DirqNetwork::collect_outcome() {
   }
   QueryOutcome out;
   out.id = audit_query_;
+  out.tree = audit_tree_;
   out.received = audit_received_;
   std::sort(out.received.begin(), out.received.end());
   out.received.erase(std::unique(out.received.begin(), out.received.end()),
@@ -645,20 +742,20 @@ QueryOutcome DirqNetwork::collect_outcome() {
   return out;
 }
 
-QueryOutcome DirqNetwork::inject(const query::RangeQuery& q,
+QueryOutcome DirqNetwork::inject(TreeId tree, const query::RangeQuery& q,
                                  std::int64_t epoch) {
-  inject_async(q, epoch);  // instant transport: completes synchronously
+  inject_async(tree, q, epoch);  // instant transport: completes synchronously
   return collect_outcome();
 }
 
-QueryOutcome DirqNetwork::inject(const query::MultiQuery& q,
+QueryOutcome DirqNetwork::inject(TreeId tree, const query::MultiQuery& q,
                                  std::int64_t epoch) {
-  inject_async(q, epoch);
+  inject_async(tree, q, epoch);
   return collect_outcome();
 }
 
-void DirqNetwork::retarget_tree(std::int64_t epoch) {
-  tree_.rebuild(topo_);
+void DirqNetwork::retarget_trees(NodeId changed, std::int64_t epoch) {
+  const std::vector<TreeId> rebuilt = trees_.rebuild_affected(topo_, changed);
   if (par_ != nullptr) par_->plan_dirty = true;
   if (nodes_.size() < topo_.size()) {
     // Brand-new node slots appended by Topology::add_node.
@@ -667,61 +764,71 @@ void DirqNetwork::retarget_tree(std::int64_t epoch) {
       nodes_.emplace_back(
           u, std::vector<SensorType>(info.sensors.begin(), info.sensors.end()),
           make_controller(cfg_));
+      for (TreeId t = 1; t < trees_.count(); ++t) {
+        nodes_.back().add_slot(make_controller(cfg_));
+      }
       nodes_.back().set_position(info.x, info.y);
       wire_node(nodes_.back());
       samplers_.emplace_back(cfg_.sampling);
-      prev_parent_.push_back(kNoNode);
+      for (std::vector<NodeId>& pp : prev_parent_) pp.push_back(kNoNode);
     }
     // resize, not push_back: deliver() may already have grown node_rx_ to
     // the topology size inside the add_node → retarget window.
     node_tx_.resize(nodes_.size(), 0);
     node_rx_.resize(nodes_.size(), 0);
   }
-
-  // Pass 1: install the new structure everywhere.
-  std::vector<NodeId> new_parent(nodes_.size(), kNoNode);
+  // Revived nodes may have been redeployed at a new position, whichever
+  // trees they end up in.
   for (NodeId u = 0; u < nodes_.size(); ++u) {
     if (topo_.is_alive(u)) {
-      // Revived nodes may have been redeployed at a new position.
       nodes_[u].set_position(topo_.node(u).x, topo_.node(u).y);
-    }
-    if (tree_.in_tree(u)) {
-      new_parent[u] = tree_.parent(u);
-      const auto ch = tree_.children(u);
-      nodes_[u].set_children(std::vector<NodeId>(ch.begin(), ch.end()));
-      nodes_[u].set_parent(tree_.parent(u));
-    } else {
-      nodes_[u].set_children({});
-      nodes_[u].set_parent(kNoNode);
     }
   }
 
-  // Pass 2: reconcile tables. A node whose parent changed must (a) be
-  // dropped from its old parent's tables and (b) announce its subtree
-  // ranges to its new parent.
-  for (NodeId u = 0; u < nodes_.size(); ++u) {
-    if (new_parent[u] == prev_parent_[u]) continue;
-    const NodeId old_p = prev_parent_[u];
-    if (old_p != kNoNode && old_p < nodes_.size() && topo_.is_alive(old_p)) {
-      nodes_[old_p].on_child_lost(u, epoch);
+  for (TreeId t : rebuilt) {
+    const net::SpanningTree& tr = trees_.tree(t);
+    // Pass 1: install the new structure everywhere.
+    std::vector<NodeId> new_parent(nodes_.size(), kNoNode);
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      if (tr.in_tree(u)) {
+        new_parent[u] = tr.parent(u);
+        const auto ch = tr.children(u);
+        nodes_[u].set_children(t, std::vector<NodeId>(ch.begin(), ch.end()));
+        nodes_[u].set_parent(t, tr.parent(u));
+      } else {
+        nodes_[u].set_children(t, {});
+        nodes_[u].set_parent(t, kNoNode);
+      }
     }
-    if (new_parent[u] != kNoNode && topo_.is_alive(u)) {
-      nodes_[u].force_reannounce(epoch);
+
+    // Pass 2: reconcile tables. A node whose parent changed must (a) be
+    // dropped from its old parent's tables and (b) announce its subtree
+    // ranges to its new parent.
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      if (new_parent[u] == prev_parent_[t][u]) continue;
+      const NodeId old_p = prev_parent_[t][u];
+      if (old_p != kNoNode && old_p < nodes_.size() && topo_.is_alive(old_p)) {
+        nodes_[old_p].on_child_lost(t, u, epoch);
+      }
+      if (new_parent[u] != kNoNode && topo_.is_alive(u)) {
+        nodes_[u].force_reannounce(t, epoch);
+      }
     }
+    prev_parent_[t] = std::move(new_parent);
   }
-  prev_parent_ = new_parent;
+  rebuild_union_walk();
 }
 
 void DirqNetwork::handle_node_death(NodeId dead, std::int64_t epoch) {
   current_epoch_ = epoch;
   sim::log(sim::LogLevel::Info, "dirq", "node ", dead, " died; repairing tree");
-  retarget_tree(epoch);
+  retarget_trees(dead, epoch);
 }
 
 void DirqNetwork::handle_node_addition(NodeId added, std::int64_t epoch) {
   current_epoch_ = epoch;
   sim::log(sim::LogLevel::Info, "dirq", "node ", added, " joined; repairing tree");
-  retarget_tree(epoch);
+  retarget_trees(added, epoch);
 }
 
 void DirqNetwork::handle_sensor_added(NodeId id, SensorType type,

@@ -1,10 +1,20 @@
 // DirqNetwork: the whole-network DirQ instance.
 //
 // Owns one DirqNode per topology node, wires them to a transport, runs the
-// epoch loop (sampling -> update propagation), injects queries at the root
-// and audits which nodes the dissemination reaches, floods the hourly EHr
-// estimate, and repairs the communication tree on node death/addition
-// (paper §4.2).
+// epoch loop (sampling -> update propagation), injects queries at a sink
+// root and audits which nodes the dissemination reaches, floods the hourly
+// EHr estimate, and repairs the communication trees on node
+// death/addition (paper §4.2).
+//
+// Multi-sink query plane: the network owns a net::TreeSet — N BFS
+// spanning trees over the one shared topology, one per sink. Every node
+// runs one protocol slot per tree (core/dirq_node.hpp); messages carry
+// their TreeId; a per-tree CostLedger mirrors the transport's global
+// ledger so each sink's energy bill is attributable (the mirrors sum to
+// the global ledger on every transport — asserted by core.multi_sink).
+// The single-root constructor builds a one-tree set, and every TreeId-less
+// entry point addresses tree 0, so the paper's single-sink deployment is
+// byte-identical to the pre-refactor code.
 //
 // The per-query audit records the exact set of nodes the query message was
 // delivered to — this is the "nodes that RECEIVE a query" series of
@@ -21,7 +31,7 @@
 #include "core/sampling.hpp"
 #include "core/transport.hpp"
 #include "data/field_model.hpp"
-#include "net/spanning_tree.hpp"
+#include "net/tree_set.hpp"
 #include "net/topology.hpp"
 #include "query/query.hpp"
 #include "sim/types.hpp"
@@ -31,6 +41,7 @@ namespace dirq::core {
 /// Result of injecting one query.
 struct QueryOutcome {
   QueryId id = 0;
+  TreeId tree = 0;                       // sink tree it was injected into
   std::vector<NodeId> received;          // nodes the query was delivered to
   std::vector<NodeId> believed_sources;  // received && own tuple overlaps
   CostUnits cost = 0;                    // tx+rx spent on this dissemination
@@ -50,9 +61,15 @@ struct EpochShardCtx;  // parallel epoch internals (network.cpp)
 
 class DirqNetwork final : public MessageSink {
  public:
-  /// Builds the node set and the BFS communication tree rooted at `root`.
-  /// The topology must outlive the network.
+  /// Builds the node set and one BFS communication tree rooted at `root`
+  /// (the paper's deployment). The topology must outlive the network.
   DirqNetwork(net::Topology& topo, NodeId root, NetworkConfig cfg);
+
+  /// Multi-sink form: one BFS tree per root over the shared topology.
+  /// Root validity (non-empty, unique, in-topology, alive) is enforced by
+  /// the TreeSet constructor.
+  DirqNetwork(net::Topology& topo, std::vector<NodeId> roots,
+              NetworkConfig cfg);
   ~DirqNetwork() override;
 
   DirqNetwork(const DirqNetwork&) = delete;
@@ -67,8 +84,26 @@ class DirqNetwork final : public MessageSink {
   [[nodiscard]] Transport& transport() noexcept { return *transport_; }
   [[nodiscard]] const CostLedger& costs() const { return transport_->costs(); }
 
-  [[nodiscard]] const net::SpanningTree& tree() const noexcept { return tree_; }
+  /// The sink's share of the global ledger: every tx is booked against the
+  /// tree its message belongs to at send time, every rx at delivery (or
+  /// CRC-drop) time, so sum(tree_ledger(k)) == costs() holds on every
+  /// transport at all times.
+  [[nodiscard]] const CostLedger& tree_ledger(TreeId t) const {
+    return tree_ledgers_.at(t);
+  }
+
+  [[nodiscard]] const net::TreeSet& trees() const noexcept { return trees_; }
+  [[nodiscard]] std::size_t tree_count() const noexcept {
+    return trees_.count();
+  }
+  [[nodiscard]] const net::SpanningTree& tree() const noexcept {
+    return trees_.tree(0);
+  }
+  [[nodiscard]] const net::SpanningTree& tree(TreeId t) const {
+    return trees_.tree(t);
+  }
   [[nodiscard]] NodeId root() const noexcept { return root_; }
+  [[nodiscard]] NodeId root(TreeId t) const { return trees_.root(t); }
   [[nodiscard]] DirqNode& node(NodeId id) { return nodes_.at(id); }
   [[nodiscard]] const DirqNode& node(NodeId id) const { return nodes_.at(id); }
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
@@ -77,12 +112,14 @@ class DirqNetwork final : public MessageSink {
 
   /// One sensing epoch: every alive tree member samples each of its
   /// sensors; threshold crossings emit Update Messages that propagate
-  /// toward the root (instant transport: synchronously). Readings are
-  /// pulled through the environment's batch plane — one
+  /// toward each tree's root (instant transport: synchronously). Readings
+  /// are pulled through the environment's batch plane — one
   /// ReadingSource::readings call per sensor type per epoch instead of a
-  /// virtual reading() per node — while the per-node evaluation order
-  /// (and therefore every message, golden, and ledger entry) is
-  /// unchanged.
+  /// virtual reading() per node — and each physical sample is observed by
+  /// every tree slot, so N sinks never multiply the sensing energy. The
+  /// walk is tree 0's cached BFS order (extended by members of other
+  /// trees outside it), so the per-node evaluation order — and therefore
+  /// every message, golden, and ledger entry — is unchanged for one sink.
   void process_epoch(const data::ReadingSource& env, std::int64_t epoch);
 
   /// Intra-run worker count for process_epoch. 1 (the default) keeps the
@@ -95,43 +132,68 @@ class DirqNetwork final : public MessageSink {
   /// concurrently when the source allows — byte-identical summaries to
   /// the sequential path on both synthetic backends. Epochs on a swapped
   /// transport (LMAC, lossy) or inside an open query audit silently run
-  /// the sequential path. Callers that mutate topology aliveness or
-  /// sensors must route through the handle_* entry points (as always) so
-  /// the cached shard plan is invalidated.
+  /// the sequential path. The shard partition is a single-tree property,
+  /// so a multi-sink network ignores set_threads and stays sequential
+  /// (Experiment::effective_threads reports 1 accordingly). Callers that
+  /// mutate topology aliveness or sensors must route through the handle_*
+  /// entry points (as always) so the cached shard plan is invalidated.
   void set_threads(unsigned threads);
   [[nodiscard]] unsigned threads() const noexcept;
 
-  /// Hourly root broadcast (paper §4): EHr plus the derived network-wide
-  /// update budget Umax/Hr = fMax(graph) * EHr, flooded to every node.
-  /// Returns the Umax/Hr value carried by the flooded message (0 when the
-  /// tree has fewer than two members and nothing is flooded) — the single
-  /// source the driver records, so the Fig. 6 series can never drift from
-  /// what the network disseminated.
-  double broadcast_ehr(double expected_queries_per_hour, std::int64_t epoch);
+  /// Hourly sink broadcast (paper §4): EHr plus the derived network-wide
+  /// update budget Umax/Hr = fMax(graph) * EHr, flooded from the tree's
+  /// root to every node (per-tree flood round, per-slot duplicate
+  /// suppression). Returns the Umax/Hr value carried by the flooded
+  /// message (0 when the tree has fewer than two members and nothing is
+  /// flooded) — the single source the driver records, so the Fig. 6
+  /// series can never drift from what the network disseminated.
+  double broadcast_ehr(double expected_queries_per_hour, std::int64_t epoch) {
+    return broadcast_ehr(0, expected_queries_per_hour, epoch);
+  }
+  double broadcast_ehr(TreeId tree, double expected_queries_per_hour,
+                       std::int64_t epoch);
 
-  /// Injects a query at the root and returns the audited outcome. With the
-  /// instant transport the dissemination completes synchronously; with an
-  /// event-driven transport use inject_async + collect_outcome instead.
-  QueryOutcome inject(const query::RangeQuery& q, std::int64_t epoch);
-  QueryOutcome inject(const query::MultiQuery& q, std::int64_t epoch);
+  /// Injects a query at a sink's root and returns the audited outcome.
+  /// With the instant transport the dissemination completes synchronously;
+  /// with an event-driven transport use inject_async + collect_outcome
+  /// instead. The TreeId-less forms inject at tree 0 (the paper's sink).
+  QueryOutcome inject(const query::RangeQuery& q, std::int64_t epoch) {
+    return inject(0, q, epoch);
+  }
+  QueryOutcome inject(const query::MultiQuery& q, std::int64_t epoch) {
+    return inject(0, q, epoch);
+  }
+  QueryOutcome inject(TreeId tree, const query::RangeQuery& q,
+                      std::int64_t epoch);
+  QueryOutcome inject(TreeId tree, const query::MultiQuery& q,
+                      std::int64_t epoch);
 
   /// Starts an asynchronous dissemination (event-driven transports). The
   /// audit keeps accumulating until collect_outcome is called.
-  void inject_async(const query::RangeQuery& q, std::int64_t epoch);
-  void inject_async(const query::MultiQuery& q, std::int64_t epoch);
+  void inject_async(const query::RangeQuery& q, std::int64_t epoch) {
+    inject_async(0, q, epoch);
+  }
+  void inject_async(const query::MultiQuery& q, std::int64_t epoch) {
+    inject_async(0, q, epoch);
+  }
+  void inject_async(TreeId tree, const query::RangeQuery& q,
+                    std::int64_t epoch);
+  void inject_async(TreeId tree, const query::MultiQuery& q,
+                    std::int64_t epoch);
 
   /// Finishes the audit started by the last inject_async.
   QueryOutcome collect_outcome();
 
   // --- topology dynamics (paper §4.2) -----------------------------------------
 
-  /// Call after Topology::kill_node: repairs the tree, drops the dead
-  /// child's tuples (triggering upward updates), re-announces re-parented
-  /// subtrees.
+  /// Call after Topology::kill_node: repairs every affected tree, drops
+  /// the dead child's tuples (triggering upward updates), re-announces
+  /// re-parented subtrees. Trees the change provably cannot touch keep
+  /// their cached structure (net::TreeSet::rebuild_affected).
   void handle_node_death(NodeId dead, std::int64_t epoch);
 
-  /// Call after Topology::add_node: attaches the newcomer to the tree and
-  /// integrates any re-parented neighbours.
+  /// Call after Topology::add_node: attaches the newcomer to the affected
+  /// trees and integrates any re-parented neighbours.
   void handle_node_addition(NodeId added, std::int64_t epoch);
 
   /// Post-deployment sensor change on a node (propagates up, §4.2).
@@ -140,7 +202,8 @@ class DirqNetwork final : public MessageSink {
 
   // --- statistics ---------------------------------------------------------------
 
-  /// Total Update Message transmissions network-wide (origins + relays).
+  /// Total Update Message transmissions network-wide (origins + relays,
+  /// all trees).
   [[nodiscard]] std::int64_t updates_transmitted() const noexcept {
     return updates_transmitted_;
   }
@@ -151,9 +214,10 @@ class DirqNetwork final : public MessageSink {
   [[nodiscard]] std::int64_t samples_skipped() const;
 
   /// Mean threshold (as % of the type's nominal span) over alive non-root
-  /// tree members — the ATC trajectory series. Centralises the alive
-  /// filter: dead nodes never contribute, matching the tree's cached
-  /// (alive-only) BFS order.
+  /// members of tree 0 — the ATC trajectory series (kept a tree-0 series:
+  /// the paper's figure tracks the primary sink's tree). Centralises the
+  /// alive filter: dead nodes never contribute, matching the tree's
+  /// cached (alive-only) BFS order.
   [[nodiscard]] double mean_theta_pct(SensorType type) const;
 
   /// The per-node sampling gate (tests and diagnostics).
@@ -177,9 +241,15 @@ class DirqNetwork final : public MessageSink {
   /// deliver(), grows the attribution array when the recipient's topology
   /// slot exists but its protocol instance does not yet (the add_node →
   /// retarget window) — the ledger was charged, so the node must be too.
+  /// The message-carrying form also books the rx against the dropped
+  /// frame's tree, keeping the per-sink mirrors reconciled under loss.
   void note_dropped_rx(NodeId to) {
     if (to >= node_rx_.size()) node_rx_.resize(topo_.size(), 0);
     node_rx_.at(to) += 1;
+  }
+  void note_dropped_rx(NodeId to, const Message& msg) {
+    charge_tree_rx(msg);
+    note_dropped_rx(to);
   }
 
   /// Hook invoked once per Update Message transmission with the epoch —
@@ -195,10 +265,18 @@ class DirqNetwork final : public MessageSink {
   struct ParallelEngine;
 
   void wire_node(DirqNode& n);
-  void begin_audit(QueryId id, std::int64_t epoch);
-  /// Re-runs BFS and reconciles every node's parent/children pointers,
-  /// removing stale child tuples and re-announcing moved subtrees.
-  void retarget_tree(std::int64_t epoch);
+  void begin_audit(QueryId id, TreeId tree, std::int64_t epoch);
+  /// Re-runs BFS on every tree `changed` could have touched and
+  /// reconciles those trees' parent/children pointers, removing stale
+  /// child tuples and re-announcing moved subtrees.
+  void retarget_trees(NodeId changed, std::int64_t epoch);
+  /// The sequential epoch walk: tree 0's cached BFS order for one sink,
+  /// the cached union walk (tree 0 + members of other trees outside it)
+  /// otherwise.
+  [[nodiscard]] const std::vector<NodeId>& epoch_walk_order() const;
+  void rebuild_union_walk();
+  void charge_tree_tx(const Message& msg);
+  void charge_tree_rx(const Message& msg);
   [[nodiscard]] std::int64_t internal_node_count() const;
 
   // Parallel epoch path (network.cpp): shard plan, per-shard consume,
@@ -211,13 +289,17 @@ class DirqNetwork final : public MessageSink {
                         const Message& msg);
 
   net::Topology& topo_;
-  NodeId root_;
   NetworkConfig cfg_;
-  net::SpanningTree tree_;
+  net::TreeSet trees_;
+  NodeId root_;  // trees_.root(0), cached for the hot paths
   std::vector<DirqNode> nodes_;
   std::vector<SamplingController> samplers_;  // one per node
   std::vector<CostUnits> node_tx_, node_rx_;  // per-node radio energy
-  std::vector<NodeId> prev_parent_;  // snapshot for churn reconciliation
+  /// prev_parent_[tree][node]: snapshot for churn reconciliation.
+  std::vector<std::vector<NodeId>> prev_parent_;
+  /// Per-sink mirror of the transport ledger (see tree_ledger()).
+  std::vector<CostLedger> tree_ledgers_;
+  std::vector<NodeId> union_order_;  // multi-tree epoch walk (empty for 1)
 
   std::unique_ptr<InstantTransport> instant_;
   Transport* transport_ = nullptr;
@@ -238,9 +320,15 @@ class DirqNetwork final : public MessageSink {
   std::int64_t updates_transmitted_ = 0;
   UpdateHook update_hook_;
 
+  /// True while the parallel merge replays deferred root deliveries:
+  /// their rx was already charged into the shard ledger (and merged into
+  /// the tree mirror), so deliver() must not book it twice.
+  bool merging_parallel_ = false;
+
   // Per-query audit state.
   bool audit_active_ = false;
   QueryId audit_query_ = 0;
+  TreeId audit_tree_ = 0;
   CostUnits audit_cost_start_ = 0;
   std::vector<NodeId> audit_received_;
   std::vector<NodeId> audit_believed_;

@@ -31,6 +31,11 @@ using NodeId = std::uint32_t;
 /// Sentinel for "no node" (e.g. parent of the root in the spanning tree).
 inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
 
+/// Spanning-tree identifier: dense index into a net::TreeSet. The paper's
+/// single-sink deployment is tree 0; the multi-sink query plane keys every
+/// per-tree protocol slot (parent, range tables, thresholds) by this.
+using TreeId = std::uint32_t;
+
 /// Sensor type identifier. The paper's evaluation uses 4 types
 /// (e.g. temperature, humidity, light, soil moisture); the architecture
 /// supports post-deployment addition of new types (§4.2), so this is an

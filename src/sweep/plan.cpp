@@ -227,6 +227,20 @@ Axis burst_axis(
   return a;
 }
 
+Axis sinks_axis(const std::vector<std::size_t>& sink_counts) {
+  Axis a{"sinks", {}};
+  for (std::size_t n : sink_counts) {
+    a.values.push_back({std::to_string(n), [n](core::ExperimentConfig& cfg) {
+                          // Bare counts only on the sweep axis: explicit id
+                          // lists are a single-run concern (they would not
+                          // transfer across a nodes axis).
+                          cfg.sinks.clear();
+                          cfg.sink_count = n;
+                        }});
+  }
+  return a;
+}
+
 Axis field_axis(const std::vector<data::EnvironmentBackend>& backends) {
   Axis a{"field", {}};
   for (data::EnvironmentBackend b : backends) {

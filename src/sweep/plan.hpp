@@ -133,6 +133,10 @@ Axis nodes_axis(const std::vector<std::size_t>& node_counts);
 Axis burst_axis(
     const std::vector<std::pair<std::int64_t, std::int64_t>>& bursts);
 
+/// Sink counts for the multi-sink query plane (spread placement; 1 is the
+/// paper's single root at node 0).
+Axis sinks_axis(const std::vector<std::size_t>& sink_counts);
+
 /// Environment backends ("pinned" / "fast"; see data/fast_field.hpp).
 Axis field_axis(const std::vector<data::EnvironmentBackend>& backends);
 

@@ -255,7 +255,30 @@ std::string summarize(const core::ExperimentResults& r) {
   for (std::size_t u = 0; u < r.node_rx.size(); ++u) {
     os << (u ? "," : "") << r.node_rx[u];
   }
-  os << "\nrecords=" << r.records.size() << '\n';
+  os << '\n';
+  // Per-sink block only when the run actually had several sinks: the
+  // single-sink fingerprint (every recorded golden) stays byte-identical.
+  if (r.sink_roots.size() > 1) {
+    os << "sink_roots=";
+    for (std::size_t k = 0; k < r.sink_roots.size(); ++k) {
+      os << (k ? "," : "") << r.sink_roots[k];
+    }
+    os << '\n';
+    for (std::size_t k = 0; k < r.sink_ledgers.size(); ++k) {
+      const core::CostLedger& led = r.sink_ledgers[k];
+      os << "sink_ledger[" << k << "]=" << led.query_tx << ',' << led.query_rx
+         << ',' << led.update_tx << ',' << led.update_rx << ','
+         << led.control_tx << ',' << led.control_rx << '\n';
+      os << "sink_queries[" << k << "]=" << r.sink_queries[k] << '\n';
+      const std::string umax_key =
+          "sink_umax_per_hour[" + std::to_string(k) + "]";
+      put_series(os, umax_key.c_str(), r.sink_umax_per_hour[k]);
+    }
+    put(os, "sink_energy_spread", r.sink_energy_spread());
+    os << "cross_tree_update_overhead=" << r.cross_tree_update_overhead
+       << '\n';
+  }
+  os << "records=" << r.records.size() << '\n';
   for (const core::QueryRecord& rec : r.records) {
     os << "record=" << rec.epoch << ',' << static_cast<int>(rec.type) << ','
        << rec.dirq_query_cost << ',' << rec.flooding_cost << ',' << rec.sources

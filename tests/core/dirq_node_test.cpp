@@ -107,7 +107,7 @@ TEST(DirqNode, ChildUpdateMergesAndRelays) {
   n.set_children({8, 9});
   Outbox out;
   out.wire(n);
-  n.handle(Message{UpdateMessage{8, kT, 10.0, 12.0, true}}, 8, 0);
+  n.handle(Message{UpdateMessage{8, 0, kT, 10.0, 12.0, true}}, 8, 0);
   ASSERT_EQ(out.update_count(), 1u);  // relayed to parent
   EXPECT_DOUBLE_EQ(out.last_update().min, 10.0);
   const RangeTable* t = n.table(kT);
@@ -121,7 +121,7 @@ TEST(DirqNode, UpdateFromNonChildIgnored) {
   n.set_children({8});
   Outbox out;
   out.wire(n);
-  n.handle(Message{UpdateMessage{9, kT, 10.0, 12.0, true}}, 9, 0);
+  n.handle(Message{UpdateMessage{9, 0, kT, 10.0, 12.0, true}}, 9, 0);
   EXPECT_EQ(out.update_count(), 0u);
   EXPECT_EQ(n.table(kT), nullptr);
 }
@@ -132,8 +132,8 @@ TEST(DirqNode, RetractionEmptiesTableAndRelays) {
   n.set_children({8});
   Outbox out;
   out.wire(n);
-  n.handle(Message{UpdateMessage{8, kT, 10.0, 12.0, true}}, 8, 0);
-  n.handle(Message{UpdateMessage{8, kT, 0.0, 0.0, false}}, 8, 1);
+  n.handle(Message{UpdateMessage{8, 0, kT, 10.0, 12.0, true}}, 8, 0);
+  n.handle(Message{UpdateMessage{8, 0, kT, 0.0, 0.0, false}}, 8, 1);
   EXPECT_EQ(n.table(kT), nullptr);  // has_any() false -> hidden
   ASSERT_EQ(out.update_count(), 2u);
   EXPECT_FALSE(out.last_update().has_range);  // retraction relayed
@@ -144,9 +144,9 @@ TEST(DirqNode, QueryForwardingUsesMulticast) {
   n.set_children({8, 9, 10});
   Outbox out;
   out.wire(n);
-  n.handle(Message{UpdateMessage{8, kT, 10.0, 12.0, true}}, 8, 0);
-  n.handle(Message{UpdateMessage{9, kT, 30.0, 35.0, true}}, 9, 0);
-  n.handle(Message{UpdateMessage{10, kT, 11.0, 13.0, true}}, 10, 0);
+  n.handle(Message{UpdateMessage{8, 0, kT, 10.0, 12.0, true}}, 8, 0);
+  n.handle(Message{UpdateMessage{9, 0, kT, 30.0, 35.0, true}}, 9, 0);
+  n.handle(Message{UpdateMessage{10, 0, kT, 11.0, 13.0, true}}, 10, 0);
   out.multicasts.clear();
   n.handle(Message{QueryMessage{query::RangeQuery{1, kT, 11.5, 11.9, 1}}}, 0, 1);
   ASSERT_EQ(out.multicasts.size(), 1u);
@@ -177,7 +177,7 @@ TEST(DirqNode, ChildLossTriggersCorrection) {
   Outbox out;
   out.wire(n);
   n.sample(kT, 20.0, 0);
-  n.handle(Message{UpdateMessage{8, kT, 100.0, 110.0, true}}, 8, 0);
+  n.handle(Message{UpdateMessage{8, 0, kT, 100.0, 110.0, true}}, 8, 0);
   const std::size_t before = out.update_count();
   n.on_child_lost(8, 1);
   EXPECT_EQ(out.update_count(), before + 1);  // shrunk aggregate relayed
@@ -206,7 +206,7 @@ TEST(DirqNode, DetachSensorRetractsOwnTupleOnly) {
   Outbox out;
   out.wire(n);
   n.sample(kT, 20.0, 0);
-  n.handle(Message{UpdateMessage{8, kT, 30.0, 32.0, true}}, 8, 0);
+  n.handle(Message{UpdateMessage{8, 0, kT, 30.0, 32.0, true}}, 8, 0);
   n.detach_sensor(kT, 1);
   const RangeTable* t = n.table(kT);
   ASSERT_NE(t, nullptr);  // child entry keeps the table alive (Fig. 4)
@@ -221,7 +221,7 @@ TEST(DirqNode, SubtreeBoxJoinsChildren) {
   DirqNode n = make_node(5, {});
   n.set_position(1.0, 1.0);
   n.set_children({8});
-  n.handle(Message{LocationAnnounce{8, net::BBox{3.0, 3.0, 4.0, 4.0}}}, 8, 0);
+  n.handle(Message{LocationAnnounce{8, 0, net::BBox{3.0, 3.0, 4.0, 4.0}}}, 8, 0);
   const net::BBox box = n.subtree_box();
   EXPECT_DOUBLE_EQ(box.min_x, 1.0);
   EXPECT_DOUBLE_EQ(box.max_x, 4.0);

@@ -64,7 +64,7 @@ struct Rig {
 
 TEST(LmacTransport, UnicastDeliversAndCharges) {
   Rig r(3);
-  r.transport.unicast(1, 0, Message{UpdateMessage{1, 0, 1.0, 2.0, true}});
+  r.transport.unicast(1, 0, Message{UpdateMessage{1, 0, 0, 1.0, 2.0, true}});
   r.run_frames(2);
   ASSERT_EQ(r.sink.delivered.size(), 1u);
   EXPECT_EQ(r.sink.delivered[0].to, 0u);
@@ -198,7 +198,7 @@ TEST(LmacTransport, MessagesQueueAcrossFramesInOrder) {
   Rig r(3);
   for (int i = 0; i < 5; ++i) {
     r.transport.unicast(1, 0,
-                        Message{UpdateMessage{1, 0, double(i), double(i), true}});
+                        Message{UpdateMessage{1, 0, 0, double(i), double(i), true}});
   }
   r.run_frames(3);
   ASSERT_EQ(r.sink.delivered.size(), 5u);

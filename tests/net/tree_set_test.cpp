@@ -1,0 +1,156 @@
+// TreeSet: N spanning trees over one topology — construction contracts,
+// overlapping and disjoint tree structure, churn-locality of
+// rebuild_affected, single-tree equivalence, and spread_roots placement.
+#include "net/tree_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/placement.hpp"
+#include "sim/rng.hpp"
+
+namespace dirq::net {
+namespace {
+
+std::vector<Node> line_nodes(std::size_t n) {
+  std::vector<Node> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) nodes[i].x = static_cast<double>(i);
+  return nodes;
+}
+
+/// Two disjoint 3-node lines: 0-1-2 (x = 0..2) and 3-4-5 (x = 10..12).
+/// Unit-disk with range 1.1 so add_node revivals/additions re-link.
+Topology two_islands() {
+  std::vector<Node> nodes(6);
+  for (std::size_t i = 0; i < 3; ++i) nodes[i].x = static_cast<double>(i);
+  for (std::size_t i = 3; i < 6; ++i) nodes[i].x = static_cast<double>(i + 7);
+  return Topology(std::move(nodes), 1.1);
+}
+
+TEST(TreeSet, ConstructorContracts) {
+  Topology t(line_nodes(4), 1.1);
+  EXPECT_THROW(TreeSet(t, {}), std::invalid_argument);
+  EXPECT_THROW(TreeSet(t, {0, 2, 0}), std::invalid_argument);
+  EXPECT_THROW(TreeSet(t, {0, 99}), std::invalid_argument);
+  t.kill_node(3);
+  EXPECT_THROW(TreeSet(t, {0, 3}), std::invalid_argument);
+}
+
+TEST(TreeSet, SingleTreeMatchesSpanningTree) {
+  sim::Rng rng(7);
+  Topology t = random_connected(RandomPlacementConfig{}, rng);
+  const SpanningTree reference(t, 0);
+  const TreeSet set(t, {0});
+  ASSERT_EQ(set.count(), 1u);
+  EXPECT_EQ(set.root(0), 0u);
+  for (NodeId u = 0; u < t.size(); ++u) {
+    EXPECT_EQ(set.tree(0).parent(u), reference.parent(u)) << "node " << u;
+    EXPECT_EQ(set.tree(0).depth(u), reference.depth(u)) << "node " << u;
+  }
+  EXPECT_EQ(set.tree(0).bfs_order(), reference.bfs_order());
+}
+
+TEST(TreeSet, OverlappingTreesSpanFromBothEnds) {
+  // One line, roots at both ends: both trees cover every node, with
+  // mirrored depths.
+  Topology t(line_nodes(5), 1.1);
+  const TreeSet set(t, {0, 4});
+  ASSERT_EQ(set.count(), 2u);
+  EXPECT_EQ(set.tree(0).size(), 5u);
+  EXPECT_EQ(set.tree(1).size(), 5u);
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_EQ(set.tree(0).depth(u), static_cast<std::int64_t>(u));
+    EXPECT_EQ(set.tree(1).depth(u), static_cast<std::int64_t>(4 - u));
+  }
+}
+
+TEST(TreeSet, DisjointTreesStayOnTheirIslands) {
+  Topology t = two_islands();
+  const TreeSet set(t, {0, 3});
+  EXPECT_EQ(set.tree(0).size(), 3u);
+  EXPECT_EQ(set.tree(1).size(), 3u);
+  EXPECT_FALSE(set.tree(0).in_tree(4));
+  EXPECT_FALSE(set.tree(1).in_tree(1));
+}
+
+TEST(TreeSet, RebuildAffectedTouchesOnlyTheChangedIsland) {
+  Topology t = two_islands();
+  TreeSet set(t, {0, 3});
+  t.kill_node(1);
+  const std::vector<TreeId> rebuilt = set.rebuild_affected(t, 1);
+  EXPECT_EQ(rebuilt, (std::vector<TreeId>{0}));
+  // Tree 0 lost its only path to node 2; tree 1 is untouched.
+  EXPECT_EQ(set.tree(0).size(), 1u);
+  EXPECT_FALSE(set.tree(0).in_tree(2));
+  EXPECT_EQ(set.tree(1).size(), 3u);
+  EXPECT_EQ(set.tree(1).parent(5), 4u);
+}
+
+TEST(TreeSet, RebuildAffectedOnMemberRebuildsEveryContainingTree) {
+  // Shared line, roots at both ends: a mid-line death affects both trees,
+  // and the rebuilt ids come back ascending.
+  Topology t(line_nodes(5), 1.1);
+  TreeSet set(t, {0, 4});
+  t.kill_node(2);
+  const std::vector<TreeId> rebuilt = set.rebuild_affected(t, 2);
+  EXPECT_EQ(rebuilt, (std::vector<TreeId>{0, 1}));
+  EXPECT_EQ(set.tree(0).size(), 2u);  // 0, 1
+  EXPECT_EQ(set.tree(1).size(), 2u);  // 4, 3
+}
+
+TEST(TreeSet, RebuildAffectedSkipsDetachedStranger) {
+  // After the island's bridge dies, the stranded node has no alive
+  // neighbour in any tree: reporting it again is a no-op.
+  Topology t = two_islands();
+  TreeSet set(t, {0, 3});
+  t.kill_node(1);
+  (void)set.rebuild_affected(t, 1);
+  const std::vector<TreeId> rebuilt = set.rebuild_affected(t, 2);
+  EXPECT_TRUE(rebuilt.empty());
+}
+
+TEST(TreeSet, RebuildAffectedAttachesNewNeighbour) {
+  // A node added next to island 0 (unit-disk link to node 2) must pull a
+  // tree-0 rebuild and join it; island 1 stays untouched.
+  Topology t = two_islands();
+  TreeSet set(t, {0, 3});
+  Node n;
+  n.x = 2.9;  // within radio range of node 2 only
+  const NodeId added = t.add_node(n);
+  const std::vector<TreeId> rebuilt = set.rebuild_affected(t, added);
+  EXPECT_EQ(rebuilt, (std::vector<TreeId>{0}));
+  EXPECT_TRUE(set.tree(0).in_tree(added));
+  EXPECT_FALSE(set.tree(1).in_tree(added));
+}
+
+TEST(SpreadRoots, FirstRootIsTheLowestAliveId) {
+  sim::Rng rng(7);
+  Topology t = random_connected(RandomPlacementConfig{}, rng);
+  EXPECT_EQ(spread_roots(t, 1), (std::vector<NodeId>{0}));
+}
+
+TEST(SpreadRoots, FarthestPointOnALine) {
+  Topology t(line_nodes(5), 1.1);
+  EXPECT_EQ(spread_roots(t, 2), (std::vector<NodeId>{0, 4}));
+  // Third root: maximise min distance to {0, 4} -> the midpoint.
+  EXPECT_EQ(spread_roots(t, 3), (std::vector<NodeId>{0, 4, 2}));
+}
+
+TEST(SpreadRoots, ContractsAndDeterminism) {
+  sim::Rng rng(7);
+  Topology t = random_connected(RandomPlacementConfig{}, rng);
+  EXPECT_THROW(spread_roots(t, 0), std::invalid_argument);
+  EXPECT_THROW(spread_roots(t, t.alive_count() + 1), std::invalid_argument);
+  const std::vector<NodeId> a = spread_roots(t, 4);
+  const std::vector<NodeId> b = spread_roots(t, 4);
+  EXPECT_EQ(a, b);
+  // Roots are distinct and the full request is honoured.
+  EXPECT_EQ(a.size(), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) EXPECT_NE(a[i], a[j]);
+  }
+}
+
+}  // namespace
+}  // namespace dirq::net

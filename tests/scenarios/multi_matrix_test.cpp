@@ -1,0 +1,171 @@
+// Multi-attribute scenario regression tier: the query mix blends
+// conjunctive multi-attribute queries (ExperimentConfig::multi_attr_*)
+// into the single-range stream, golden-checked on the core metrics so the
+// mix axis sits on the same determinism leash as the loss and transport
+// axes. Structural expectations: update traffic is untouched by the query
+// mix (the update plane never sees queries), while conjunctions are
+// disseminated through per-predicate range checks — coarser than the
+// joint predicate — so overshoot rises with the predicate count.
+//
+// The grid axes and per-cell config live in scenario_grid.hpp, shared with
+// the `scenario_goldens` regenerator tool (tools/scenario_goldens.cpp).
+// Exact golden values are libstdc++-specific (std::uniform_real_distribution
+// et al. are implementation-defined); elsewhere the tier still runs with
+// the structural + determinism assertions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "scenarios/scenario_grid.hpp"
+#include "support/ledger_parity.hpp"
+
+namespace dirq::core {
+namespace {
+
+struct MultiCase {
+  std::uint64_t seed;
+  double fraction;
+  std::size_t count;
+  // Goldens (libstdc++, any optimisation level — integer exact):
+  std::int64_t updates;
+  std::int64_t dirq_total_cost;
+  std::int64_t flooding_total;
+  double coverage_mean;
+  double overshoot_mean;
+  double receive_mean;
+};
+
+constexpr std::int64_t kExpectedQueries =
+    scenarios::kEpochs / scenarios::kQueryPeriod - 1;  // 59
+
+// Regenerate with the `scenario_goldens` tool (multi-attr tier block).
+const std::vector<MultiCase>& cases() {
+  static const std::vector<MultiCase> kCases = {
+      {1, 0.30, 2, 1953, 5494, 8732, 99.3760476811, 47.0905742092, 50.6721215663},
+      {1, 0.30, 3, 1953, 5329, 8732, 99.1742720556, 81.5639163097, 44.1846873174},
+      {1, 1.00, 2, 1953, 5335, 8732, 98.8559322034, 85.7860218877, 43.5417884278},
+      {1, 1.00, 3, 1953, 4959, 8732, 99.4350282486, 144.5713185120, 30.6838106371},
+      {42, 0.30, 2, 2215, 6136, 7552, 98.5033681008, 34.5466021737, 51.7241379310},
+      {42, 0.30, 3, 2215, 6137, 7552, 97.9972475735, 44.4685752101, 51.2565751023},
+      {42, 1.00, 2, 2215, 6055, 7552, 100.0000000000, 53.8614304716, 48.4511981297},
+      {42, 1.00, 3, 2215, 5793, 7552, 99.2467043315, 71.5408273459, 38.8661601403},
+  };
+  return kCases;
+}
+
+ExperimentConfig make_config(const MultiCase& c) {
+  return scenarios::make_multi_config(c.seed, c.fraction, c.count);
+}
+
+/// Each cell is simulated once and shared by every assertion suite
+/// (RerunIsBitIdentical proves determinism with a deliberate fresh run).
+const ExperimentResults& cell_results(const MultiCase& c) {
+  using Key = std::tuple<std::uint64_t, std::int64_t, std::size_t>;
+  static std::map<Key, ExperimentResults> cache;
+  const Key key{c.seed, static_cast<std::int64_t>(c.fraction * 100), c.count};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, Experiment(make_config(c)).run()).first;
+  }
+  return it->second;
+}
+
+TEST(MultiGrid, GoldenTableCoversExactlyTheSharedGrid) {
+  std::size_t i = 0;
+  scenarios::for_each_multi_cell(
+      [&i](std::uint64_t seed, double fraction, std::size_t count) {
+        ASSERT_LT(i, cases().size());
+        EXPECT_EQ(cases()[i].seed, seed) << "row " << i;
+        EXPECT_DOUBLE_EQ(cases()[i].fraction, fraction) << "row " << i;
+        EXPECT_EQ(cases()[i].count, count) << "row " << i;
+        ++i;
+      });
+  EXPECT_EQ(i, cases().size());
+}
+
+class MultiMatrix : public ::testing::TestWithParam<MultiCase> {};
+
+TEST_P(MultiMatrix, StructuralInvariantsHold) {
+  const MultiCase& c = GetParam();
+  const ExperimentResults& res = cell_results(c);
+
+  EXPECT_EQ(res.queries, kExpectedQueries);
+  EXPECT_GT(res.updates_transmitted, 0);
+  EXPECT_GT(res.ledger.total(), 0);
+  EXPECT_GT(res.flooding_total, 0);
+  EXPECT_GE(res.coverage_pct.mean(), 0.0);
+  EXPECT_LE(res.coverage_pct.mean(), 100.0);
+  EXPECT_GE(res.overshoot_pct.mean(), 0.0);
+  expect_ledger_reconciles(res);
+
+  // The update plane never sees queries: the mix must leave the update
+  // counter exactly where the base (fraction-0) cell put it.
+  const ExperimentResults base =
+      Experiment(scenarios::make_config(c.seed, 30, 0.0)).run();
+  EXPECT_EQ(res.updates_transmitted, base.updates_transmitted);
+}
+
+TEST_P(MultiMatrix, MetricsMatchGolden) {
+#if !defined(__GLIBCXX__)
+  GTEST_SKIP() << "golden values are recorded against libstdc++'s "
+                  "distribution implementations";
+#else
+  const MultiCase& c = GetParam();
+  const ExperimentResults& res = cell_results(c);
+
+  EXPECT_EQ(res.updates_transmitted, c.updates);
+  EXPECT_EQ(res.ledger.total(), c.dirq_total_cost);
+  EXPECT_EQ(res.flooding_total, c.flooding_total);
+  EXPECT_NEAR(res.coverage_pct.mean(), c.coverage_mean, 1e-6);
+  EXPECT_NEAR(res.overshoot_pct.mean(), c.overshoot_mean, 1e-6);
+  EXPECT_NEAR(res.receive_pct.mean(), c.receive_mean, 1e-6);
+#endif
+}
+
+std::string case_name(const ::testing::TestParamInfo<MultiCase>& info) {
+  const MultiCase& c = info.param;
+  return "seed" + std::to_string(c.seed) + "_frac" +
+         std::to_string(static_cast<int>(c.fraction * 100)) + "_k" +
+         std::to_string(c.count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MultiMatrix, ::testing::ValuesIn(cases()),
+                         case_name);
+
+TEST(MultiMatrixCross, RerunIsBitIdentical) {
+  const MultiCase& c = cases()[3];  // seed 1, full mix, 3 predicates
+  const ExperimentResults& a = cell_results(c);
+  const ExperimentResults b = Experiment(make_config(c)).run();
+  EXPECT_EQ(a.updates_transmitted, b.updates_transmitted);
+  EXPECT_EQ(a.ledger.total(), b.ledger.total());
+  EXPECT_EQ(a.flooding_total, b.flooding_total);
+  EXPECT_DOUBLE_EQ(a.coverage_pct.mean(), b.coverage_pct.mean());
+  EXPECT_DOUBLE_EQ(a.overshoot_pct.mean(), b.overshoot_pct.mean());
+  EXPECT_DOUBLE_EQ(a.receive_pct.mean(), b.receive_pct.mean());
+}
+
+TEST(MultiMatrixCross, WiderConjunctionsOvershootMore) {
+  // Per-predicate dissemination is coarser than the joint predicate, so
+  // raising the predicate count (at the same seed and fraction) must not
+  // reduce mean overshoot. A pinned-stream property, gated like the
+  // goldens.
+#if defined(__GLIBCXX__)
+  for (std::size_t i = 0; i + 1 < cases().size(); i += 2) {
+    const MultiCase& narrow = cases()[i];
+    const MultiCase& wide = cases()[i + 1];
+    ASSERT_EQ(narrow.seed, wide.seed);
+    ASSERT_LT(narrow.count, wide.count);
+    EXPECT_LT(cell_results(narrow).overshoot_pct.mean(),
+              cell_results(wide).overshoot_pct.mean())
+        << "seed " << narrow.seed << " fraction " << narrow.fraction;
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace dirq::core

@@ -74,6 +74,38 @@ void for_each_lmac_cell(Fn&& fn) {
   }
 }
 
+// --- multi-attribute tier --------------------------------------------------
+// The query mix blends conjunctive multi-attribute queries into the
+// single-range stream (ExperimentConfig::multi_attr_fraction /
+// multi_attr_count). Golden coverage here keeps the mix axis on the same
+// determinism leash as the loss and transport axes: any drift in the
+// multi-attr substream layout or the MultiQuery dissemination path fails
+// loudly. 30-node cells only — the tier guards the mix, not the topology.
+
+inline constexpr std::uint64_t kMultiSeeds[] = {1, 42};
+inline constexpr double kMultiFractions[] = {0.3, 1.0};
+inline constexpr std::size_t kMultiCounts[] = {2, 3};
+
+inline core::ExperimentConfig make_multi_config(std::uint64_t seed,
+                                                double fraction,
+                                                std::size_t count) {
+  core::ExperimentConfig cfg = make_config(seed, 30, 0.0);
+  cfg.multi_attr_fraction = fraction;
+  cfg.multi_attr_count = count;
+  return cfg;
+}
+
+template <typename Fn>
+void for_each_multi_cell(Fn&& fn) {
+  for (std::uint64_t seed : kMultiSeeds) {
+    for (double fraction : kMultiFractions) {
+      for (std::size_t count : kMultiCounts) {
+        fn(seed, fraction, count);
+      }
+    }
+  }
+}
+
 // --- large-topology tier ---------------------------------------------------
 // Scaled placements (density-preserving area, lifted k/d bounds) at sizes
 // the paper never reaches. Short runs — the tier guards the scaling path

@@ -53,6 +53,16 @@ namespace {
       "                    large-topology runs)\n"
       "  --theta PCT       fixed threshold, % of sensor span (default: ATC)\n"
       "  --atc             adaptive threshold control (default mode)\n"
+      "  --sinks SPEC      multi-sink query plane: a bare count N (roots\n"
+      "                    spread over the field; 1 = the paper's single\n"
+      "                    root at node 0, the default) or an explicit\n"
+      "                    comma list of node ids (e.g. 0,12,37)\n"
+      "  --routing NAME    query admission policy across sinks:\n"
+      "                    admission (default; depth x load argmin) or\n"
+      "                    roundrobin\n"
+      "  --multi-frac F    fraction of queries drawn as multi-attribute\n"
+      "                    conjunctions in [0,1] (default 0)\n"
+      "  --multi-count N   predicates per multi-attribute query (default 2)\n"
       "  --sampling F      enable sampling suppression, margin F of theta\n"
       "  --burst SPEC      query arrivals: 'smooth' (default) or L/G —\n"
       "                    L-epoch bursts separated by G silent epochs\n"
@@ -191,6 +201,8 @@ std::pair<std::int64_t, std::int64_t> parse_burst_spec(const std::string& s,
       "                    (default pinned)\n"
       "  --burst LIST      query-arrival shapes: 'smooth' and/or L/G pairs\n"
       "                    (burst length / gap in epochs, e.g. 200/600)\n"
+      "  --sinks LIST      sink counts, roots spread over the field\n"
+      "                    (default 1 — the paper's single root)\n"
       "  --paper-grid      the paper's Section-7 grid: theta atc,3,5,9 x\n"
       "                    relevant 0.2,0.4,0.6 (overrides those two axes)\n"
       "  --scale-tier      the large-topology tier: nodes 500,1000,2000\n"
@@ -253,6 +265,7 @@ int run_sweep(int argc, char** argv) {
   std::vector<double> loss_list{0.0};
   std::vector<std::string> mac_list{"instant"};
   std::vector<std::size_t> nodes_list{50};
+  std::vector<std::size_t> sinks_list{1};
   std::vector<std::pair<std::int64_t, std::int64_t>> burst_list{{0, 0}};
   std::vector<dirq::data::EnvironmentBackend> field_list{
       dirq::data::EnvironmentBackend::Pinned};
@@ -299,6 +312,13 @@ int run_sweep(int argc, char** argv) {
       for (const std::string& s : split_list("--nodes", next)) {
         nodes_list.push_back(static_cast<std::size_t>(
             parse_positive_int("--nodes", s.c_str(), sweep_usage)));
+      }
+      ++i;
+    } else if (arg == "--sinks") {
+      sinks_list.clear();
+      for (const std::string& s : split_list("--sinks", next)) {
+        sinks_list.push_back(static_cast<std::size_t>(
+            parse_positive_int("--sinks", s.c_str(), sweep_usage)));
       }
       ++i;
     } else if (arg == "--burst") {
@@ -406,6 +426,7 @@ int run_sweep(int argc, char** argv) {
   plan.axis(sweep::transport_axis(transports));
   plan.axis(scale_tier ? sweep::scale_nodes_axis()
                        : sweep::nodes_axis(nodes_list));
+  plan.axis(sweep::sinks_axis(sinks_list));
   plan.axis(sweep::burst_axis(burst_list));
   plan.axis(sweep::field_axis(field_list));
 
@@ -452,9 +473,9 @@ int run_sweep(int argc, char** argv) {
 
   const sweep::SweepHeader header{
       "dirqsim sweep", plan.name(),
-      {"theta", "relevant", "seed", "loss", "mac", "nodes", "burst", "field",
-       "dirq_total", "flood_total", "ratio", "overshoot_%", "coverage_%",
-       "updates"}};
+      {"theta", "relevant", "seed", "loss", "mac", "nodes", "sinks", "burst",
+       "field", "dirq_total", "flood_total", "ratio", "overshoot_%",
+       "coverage_%", "updates"}};
   const sweep::RowMapper mapper = [](const sweep::CellResult& r) {
     const core::ExperimentResults& res = r.results;
     return std::vector<std::string>{
@@ -464,6 +485,7 @@ int run_sweep(int argc, char** argv) {
         *r.cell.coordinate("loss"),
         *r.cell.coordinate("mac"),
         *r.cell.coordinate("nodes"),
+        *r.cell.coordinate("sinks"),
         *r.cell.coordinate("burst"),
         *r.cell.coordinate("field"),
         std::to_string(res.ledger.total()),
@@ -555,6 +577,52 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--atc") {
       cfg.network.mode = core::NetworkConfig::ThetaMode::Atc;
+    } else if (arg == "--sinks") {
+      // A bare integer is a sink count (spread placement); a comma list is
+      // explicit root ids. Bounds (count >= 1, ids inside the topology, no
+      // duplicates) are enforced by ExperimentConfig::validate so the CLI
+      // and library agree on one error surface.
+      const std::string spec = next != nullptr ? next : "";
+      if (next == nullptr) {
+        std::cerr << "missing value for --sinks\n";
+        usage(2);
+      }
+      cfg.sinks.clear();
+      if (spec.find(',') == std::string::npos) {
+        cfg.sink_count =
+            static_cast<std::size_t>(parse_int("--sinks", next));
+      } else {
+        for (const std::string& s : [&] {
+               std::vector<std::string> out;
+               std::istringstream in(spec);
+               std::string item;
+               while (std::getline(in, item, ',')) out.push_back(item);
+               return out;
+             }()) {
+          cfg.sinks.push_back(static_cast<dirq::NodeId>(
+              parse_int("--sinks", s.c_str())));
+        }
+      }
+      ++i;
+    } else if (arg == "--routing") {
+      const std::string policy = next != nullptr ? next : "";
+      if (policy == "admission") {
+        cfg.routing = core::RoutingPolicy::Admission;
+      } else if (policy == "roundrobin") {
+        cfg.routing = core::RoutingPolicy::RoundRobin;
+      } else {
+        std::cerr << "--routing must be 'admission' or 'roundrobin', got: "
+                  << policy << "\n";
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--multi-frac") {
+      cfg.multi_attr_fraction = parse_double("--multi-frac", next);
+      ++i;
+    } else if (arg == "--multi-count") {
+      cfg.multi_attr_count =
+          static_cast<std::size_t>(parse_positive_int("--multi-count", next));
+      ++i;
     } else if (arg == "--sampling") {
       cfg.network.sampling.enabled = true;
       cfg.network.sampling.margin_frac = parse_double("--sampling", next);
@@ -630,6 +698,34 @@ int main(int argc, char** argv) {
   // against every recorded golden.
   if (const unsigned eff = core::Experiment::effective_threads(cfg); eff != 1) {
     t.add_row({"threads", std::to_string(eff)});
+  }
+  // Multi-sink block: every row here is conditional on an explicitly
+  // non-default sink/mix configuration, so default output stays byte-stable
+  // against every recorded golden.
+  if (cfg.resolved_sink_count() > 1) {
+    std::string roots;
+    for (dirq::NodeId r : res.sink_roots) {
+      if (!roots.empty()) roots += ',';
+      roots += std::to_string(r);
+    }
+    t.add_row({"sinks", std::to_string(res.sink_roots.size()) +
+                            " (roots " + roots + ")"});
+    t.add_row({"routing", cfg.routing == core::RoutingPolicy::RoundRobin
+                              ? "roundrobin"
+                              : "admission"});
+    for (std::size_t k = 0; k < res.sink_ledgers.size(); ++k) {
+      t.add_row({"sink " + std::to_string(k) + " total (units)",
+                 std::to_string(res.sink_ledgers[k].total()) + "  (" +
+                     std::to_string(res.sink_queries[k]) + " queries)"});
+    }
+    t.add_row({"sink energy spread", metrics::fmt(res.sink_energy_spread(), 3)});
+    t.add_row({"cross-tree overhead (units)",
+               std::to_string(res.cross_tree_update_overhead)});
+  }
+  if (cfg.multi_attr_fraction > 0.0) {
+    t.add_row({"multi-attr mix",
+               metrics::fmt(cfg.multi_attr_fraction * 100.0, 1) + "% x " +
+                   std::to_string(cfg.multi_attr_count) + " predicates"});
   }
   t.add_row({"queries injected", std::to_string(res.queries)});
   t.add_row({"update msgs transmitted", std::to_string(res.updates_transmitted)});

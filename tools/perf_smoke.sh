@@ -12,6 +12,12 @@
 #   * fast  2000n/2000e --threads 0 vs bench/baselines/scale_2000n_fast_mt.json
 #     (the intra-run parallel epoch engine on all cores; also guards the
 #      pool itself — a deadlocked or serialised pool shows up as >2x)
+#   * multi-sink 500n/2000e: 4 sinks (admission) vs 1 sink from the SAME
+#     bench_multi_sink run — self-relative, so machine speed divides out.
+#     The 3x budget bounds the N-tree overlay's cost: 4 trees quadruple
+#     the update/flood planes but share one sensing plane, so a healthy
+#     run lands well under 3x and a per-query rebuild or an O(N^2)
+#     cross-tree scan shows up immediately.
 #
 #   tools/perf_smoke.sh [build-dir]     (run from the repo root, against a
 #                                        Release build)
@@ -79,3 +85,29 @@ check "$FAST_BASELINE" 2000 fast
 # deadlock-adjacent slowdown) does not.
 run_cells 2000 fast 0
 check "$MT_BASELINE" 2000 fast
+
+# Multi-sink guard cell: one bench run covering the 1-sink and 4-sink
+# cells, compared against each other (dirq.msink.v1 rows).
+extract_msink_seconds() {
+  grep '"run_seconds"' "$1" | grep "\"sinks\": $2," |
+    grep "\"routing\": \"$3\"" | head -n 1 |
+    sed 's/.*"run_seconds": \([0-9.eE+-]*\),.*/\1/'
+}
+
+"$BUILD_DIR/bench/bench_multi_sink" --nodes 500 --sinks 1,4 --epochs 2000 \
+  --json "$OUT" >/dev/null
+one=$(extract_msink_seconds "$OUT" 1 "-")
+four=$(extract_msink_seconds "$OUT" 4 "admission")
+if [ -z "$one" ] || [ -z "$four" ]; then
+  echo "perf_smoke: could not extract multi-sink run_seconds" \
+       "(1-sink='$one' 4-sink='$four')" >&2
+  exit 2
+fi
+echo "perf_smoke: 500n/2000e multi-sink run_seconds 1-sink=$one 4-sink=$four (budget 3x)"
+awk -v one="$one" -v four="$four" 'BEGIN {
+  if (four > 3.0 * one) {
+    printf "perf_smoke: FAIL — 4-sink: %.3fs exceeds 3x 1-sink %.3fs\n", four, one
+    exit 1
+  }
+  printf "perf_smoke: OK multi-sink (%.2fx of 1-sink)\n", four / one
+}'

@@ -12,6 +12,10 @@
 #     --threads 0 (all hardware threads on the epoch loop): the intra-run
 #     parallelism guard cell. The row's "threads" key records the count
 #     the recording host actually resolved.
+#   * msink_500n.json — the multi-sink tier's 500-node cells at 1 and 4
+#     sinks (bench_multi_sink, dirq.msink.v1): the 4-sink-vs-1-sink wall
+#     ratio perf_smoke.sh guards, plus the per-sink ledgers and energy
+#     spread for admission vs round-robin.
 #
 #   tools/record_baseline.sh [build-dir]     (run from the repo root,
 #                                             against a Release build)
@@ -26,6 +30,7 @@ OUT=bench/baselines/reference_50n_20000e.json
 SCALE_OUT=bench/baselines/scale_500n_2000e.json
 FAST_OUT=bench/baselines/scale_500n_fast.json
 MT_OUT=bench/baselines/scale_2000n_fast_mt.json
+MSINK_OUT=bench/baselines/msink_500n.json
 
 mkdir -p bench/baselines
 "$BUILD_DIR/tools/dirqsim" sweep \
@@ -46,3 +51,7 @@ echo "fast-field scale baseline written to $FAST_OUT"
 "$BUILD_DIR/bench/bench_scale_topology" --nodes 2000 --epochs 2000 \
   --field fast --threads 0 --no-burst --json "$MT_OUT"
 echo "parallel-epoch scale baseline written to $MT_OUT"
+
+"$BUILD_DIR/bench/bench_multi_sink" --nodes 500 --sinks 1,4 --epochs 2000 \
+  --json "$MSINK_OUT"
+echo "multi-sink baseline written to $MSINK_OUT"

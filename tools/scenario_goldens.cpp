@@ -46,5 +46,19 @@ int main() {
         core::Experiment(scenarios::make_lmac_config(seed, nodes, loss)).run();
     print_row(seed, nodes, loss, r);
   });
+  std::printf("// multi-attr tier — paste over kCases in multi_matrix_test.cpp\n");
+  scenarios::for_each_multi_cell([](std::uint64_t seed, double fraction,
+                                    std::size_t count) {
+    const core::ExperimentResults r =
+        core::Experiment(scenarios::make_multi_config(seed, fraction, count))
+            .run();
+    std::printf(
+        "      {%llu, %.2f, %zu, %lld, %lld, %lld, %.10f, %.10f, %.10f},\n",
+        static_cast<unsigned long long>(seed), fraction, count,
+        static_cast<long long>(r.updates_transmitted),
+        static_cast<long long>(r.ledger.total()),
+        static_cast<long long>(r.flooding_total), r.coverage_pct.mean(),
+        r.overshoot_pct.mean(), r.receive_pct.mean());
+  });
   return 0;
 }
