@@ -188,6 +188,7 @@ ExperimentResults Experiment::run() {
   res.sink_roots = roots;
   res.sink_ledgers.resize(n_sinks);
   res.sink_queries.assign(n_sinks, 0);
+  res.sink_query_latency.resize(n_sinks);
   res.sink_umax_per_hour.resize(n_sinks);
   res.updates_per_bin = sim::TimeSeries(cfg_.series_bin);
   network.set_update_hook(
@@ -206,9 +207,14 @@ ExperimentResults Experiment::run() {
   };
   std::optional<PendingQuery> pending;
 
+  // `answer_epoch` is when the audit closed: the injection epoch itself on
+  // the instant transport, the boundary that collected the outcome on LMAC
+  // — so a deferred audit's latency includes the full deferral window, not
+  // just the dissemination round-trip.
   const auto finalize_query = [this, &res, &admission](
                                   const PendingQuery& p,
-                                  const QueryOutcome& outcome) {
+                                  const QueryOutcome& outcome,
+                                  std::int64_t answer_epoch) {
     const metrics::QueryAudit audit =
         metrics::audit_query(p.truth.involved, outcome.received);
     const metrics::QueryAudit source_audit =
@@ -227,6 +233,9 @@ ExperimentResults Experiment::run() {
     res.source_overshoot_pct.push(source_audit.overshoot_pct());
     res.source_coverage_pct.push(source_audit.coverage_pct());
     res.flooding_total += p.flooding_cost;
+    const std::int64_t latency = answer_epoch - p.epoch;
+    res.query_latency_epochs.record(latency);
+    res.sink_query_latency[p.tree].record(latency);
     ++res.queries;
     ++res.sink_queries[p.tree];
     // Close the admission feedback loop: the audited dissemination cost of
@@ -243,6 +252,7 @@ ExperimentResults Experiment::run() {
       rec.flooding_cost = p.flooding_cost;
       rec.sources = p.truth.sources.size();
       rec.population = p.population;
+      rec.latency_epochs = latency;
       res.records.push_back(rec);
     }
   };
@@ -285,7 +295,7 @@ ExperimentResults Experiment::run() {
       // inside a burst gap — so each one gets the same query_period-frame
       // dissemination window regardless of the arrival shape.
       if (pending) {
-        finalize_query(*pending, network.collect_outcome());
+        finalize_query(*pending, network.collect_outcome(), epoch);
         pending.reset();
       }
       const bool in_burst =
@@ -318,7 +328,7 @@ ExperimentResults Experiment::run() {
             network.inject_async(routed, q, epoch);
             pending = std::move(p);
           } else {
-            finalize_query(p, network.inject(routed, q, epoch));
+            finalize_query(p, network.inject(routed, q, epoch), epoch);
           }
         } else {
           query::RangeQuery q = workload.next(epoch);
@@ -328,7 +338,7 @@ ExperimentResults Experiment::run() {
             network.inject_async(routed, q, epoch);
             pending = std::move(p);
           } else {
-            finalize_query(p, network.inject(routed, q, epoch));
+            finalize_query(p, network.inject(routed, q, epoch), epoch);
           }
         }
       }
@@ -372,7 +382,8 @@ ExperimentResults Experiment::run() {
     // advanced past this time when epochs is a multiple of query_period, in
     // which case this is a no-op).
     sched->run_until((pending->epoch + cfg_.query_period) * frame_ticks - 1);
-    finalize_query(*pending, network.collect_outcome());
+    finalize_query(*pending, network.collect_outcome(),
+                   pending->epoch + cfg_.query_period);
     pending.reset();
   }
   if (use_lmac) res.mac_control_drain = mac_control_sum() - res.mac_control_total;

@@ -22,6 +22,7 @@
 #include "data/reading_source.hpp"
 #include "mac/lmac.hpp"
 #include "metrics/audit.hpp"
+#include "metrics/histogram.hpp"
 #include "net/placement.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -125,6 +126,11 @@ struct QueryRecord {
   CostUnits flooding_cost = 0;  // Eq. (3) for the same instant's topology
   std::size_t sources = 0;      // ground-truth source count
   std::size_t population = 0;   // non-root tree members at injection time
+  /// Injection -> answer delay in virtual epochs. 0 on the instant
+  /// transport (the audit closes synchronously); on LMAC the query
+  /// disseminates until the next injection boundary, so the deferral
+  /// window — a full query_period — counts toward its latency.
+  std::int64_t latency_epochs = 0;
 };
 
 struct ExperimentResults {
@@ -188,6 +194,15 @@ struct ExperimentResults {
   /// Update+control energy spent maintaining the extra trees (k >= 1) on
   /// top of the paper's single tree — the price of multi-sink redundancy.
   CostUnits cross_tree_update_overhead = 0;
+  /// Injection -> answer latency in virtual epochs, all queries (the
+  /// per-sink histograms below merge to exactly this). Instant-transport
+  /// answers are synchronous (latency 0); LMAC answers close at the next
+  /// injection boundary (latency query_period) — the serve plane is where
+  /// queueing makes this distribution non-trivial.
+  metrics::LatencyHistogram query_latency_epochs;
+  /// Per-sink latency split, sized to the deployed sink count — the
+  /// multi-sink follow-on metric (printed by dirqsim when --sinks > 1).
+  std::vector<metrics::LatencyHistogram> sink_query_latency;
 
   /// Energy-balance spread across sinks: (max - min) / mean of per-sink
   /// total cost. 0 for a single sink (or an all-idle plane). The

@@ -739,6 +739,7 @@ QueryOutcome DirqNetwork::collect_outcome() {
       out.believed_sources.end());
   out.cost = transport_->costs().query_cost() - audit_cost_start_;
   audit_active_ = false;
+  if (query_done_hook_) query_done_hook_(out);
   return out;
 }
 

@@ -257,6 +257,16 @@ class DirqNetwork final : public MessageSink {
   using UpdateHook = std::function<void(std::int64_t epoch)>;
   void set_update_hook(UpdateHook hook) { update_hook_ = std::move(hook); }
 
+  /// Hook invoked with the audited outcome every time a query audit
+  /// closes (collect_outcome — which the synchronous inject() forms call
+  /// too). The serve front-end learns answer completion through this
+  /// instead of polling the audit state; batch drivers that consume the
+  /// inject() return value directly can leave it unset.
+  using QueryDoneHook = std::function<void(const QueryOutcome&)>;
+  void set_query_done_hook(QueryDoneHook hook) {
+    query_done_hook_ = std::move(hook);
+  }
+
   // --- MessageSink -----------------------------------------------------------------
 
   void deliver(NodeId to, NodeId from, const Message& msg) override;
@@ -319,6 +329,7 @@ class DirqNetwork final : public MessageSink {
   std::int64_t current_epoch_ = 0;
   std::int64_t updates_transmitted_ = 0;
   UpdateHook update_hook_;
+  QueryDoneHook query_done_hook_;
 
   /// True while the parallel merge replays deferred root deliveries:
   /// their rx was already charged into the shard ledger (and merged into

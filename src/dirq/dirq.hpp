@@ -14,6 +14,9 @@
 //   sweep::ExperimentPlan          — declarative evaluation grids
 //   sweep::SweepRunner             — parallel plan execution
 //   sweep::ResultSink              — console / TSV / JSON reporting
+//   serve::Server                  — long-lived query front-end (dirqsim serve)
+//   serve::TraceGen                — open-loop arrival streams
+//   serve::ResultCache             — containment-aware range-result cache
 #pragma once
 
 #include "analysis/cost_model.hpp"
@@ -35,6 +38,7 @@
 #include "data/trace.hpp"
 #include "mac/lmac.hpp"
 #include "metrics/audit.hpp"
+#include "metrics/histogram.hpp"
 #include "metrics/report.hpp"
 #include "net/bbox.hpp"
 #include "net/placement.hpp"
@@ -43,6 +47,10 @@
 #include "query/query.hpp"
 #include "query/rate_predictor.hpp"
 #include "query/workload.hpp"
+#include "serve/cache.hpp"
+#include "serve/front_end.hpp"
+#include "serve/server.hpp"
+#include "serve/trace_gen.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/stats.hpp"

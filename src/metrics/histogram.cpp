@@ -1,0 +1,82 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace dirq::metrics {
+
+namespace {
+constexpr std::size_t kExact = 64;      // unit buckets for values 0..63
+constexpr std::size_t kSubBuckets = 8;  // linear steps per power of two
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_index(std::int64_t value) {
+  if (value < static_cast<std::int64_t>(kExact)) {
+    return static_cast<std::size_t>(value);
+  }
+  const auto u = static_cast<std::uint64_t>(value);
+  const int msb = 63 - std::countl_zero(u);  // >= 6
+  const auto sub =
+      static_cast<std::size_t>((u >> (msb - 3)) & (kSubBuckets - 1));
+  return kExact + static_cast<std::size_t>(msb - 6) * kSubBuckets + sub;
+}
+
+std::int64_t LatencyHistogram::bucket_floor(std::size_t bucket) {
+  if (bucket < kExact) return static_cast<std::int64_t>(bucket);
+  const std::size_t major = 6 + (bucket - kExact) / kSubBuckets;
+  const std::size_t sub = (bucket - kExact) % kSubBuckets;
+  return static_cast<std::int64_t>((kSubBuckets + sub) << (major - 3));
+}
+
+void LatencyHistogram::record(std::int64_t value) {
+  if (value < 0) {
+    throw std::invalid_argument("LatencyHistogram: negative sample");
+  }
+  const std::size_t b = bucket_index(value);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  sum_ += value;
+  ++count_;
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::int64_t LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  std::int64_t rank = static_cast<std::int64_t>(
+      std::ceil(clamped * static_cast<double>(count_)));
+  rank = std::clamp<std::int64_t>(rank, 1, count_);
+  std::int64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      return std::clamp(bucket_floor(b), min_, max_);
+    }
+  }
+  return max_;  // unreachable when counts are consistent
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+}  // namespace dirq::metrics

@@ -1,0 +1,57 @@
+// Streaming latency histogram for the serve plane and the per-sink batch
+// latency metric.
+//
+// Values are non-negative virtual-epoch latencies (int64). The histogram
+// is log-bucketed: values below 64 get exact unit buckets, larger values
+// share buckets of 8 linear sub-steps per power of two (worst-case
+// relative bucket width 12.5%). Quantiles are therefore deterministic
+// integers — the lower bound of the bucket holding the target rank,
+// clamped to the observed [min, max] — never an interpolation whose bytes
+// could drift across platforms. That property is what lets the
+// dirq.serve.v1 document be byte-identical across runs and thread counts.
+//
+// Recording is O(1), memory is bounded by the fixed bucket table
+// (64 + 58*8 slots), and two histograms merge by bucket-wise addition —
+// per-sink histograms sum to the global one exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dirq::metrics {
+
+class LatencyHistogram {
+ public:
+  /// Records one non-negative sample; negative values throw
+  /// (std::invalid_argument) — a negative latency is always a caller bug.
+  void record(std::int64_t value);
+
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  /// 0 when empty.
+  [[nodiscard]] std::int64_t min() const noexcept { return count_ ? min_ : 0; }
+  [[nodiscard]] std::int64_t max() const noexcept { return count_ ? max_ : 0; }
+  /// Exact arithmetic mean (sum is tracked exactly); 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+
+  /// The q-quantile (q in [0, 1]) as the lower bound of the bucket holding
+  /// rank ceil(q * count), clamped to [min, max]. Exact for values < 64;
+  /// within 12.5% below otherwise. 0 when empty.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+
+  /// Bucket-wise addition; quantiles of the merged histogram are exactly
+  /// those of recording both sample streams into one.
+  void merge(const LatencyHistogram& other);
+
+  // Bucketing scheme, exposed for tests.
+  [[nodiscard]] static std::size_t bucket_index(std::int64_t value);
+  [[nodiscard]] static std::int64_t bucket_floor(std::size_t bucket);
+
+ private:
+  std::vector<std::int64_t> buckets_;  // grown lazily to the highest index
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace dirq::metrics

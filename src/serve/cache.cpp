@@ -1,0 +1,92 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dirq::serve {
+
+ResultCache::ResultCache(std::size_t max_entries, std::int64_t stale_epochs)
+    : max_entries_(max_entries), stale_epochs_(stale_epochs) {
+  if (max_entries_ == 0) {
+    throw std::invalid_argument("ResultCache: max_entries must be > 0");
+  }
+  if (stale_epochs_ < 0) {
+    throw std::invalid_argument("ResultCache: stale_epochs must be >= 0");
+  }
+}
+
+CacheLookup ResultCache::lookup(SensorType type, double lo, double hi,
+                                std::int64_t epoch,
+                                std::int64_t updates_now) {
+  // Scan in FIFO order; the first Fresh containing entry wins, else the
+  // first Stale one. Linear scan is deliberate: the cache is small
+  // (O(1k) entries), the order is deterministic, and containment match
+  // does not index well.
+  const CacheEntry* fresh = nullptr;
+  const CacheEntry* stale = nullptr;
+  bool saw_expired = false;
+  for (const CacheEntry& e : entries_) {
+    if (e.type != type || e.lo > lo || e.hi < hi) continue;
+    if (e.updates_at_create == updates_now) {
+      fresh = &e;
+      break;  // exact — nothing can beat it
+    }
+    if (epoch - e.created_epoch <= stale_epochs_) {
+      if (stale == nullptr) stale = &e;
+    } else {
+      saw_expired = true;
+    }
+  }
+  const CacheEntry* chosen = fresh != nullptr ? fresh : stale;
+  if (chosen == nullptr) {
+    ++stats_.misses;
+    if (saw_expired) ++stats_.expired;
+    return {};
+  }
+  CacheLookup out;
+  out.kind = fresh != nullptr ? CacheLookup::Kind::Fresh
+                              : CacheLookup::Kind::Stale;
+  out.tree = chosen->tree;
+  const bool strict_subset = chosen->lo < lo || chosen->hi > hi;
+  // Containment filter: a stored source answers the narrower window iff
+  // its own tuple overlaps it (see the header for why this is exact when
+  // the entry is Fresh).
+  for (const CachedSource& s : chosen->sources) {
+    if (s.tuple_min <= hi && s.tuple_max >= lo) out.answer.push_back(s.node);
+  }
+  if (fresh != nullptr) {
+    ++stats_.fresh_hits;
+  } else {
+    ++stats_.stale_hits;
+  }
+  if (strict_subset) ++stats_.containment_hits;
+  return out;
+}
+
+void ResultCache::insert(SensorType type, double lo, double hi, TreeId tree,
+                         std::int64_t epoch, std::int64_t updates_at_answer,
+                         std::vector<CachedSource> sources) {
+  std::sort(sources.begin(), sources.end(),
+            [](const CachedSource& a, const CachedSource& b) {
+              return a.node < b.node;
+            });
+  CacheEntry e;
+  e.type = type;
+  e.lo = lo;
+  e.hi = hi;
+  e.tree = tree;
+  e.created_epoch = epoch;
+  e.updates_at_create = updates_at_answer;
+  e.sources = std::move(sources);
+  entries_.push_back(std::move(e));
+  ++stats_.insertions;
+  while (entries_.size() > max_entries_) {
+    entries_.pop_front();
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::invalidate_all() { entries_.clear(); }
+
+}  // namespace dirq::serve

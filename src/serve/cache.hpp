@@ -1,0 +1,124 @@
+// Range-result cache for the serve front-end.
+//
+// A cached entry stores, for one answered range query, the believed
+// sources together with the own-range tuple ([min, max] advertised to the
+// tree) each of them held when the answer was produced. That tuple is the
+// exact forwarding predicate DirQ evaluates at the node itself, which
+// gives the cache a containment rule that is *exact* rather than
+// heuristic: as long as no range table changed since the answer was
+// captured, a node believes a narrower window W' ⊆ W if and only if it
+// believed W and its own tuple overlaps W' — every ancestor aggregate
+// contains the descendant tuples, so the path tests that admitted the node
+// under W still admit it under any sub-window its own tuple meets. A
+// superset answer therefore serves every subset query by filtering the
+// stored tuples, with no network traffic at all.
+//
+// Staleness is tracked without a change-feed: each entry snapshots the
+// network-wide Update Message counter at creation. A lookup that finds the
+// counter unmoved is Fresh (provably no table changed anywhere — the
+// containment rule is exact and the hit never expires). A moved counter
+// degrades the entry to Stale, served only within `stale_epochs` of its
+// creation; beyond that it expires. The counter is a deliberately blunt
+// instrument — any update anywhere demotes every entry — but it is exact,
+// costs nothing on the hot path, and is byte-identical across thread
+// counts because the parallel epoch engine merges the counter
+// deterministically.
+//
+// Multi-attribute and region-constrained queries are not cacheable here
+// (their admission involves per-type aggregates and bounding boxes that
+// the single-tuple containment rule does not cover); the front-end counts
+// them as `uncacheable` and injects them directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace dirq::serve {
+
+/// One believed source with the own-range tuple it advertised when the
+/// answer was captured.
+struct CachedSource {
+  NodeId node = 0;
+  double tuple_min = 0.0;
+  double tuple_max = 0.0;
+};
+
+struct CacheStats {
+  std::int64_t fresh_hits = 0;        // update counter unmoved: exact
+  std::int64_t stale_hits = 0;        // counter moved, within stale bound
+  std::int64_t containment_hits = 0;  // hit served from a strict superset
+  std::int64_t misses = 0;
+  std::int64_t expired = 0;     // would have hit, but past the stale bound
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;   // FIFO displacement at capacity
+  std::int64_t uncacheable = 0; // multi-attribute / regional traffic
+
+  [[nodiscard]] std::int64_t hits() const noexcept {
+    return fresh_hits + stale_hits;
+  }
+  [[nodiscard]] std::int64_t lookups() const noexcept {
+    return hits() + misses;
+  }
+};
+
+struct CacheLookup {
+  enum class Kind { Miss, Fresh, Stale };
+  Kind kind = Kind::Miss;
+  /// Believed sources for the queried window (sorted by node id), valid
+  /// for Fresh/Stale.
+  std::vector<NodeId> answer;
+  /// Sink tree the cached answer was produced on.
+  TreeId tree = 0;
+};
+
+class ResultCache {
+ public:
+  /// `max_entries` bounds memory (FIFO eviction); `stale_epochs` bounds
+  /// how long an entry may serve hits after the update counter moves.
+  ResultCache(std::size_t max_entries, std::int64_t stale_epochs);
+
+  /// Looks up believed sources for (type, [lo, hi]) at virtual time
+  /// `epoch`, given the network's current Update Message counter. Entries
+  /// are matched by containment (entry window ⊇ query window); the first
+  /// Fresh match wins, else the first Stale one.
+  CacheLookup lookup(SensorType type, double lo, double hi,
+                     std::int64_t epoch, std::int64_t updates_now);
+
+  /// Records an answered query. `sources` carries each believed source's
+  /// own tuple as read back from its range table immediately after the
+  /// answer; it need not be sorted.
+  void insert(SensorType type, double lo, double hi, TreeId tree,
+              std::int64_t epoch, std::int64_t updates_at_answer,
+              std::vector<CachedSource> sources);
+
+  /// Drops every entry (topology churn: tuples may now belong to dead
+  /// nodes or re-parented subtrees, so containment no longer holds).
+  void invalidate_all();
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  /// Counts the uncacheable traffic the front-end routed around the cache.
+  void note_uncacheable() { ++stats_.uncacheable; }
+
+ private:
+  struct CacheEntry {
+    SensorType type = 0;
+    double lo = 0.0;
+    double hi = 0.0;
+    TreeId tree = 0;
+    std::int64_t created_epoch = 0;
+    std::int64_t updates_at_create = 0;
+    std::vector<CachedSource> sources;  // sorted by node id
+  };
+
+  std::size_t max_entries_;
+  std::int64_t stale_epochs_;
+  std::deque<CacheEntry> entries_;  // FIFO order
+  CacheStats stats_;
+};
+
+}  // namespace dirq::serve

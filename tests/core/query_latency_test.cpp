@@ -1,0 +1,83 @@
+// Query latency as a first-class metric (ROADMAP multi-sink follow-on):
+// per-sink histograms in ExperimentResults, and the LMAC deferred-audit
+// attribution fix — a query that disseminates until the next injection
+// boundary must count that deferral window in its latency, not just the
+// audit round-trip.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "net/placement.hpp"
+
+namespace dirq::core {
+namespace {
+
+ExperimentConfig small_config(TransportKind transport) {
+  ExperimentConfig cfg;
+  cfg.seed = 7;
+  cfg.placement.node_count = 30;
+  cfg.epochs = 400;
+  cfg.network.mode = NetworkConfig::ThetaMode::Fixed;
+  cfg.network.fixed_pct = 5.0;
+  cfg.transport = transport;
+  return cfg;
+}
+
+TEST(QueryLatency, InstantAnswersSynchronously) {
+  const ExperimentResults res =
+      Experiment(small_config(TransportKind::Instant)).run();
+  ASSERT_GT(res.queries, 0);
+  EXPECT_EQ(res.query_latency_epochs.count(), res.queries);
+  EXPECT_EQ(res.query_latency_epochs.max(), 0);
+  ASSERT_EQ(res.sink_query_latency.size(), 1u);
+  EXPECT_EQ(res.sink_query_latency[0].count(), res.queries);
+  for (const QueryRecord& rec : res.records) {
+    EXPECT_EQ(rec.latency_epochs, 0);
+  }
+}
+
+TEST(QueryLatency, LmacDeferralWindowCountsOnTheSameSeed) {
+  const ExperimentResults instant =
+      Experiment(small_config(TransportKind::Instant)).run();
+  const ExperimentResults lmac =
+      Experiment(small_config(TransportKind::Lmac)).run();
+  ASSERT_EQ(instant.queries, lmac.queries);  // same seed, same query stream
+  // Every LMAC query is audited at the next injection boundary, one full
+  // query_period after injection — the deferral window is the latency.
+  EXPECT_EQ(lmac.query_latency_epochs.count(), lmac.queries);
+  EXPECT_EQ(lmac.query_latency_epochs.min(), 20);
+  EXPECT_EQ(lmac.query_latency_epochs.max(), 20);
+  EXPECT_GT(lmac.query_latency_epochs.quantile(0.5),
+            instant.query_latency_epochs.quantile(0.5));
+  for (const QueryRecord& rec : lmac.records) {
+    EXPECT_EQ(rec.latency_epochs, 20);
+  }
+}
+
+TEST(QueryLatency, LmacDrainQueryGetsTheFullWindowToo) {
+  // 410 epochs with query_period 20: the epoch-400 query is still pending
+  // when the loop ends and is audited by the post-run drain — its latency
+  // must be the same query_period window every mid-run query gets.
+  ExperimentConfig cfg = small_config(TransportKind::Lmac);
+  cfg.epochs = 410;
+  const ExperimentResults res = Experiment(cfg).run();
+  ASSERT_GT(res.queries, 0);
+  ASSERT_FALSE(res.records.empty());
+  EXPECT_EQ(res.records.back().epoch, 400);
+  EXPECT_EQ(res.records.back().latency_epochs, 20);
+}
+
+TEST(QueryLatency, PerSinkHistogramsMergeToTheGlobalOne) {
+  ExperimentConfig cfg = small_config(TransportKind::Instant);
+  cfg.sink_count = 3;
+  const ExperimentResults res = Experiment(cfg).run();
+  ASSERT_EQ(res.sink_query_latency.size(), 3u);
+  std::int64_t per_sink_total = 0;
+  for (const metrics::LatencyHistogram& h : res.sink_query_latency) {
+    per_sink_total += h.count();
+  }
+  EXPECT_EQ(per_sink_total, res.query_latency_epochs.count());
+  EXPECT_EQ(per_sink_total, res.queries);
+}
+
+}  // namespace
+}  // namespace dirq::core

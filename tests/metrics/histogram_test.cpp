@@ -1,0 +1,111 @@
+// LatencyHistogram: exact small-value quantiles, log-bucket geometry,
+// determinism of the streaming quantile, and merge associativity.
+#include "metrics/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace dirq::metrics {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.quantile(0.99), 0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::int64_t v : {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) h.record(v);
+  EXPECT_EQ(h.count(), 10);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 9);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.5);
+  // rank = ceil(q * 10): p50 -> rank 5 -> value 4; p90 -> rank 9 -> 8.
+  EXPECT_EQ(h.quantile(0.5), 4);
+  EXPECT_EQ(h.quantile(0.9), 8);
+  EXPECT_EQ(h.quantile(1.0), 9);
+  EXPECT_EQ(h.quantile(0.0), 0);
+}
+
+TEST(LatencyHistogram, ConstantStreamReportsTheConstant) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(20);
+  EXPECT_EQ(h.quantile(0.5), 20);
+  EXPECT_EQ(h.quantile(0.99), 20);
+  EXPECT_EQ(h.min(), 20);
+  EXPECT_EQ(h.max(), 20);
+}
+
+TEST(LatencyHistogram, BucketGeometryRoundTrips) {
+  // Exact region: identity.
+  for (std::int64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(v), static_cast<std::size_t>(v));
+    EXPECT_EQ(LatencyHistogram::bucket_floor(static_cast<std::size_t>(v)), v);
+  }
+  // Log region: floor(bucket(v)) <= v, within 12.5% below, and floors are
+  // monotone in the bucket index.
+  for (std::int64_t v : std::vector<std::int64_t>{
+           64, 65, 71, 72, 100, 1000, 123456, std::int64_t{1} << 40}) {
+    const std::size_t b = LatencyHistogram::bucket_index(v);
+    const std::int64_t floor = LatencyHistogram::bucket_floor(b);
+    EXPECT_LE(floor, v);
+    EXPECT_GT(floor, v - v / 8 - 1) << "v=" << v;
+    EXPECT_LT(floor, LatencyHistogram::bucket_floor(b + 1));
+  }
+}
+
+TEST(LatencyHistogram, QuantileClampsToObservedRange) {
+  LatencyHistogram h;
+  h.record(70);  // bucket floor is 64, but min is 70
+  EXPECT_EQ(h.quantile(0.5), 70);
+  EXPECT_EQ(h.quantile(1.0), 70);
+}
+
+TEST(LatencyHistogram, RejectsNegativeSamples) {
+  LatencyHistogram h;
+  EXPECT_THROW(h.record(-1), std::invalid_argument);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedStream) {
+  LatencyHistogram a, b, combined;
+  for (std::int64_t v = 0; v < 200; v += 3) {
+    a.record(v);
+    combined.record(v);
+  }
+  for (std::int64_t v = 1; v < 5000; v += 7) {
+    b.record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeIntoEmptyAndFromEmpty) {
+  LatencyHistogram a, b;
+  b.record(5);
+  b.record(7);
+  a.merge(b);  // into empty
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min(), 5);
+  EXPECT_EQ(a.max(), 7);
+  LatencyHistogram empty;
+  a.merge(empty);  // from empty: no-op
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.max(), 7);
+}
+
+}  // namespace
+}  // namespace dirq::metrics

@@ -1,0 +1,113 @@
+// ResultCache semantics: freshness via the update-counter snapshot,
+// containment filtering by stored own tuples, staleness expiry, FIFO
+// eviction, and the stats ledger.
+#include "serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dirq::serve {
+namespace {
+
+std::vector<CachedSource> three_sources() {
+  // Own tuples chosen so sub-window filtering is observable:
+  //   node 3: [10, 15], node 5: [18, 22], node 9: [24, 30]
+  return {{5, 18.0, 22.0}, {3, 10.0, 15.0}, {9, 24.0, 30.0}};
+}
+
+TEST(ResultCache, MissOnEmptyAndOnNonContainingEntry) {
+  ResultCache cache(8, 64);
+  EXPECT_EQ(cache.lookup(0, 10.0, 20.0, 0, 0).kind, CacheLookup::Kind::Miss);
+  cache.insert(0, 10.0, 20.0, 0, 0, 0, three_sources());
+  // Wider than the stored window -> not answerable by containment.
+  EXPECT_EQ(cache.lookup(0, 5.0, 20.0, 1, 0).kind, CacheLookup::Kind::Miss);
+  // Different type -> miss even with identical bounds.
+  EXPECT_EQ(cache.lookup(1, 10.0, 20.0, 1, 0).kind, CacheLookup::Kind::Miss);
+  EXPECT_EQ(cache.stats().misses, 3);
+  EXPECT_EQ(cache.stats().insertions, 1);
+}
+
+TEST(ResultCache, FreshExactHitReturnsAllSourcesSorted) {
+  ResultCache cache(8, 64);
+  cache.insert(0, 10.0, 30.0, 2, 5, 17, three_sources());
+  const CacheLookup hit = cache.lookup(0, 10.0, 30.0, 6, 17);
+  EXPECT_EQ(hit.kind, CacheLookup::Kind::Fresh);
+  EXPECT_EQ(hit.tree, 2);
+  EXPECT_EQ(hit.answer, (std::vector<NodeId>{3, 5, 9}));
+  EXPECT_EQ(cache.stats().fresh_hits, 1);
+  EXPECT_EQ(cache.stats().containment_hits, 0);
+}
+
+TEST(ResultCache, ContainmentFiltersByStoredTuples) {
+  ResultCache cache(8, 64);
+  cache.insert(0, 10.0, 30.0, 0, 0, 0, three_sources());
+  // [16, 23] overlaps node 5's [18, 22] only.
+  const CacheLookup hit = cache.lookup(0, 16.0, 23.0, 1, 0);
+  EXPECT_EQ(hit.kind, CacheLookup::Kind::Fresh);
+  EXPECT_EQ(hit.answer, (std::vector<NodeId>{5}));
+  EXPECT_EQ(cache.stats().containment_hits, 1);
+  // [14, 25] clips all three tuples.
+  EXPECT_EQ(cache.lookup(0, 14.0, 25.0, 1, 0).answer,
+            (std::vector<NodeId>{3, 5, 9}));
+  // [15.5, 17.5] falls between tuples: a hit with an empty answer.
+  const CacheLookup gap = cache.lookup(0, 15.5, 17.5, 1, 0);
+  EXPECT_EQ(gap.kind, CacheLookup::Kind::Fresh);
+  EXPECT_TRUE(gap.answer.empty());
+}
+
+TEST(ResultCache, MovedUpdateCounterDegradesToStaleThenExpires) {
+  ResultCache cache(8, 10);
+  cache.insert(0, 10.0, 30.0, 0, 100, 17, three_sources());
+  // Counter unmoved: Fresh at any age.
+  EXPECT_EQ(cache.lookup(0, 10.0, 30.0, 5000, 17).kind,
+            CacheLookup::Kind::Fresh);
+  // Counter moved, age within the bound: Stale (still answered).
+  EXPECT_EQ(cache.lookup(0, 10.0, 30.0, 105, 18).kind,
+            CacheLookup::Kind::Stale);
+  EXPECT_EQ(cache.stats().stale_hits, 1);
+  // Counter moved, age beyond the bound: expired -> miss.
+  const CacheLookup old = cache.lookup(0, 10.0, 30.0, 111, 18);
+  EXPECT_EQ(old.kind, CacheLookup::Kind::Miss);
+  EXPECT_EQ(cache.stats().expired, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(ResultCache, FreshEntryBeatsAnEarlierStaleOne) {
+  ResultCache cache(8, 64);
+  cache.insert(0, 10.0, 30.0, 0, 0, 5, three_sources());   // stale at t=9
+  cache.insert(0, 10.0, 30.0, 1, 8, 9, three_sources());   // fresh at t=9
+  const CacheLookup hit = cache.lookup(0, 12.0, 20.0, 9, 9);
+  EXPECT_EQ(hit.kind, CacheLookup::Kind::Fresh);
+  EXPECT_EQ(hit.tree, 1);
+}
+
+TEST(ResultCache, FifoEvictionBoundsTheCache) {
+  ResultCache cache(4, 64);
+  for (int i = 0; i < 10; ++i) {
+    cache.insert(0, 10.0 * i, 10.0 * i + 5.0, 0, i, 0, {});
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 6);
+  // The oldest six windows are gone; the newest four remain.
+  EXPECT_EQ(cache.lookup(0, 0.0, 5.0, 10, 0).kind, CacheLookup::Kind::Miss);
+  EXPECT_EQ(cache.lookup(0, 90.0, 95.0, 10, 0).kind,
+            CacheLookup::Kind::Fresh);
+}
+
+TEST(ResultCache, InvalidateAllDropsEverything) {
+  ResultCache cache(8, 64);
+  cache.insert(0, 10.0, 30.0, 0, 0, 0, three_sources());
+  ASSERT_EQ(cache.lookup(0, 10.0, 30.0, 1, 0).kind, CacheLookup::Kind::Fresh);
+  cache.invalidate_all();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(0, 10.0, 30.0, 1, 0).kind, CacheLookup::Kind::Miss);
+}
+
+TEST(ResultCache, RejectsDegenerateConstruction) {
+  EXPECT_THROW(ResultCache(0, 64), std::invalid_argument);
+  EXPECT_THROW(ResultCache(8, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dirq::serve

@@ -75,23 +75,28 @@ namespace {
       "\n"
       "subcommand: dirqsim sweep — run a declarative grid of cells on a\n"
       "worker pool (list-valued axis flags, --threads N, --json FILE);\n"
-      "see `dirqsim sweep --help`.\n";
+      "see `dirqsim sweep --help`.\n"
+      "subcommand: dirqsim serve — long-lived query front-end: open-loop\n"
+      "arrivals, admission batching, result cache, latency percentiles;\n"
+      "see `dirqsim serve --help`.\n";
   std::exit(code);
 }
 
 using UsageFn = void (*)(int);
 
-double parse_double(const char* flag, const char* value) {
+double parse_double(const char* flag, const char* value,
+                    UsageFn on_error = usage) {
   if (value == nullptr) {
     std::cerr << "missing value for " << flag << "\n";
-    usage(2);
+    on_error(2);
   }
   try {
     return std::stod(value);
   } catch (const std::exception&) {
     std::cerr << "bad value for " << flag << ": " << value << "\n";
-    usage(2);
+    on_error(2);
   }
+  return 0.0;  // unreachable
 }
 
 /// Strict integer parse: the whole token must be a base-10 integer.
@@ -511,6 +516,341 @@ int run_sweep(int argc, char** argv) {
   return 0;
 }
 
+[[noreturn]] void serve_usage(int code) {
+  std::cout <<
+      "dirqsim serve — long-lived query front-end over a live DirQ network\n"
+      "\n"
+      "A virtual-time pacer advances the network one epoch per virtual\n"
+      "second while an open-loop generator pushes query arrivals at the\n"
+      "front-end (admission batching + range-result cache). Same config =>\n"
+      "byte-identical dirq.serve.v1 JSON, at any --threads value.\n"
+      "  --rate R          mean arrivals per epoch (default 10)\n"
+      "  --duration E      virtual epochs to run (default 2000)\n"
+      "  --arrivals NAME   arrival shape: poisson (default) or burst\n"
+      "  --burst L/G       burst window: L arrival epochs, G silent epochs\n"
+      "                    (default 50/150; implies --arrivals burst)\n"
+      "  --cache MODE      result cache: on (default) or off\n"
+      "  --cache-entries N cache capacity, FIFO eviction (default 1024)\n"
+      "  --stale N         serve stale entries up to N epochs old after the\n"
+      "                    update counter moves (default 64)\n"
+      "  --max-inject N    network injections per boundary (default 4);\n"
+      "                    cache hits are free and never consume this\n"
+      "  --inject-period N epochs between injection boundaries (default 1)\n"
+      "  --queue N         arrival queue bound, strict FIFO (default 8192)\n"
+      "  --pool N          distinct predicates in the pool (default 32)\n"
+      "  --subset-frac F   fraction of arrivals narrowed to the middle half\n"
+      "                    of their predicate (default 0.25)\n"
+      "  --multi-frac F    multi-attribute (uncacheable) slice in [0,1]\n"
+      "  --multi-count N   predicates per multi-attribute query (default 2)\n"
+      "  --trace FILE      replay a recorded TSV trace instead of the\n"
+      "                    synthetic stream (epoch, type, lo, hi rows)\n"
+      "  --pace R          pace to R epochs per wall second (default 0 =\n"
+      "                    as fast as possible; never affects results)\n"
+      "  --sinks SPEC      sink count or explicit comma list of root ids\n"
+      "  --routing NAME    admission (default) or roundrobin\n"
+      "  --seed N          master seed (default 42)\n"
+      "  --nodes N         network size (default 50)\n"
+      "  --relevant F      predicate pool involved fraction (default 0.4)\n"
+      "  --theta PCT       fixed threshold, % of span (default: ATC)\n"
+      "  --atc             adaptive threshold control (default mode)\n"
+      "  --field NAME      environment backend: pinned (default) or fast\n"
+      "  --threads N       epoch-loop workers (default 1; 0 = all cores)\n"
+      "  --json FILE       write the dirq.serve.v1 JSON document to FILE\n"
+      "  --help            this text\n";
+  std::exit(code);
+}
+
+int run_serve(int argc, char** argv) {
+  using namespace dirq;
+
+  serve::ServeConfig cfg;
+  cfg.exp.network.mode = core::NetworkConfig::ThetaMode::Atc;
+  cfg.exp.keep_records = false;
+  std::optional<std::size_t> node_count;
+  std::string json_path;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--help" || arg == "-h") {
+      serve_usage(0);
+    } else if (arg == "--rate") {
+      cfg.trace.rate = parse_double("--rate", next, serve_usage);
+      if (!(cfg.trace.rate > 0.0)) {
+        std::cerr << "--rate must be > 0\n";
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--duration") {
+      cfg.duration_epochs =
+          parse_positive_int("--duration", next, serve_usage);
+      ++i;
+    } else if (arg == "--arrivals") {
+      const std::string shape = next != nullptr ? next : "";
+      if (shape == "poisson") {
+        cfg.trace.shape = serve::ArrivalShape::Poisson;
+      } else if (shape == "burst") {
+        cfg.trace.shape = serve::ArrivalShape::Burst;
+      } else {
+        std::cerr << "--arrivals must be 'poisson' or 'burst', got: " << shape
+                  << "\n";
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--burst") {
+      if (next == nullptr) {
+        std::cerr << "missing value for --burst\n";
+        serve_usage(2);
+      }
+      const auto [length, gap] = parse_burst_spec(next, serve_usage);
+      if (length == 0) {
+        std::cerr << "--burst expects LENGTH/GAP for serve (no 'smooth')\n";
+        return 2;
+      }
+      cfg.trace.shape = serve::ArrivalShape::Burst;
+      cfg.trace.burst_length_epochs = length;
+      cfg.trace.burst_gap_epochs = gap;
+      ++i;
+    } else if (arg == "--cache") {
+      const std::string mode = next != nullptr ? next : "";
+      if (mode == "on") {
+        cfg.front_end.cache_enabled = true;
+      } else if (mode == "off") {
+        cfg.front_end.cache_enabled = false;
+      } else {
+        std::cerr << "--cache must be 'on' or 'off', got: " << mode << "\n";
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--cache-entries") {
+      cfg.front_end.cache_entries = static_cast<std::size_t>(
+          parse_positive_int("--cache-entries", next, serve_usage));
+      ++i;
+    } else if (arg == "--stale") {
+      const std::int64_t v = parse_int("--stale", next, serve_usage);
+      if (v < 0) {
+        std::cerr << "--stale must be >= 0\n";
+        return 2;
+      }
+      cfg.front_end.stale_epochs = v;
+      ++i;
+    } else if (arg == "--max-inject") {
+      cfg.front_end.max_inject_per_boundary = static_cast<std::size_t>(
+          parse_positive_int("--max-inject", next, serve_usage));
+      ++i;
+    } else if (arg == "--inject-period") {
+      cfg.front_end.inject_period =
+          parse_positive_int("--inject-period", next, serve_usage);
+      ++i;
+    } else if (arg == "--queue") {
+      cfg.front_end.max_queue = static_cast<std::size_t>(
+          parse_positive_int("--queue", next, serve_usage));
+      ++i;
+    } else if (arg == "--pool") {
+      cfg.trace.pool_size = static_cast<std::size_t>(
+          parse_positive_int("--pool", next, serve_usage));
+      ++i;
+    } else if (arg == "--subset-frac") {
+      cfg.trace.subset_fraction =
+          parse_double("--subset-frac", next, serve_usage);
+      ++i;
+    } else if (arg == "--multi-frac") {
+      cfg.trace.multi_attr_fraction =
+          parse_double("--multi-frac", next, serve_usage);
+      ++i;
+    } else if (arg == "--multi-count") {
+      cfg.trace.multi_attr_count = static_cast<std::size_t>(
+          parse_positive_int("--multi-count", next, serve_usage));
+      ++i;
+    } else if (arg == "--trace") {
+      if (next == nullptr) {
+        std::cerr << "missing value for --trace\n";
+        serve_usage(2);
+      }
+      cfg.replay_path = next;
+      ++i;
+    } else if (arg == "--pace") {
+      cfg.pace_epochs_per_sec = parse_double("--pace", next, serve_usage);
+      if (!(cfg.pace_epochs_per_sec >= 0.0)) {
+        std::cerr << "--pace must be >= 0\n";
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--sinks") {
+      const std::string spec = next != nullptr ? next : "";
+      if (next == nullptr) {
+        std::cerr << "missing value for --sinks\n";
+        serve_usage(2);
+      }
+      cfg.exp.sinks.clear();
+      if (spec.find(',') == std::string::npos) {
+        cfg.exp.sink_count = static_cast<std::size_t>(
+            parse_int("--sinks", next, serve_usage));
+      } else {
+        std::istringstream in(spec);
+        std::string item;
+        while (std::getline(in, item, ',')) {
+          cfg.exp.sinks.push_back(static_cast<dirq::NodeId>(
+              parse_int("--sinks", item.c_str(), serve_usage)));
+        }
+      }
+      ++i;
+    } else if (arg == "--routing") {
+      const std::string policy = next != nullptr ? next : "";
+      if (policy == "admission") {
+        cfg.exp.routing = core::RoutingPolicy::Admission;
+      } else if (policy == "roundrobin") {
+        cfg.exp.routing = core::RoutingPolicy::RoundRobin;
+      } else {
+        std::cerr << "--routing must be 'admission' or 'roundrobin', got: "
+                  << policy << "\n";
+        return 2;
+      }
+      ++i;
+    } else if (arg == "--seed") {
+      cfg.exp.seed = parse_uint("--seed", next, serve_usage);
+      ++i;
+    } else if (arg == "--nodes") {
+      node_count = static_cast<std::size_t>(
+          parse_positive_int("--nodes", next, serve_usage));
+      ++i;
+    } else if (arg == "--relevant") {
+      cfg.exp.relevant_fraction =
+          parse_double("--relevant", next, serve_usage);
+      ++i;
+    } else if (arg == "--theta") {
+      cfg.exp.network.mode = core::NetworkConfig::ThetaMode::Fixed;
+      cfg.exp.network.fixed_pct = parse_double("--theta", next, serve_usage);
+      ++i;
+    } else if (arg == "--atc") {
+      cfg.exp.network.mode = core::NetworkConfig::ThetaMode::Atc;
+    } else if (arg == "--field") {
+      cfg.exp.field_backend = parse_field_backend(next, serve_usage);
+      ++i;
+    } else if (arg == "--threads") {
+      const std::int64_t v = parse_int("--threads", next, serve_usage);
+      if (v < 0 || v > 4096) {
+        std::cerr << "--threads must be in [0, 4096], got: " << next << "\n";
+        serve_usage(2);
+      }
+      cfg.exp.threads = static_cast<unsigned>(v);
+      ++i;
+    } else if (arg == "--json") {
+      if (next == nullptr) {
+        std::cerr << "missing value for --json\n";
+        serve_usage(2);
+      }
+      json_path = next;
+      ++i;
+    } else {
+      std::cerr << "unknown serve option: " << arg << "\n";
+      serve_usage(2);
+    }
+  }
+  if (node_count) {
+    cfg.exp.placement = net::scaled_placement(*node_count, cfg.exp.placement);
+  }
+  if (!(cfg.exp.relevant_fraction > 0.0 && cfg.exp.relevant_fraction <= 1.0)) {
+    std::cerr << "--relevant must be in (0, 1]\n";
+    return 2;
+  }
+  if (cfg.exp.network.mode == core::NetworkConfig::ThetaMode::Fixed &&
+      !(cfg.exp.network.fixed_pct > 0.0 &&
+        cfg.exp.network.fixed_pct <= 100.0)) {
+    std::cerr << "--theta must be in (0, 100]\n";
+    return 2;
+  }
+
+  serve::ServeResults res;
+  try {
+    res = serve::Server(cfg).run();
+  } catch (const std::exception& e) {
+    std::cerr << "dirqsim serve: " << e.what() << "\n";
+    return 1;
+  }
+
+  metrics::Table t({"metric", "value"});
+  t.add_row({"mode", cfg.exp.network.mode == core::NetworkConfig::ThetaMode::Atc
+                         ? "ATC"
+                         : "fixed theta=" +
+                               metrics::fmt(cfg.exp.network.fixed_pct, 1) +
+                               "%"});
+  t.add_row({"field", data::backend_name(cfg.exp.field_backend)});
+  t.add_row({"seed", std::to_string(cfg.exp.seed)});
+  t.add_row({"nodes", std::to_string(cfg.exp.placement.node_count)});
+  t.add_row({"duration (epochs)", std::to_string(res.duration_epochs)});
+  if (!cfg.replay_path.empty()) {
+    t.add_row({"arrivals", "replay " + cfg.replay_path});
+  } else {
+    t.add_row({"arrivals",
+               std::string(cfg.trace.shape == serve::ArrivalShape::Burst
+                               ? "burst"
+                               : "poisson") +
+                   " @ " + metrics::fmt(cfg.trace.rate, 2) + "/epoch"});
+  }
+  if (cfg.exp.resolved_sink_count() > 1) {
+    std::string roots;
+    for (const serve::ServeSinkStats& s : res.sinks) {
+      if (!roots.empty()) roots += ',';
+      roots += std::to_string(s.root);
+    }
+    t.add_row({"sinks", std::to_string(res.sinks.size()) + " (roots " +
+                            roots + ")"});
+    t.add_row({"routing", cfg.exp.routing == core::RoutingPolicy::RoundRobin
+                              ? "roundrobin"
+                              : "admission"});
+  }
+  t.add_row({"arrived", std::to_string(res.totals.arrived)});
+  t.add_row({"answered", std::to_string(res.totals.answered)});
+  t.add_row({"queries/sec (virtual)", metrics::fmt(res.qps(), 3)});
+  t.add_row({"injected over network", std::to_string(res.totals.injected)});
+  t.add_row({"cache", cfg.front_end.cache_enabled ? "on" : "off"});
+  if (cfg.front_end.cache_enabled) {
+    const serve::CacheStats& c = res.cache;
+    const double hit_rate =
+        c.lookups() > 0 ? 100.0 * static_cast<double>(c.hits()) /
+                              static_cast<double>(c.lookups())
+                        : 0.0;
+    t.add_row({"cache hits (fresh/stale)", std::to_string(c.fresh_hits) +
+                                               "/" +
+                                               std::to_string(c.stale_hits)});
+    t.add_row({"cache hit rate %", metrics::fmt(hit_rate, 1)});
+    t.add_row({"containment hits", std::to_string(c.containment_hits)});
+  }
+  t.add_row({"shed (queue full)", std::to_string(res.totals.shed)});
+  t.add_row({"peak/final queue depth",
+             std::to_string(res.totals.peak_queue_depth) + "/" +
+                 std::to_string(res.final_queue_depth)});
+  t.add_row({"latency p50/p95/p99 (epochs)",
+             std::to_string(res.latency.quantile(0.5)) + "/" +
+                 std::to_string(res.latency.quantile(0.95)) + "/" +
+                 std::to_string(res.latency.quantile(0.99))});
+  if (res.sinks.size() > 1) {
+    for (std::size_t k = 0; k < res.sinks.size(); ++k) {
+      const metrics::LatencyHistogram& lat = res.sinks[k].latency;
+      t.add_row({"sink " + std::to_string(k) + " injected/p99",
+                 std::to_string(res.sinks[k].injected) + "/" +
+                     std::to_string(lat.quantile(0.99))});
+    }
+  }
+  t.add_row({"update msgs transmitted",
+             std::to_string(res.updates_transmitted)});
+  t.add_row({"energy total (units)", std::to_string(res.energy_total)});
+  t.print(std::cout);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "dirqsim serve: cannot open " << json_path
+                << " for writing\n";
+      return 1;
+    }
+    serve::write_serve_json(cfg, res, out);
+    std::cerr << "dirqsim serve: wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -518,6 +858,9 @@ int main(int argc, char** argv) {
 
   if (argc > 1 && std::strcmp(argv[1], "sweep") == 0) {
     return run_sweep(argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    return run_serve(argc - 2, argv + 2);
   }
 
   core::ExperimentConfig cfg;
@@ -717,6 +1060,15 @@ int main(int argc, char** argv) {
       t.add_row({"sink " + std::to_string(k) + " total (units)",
                  std::to_string(res.sink_ledgers[k].total()) + "  (" +
                      std::to_string(res.sink_queries[k]) + " queries)"});
+    }
+    // Injection -> answer latency per sink (virtual epochs): 0 on the
+    // instant transport, query_period on LMAC's deferred audits; the
+    // serve plane is where queueing spreads this distribution out.
+    for (std::size_t k = 0; k < res.sink_query_latency.size(); ++k) {
+      const dirq::metrics::LatencyHistogram& lat = res.sink_query_latency[k];
+      t.add_row({"sink " + std::to_string(k) + " latency p50/p99 (epochs)",
+                 std::to_string(lat.quantile(0.5)) + "/" +
+                     std::to_string(lat.quantile(0.99))});
     }
     t.add_row({"sink energy spread", metrics::fmt(res.sink_energy_spread(), 3)});
     t.add_row({"cross-tree overhead (units)",

@@ -18,6 +18,12 @@
 #     the update/flood planes but share one sensing plane, so a healthy
 #     run lands well under 3x and a per-query rebuild or an O(N^2)
 #     cross-tree scan shows up immediately.
+#   * serve 500n/2000e: cache-on vs cache-off qps from the SAME
+#     bench_serve_throughput run — self-relative and on the virtual
+#     clock, so machine speed divides out entirely. Cache-on must answer
+#     STRICTLY more queries per virtual second than cache-off at an
+#     offered rate above the injection budget; a broken cache (always
+#     missing, or no longer consulted) collapses the two to equality.
 #
 #   tools/perf_smoke.sh [build-dir]     (run from the repo root, against a
 #                                        Release build)
@@ -110,4 +116,30 @@ awk -v one="$one" -v four="$four" 'BEGIN {
     exit 1
   }
   printf "perf_smoke: OK multi-sink (%.2fx of 1-sink)\n", four / one
+}'
+
+# Serve guard cell: one bench run covering the cache-off and cache-on
+# cells at rate 20 / 1 sink (dirq.serve_bench.v1 rows); the invariant is
+# on the virtual clock, so it is exact, not a wall budget.
+extract_serve_qps() {
+  grep '"qps"' "$1" | grep "\"cache\": $2" | head -n 1 |
+    sed 's/.*"qps": \([0-9.eE+-]*\),.*/\1/'
+}
+
+"$BUILD_DIR/bench/bench_serve_throughput" --nodes 500 --rates 20 --sinks 1 \
+  --duration 2000 --json "$OUT" >/dev/null
+off=$(extract_serve_qps "$OUT" false)
+on=$(extract_serve_qps "$OUT" true)
+if [ -z "$off" ] || [ -z "$on" ]; then
+  echo "perf_smoke: could not extract serve qps" \
+       "(cache-off='$off' cache-on='$on')" >&2
+  exit 2
+fi
+echo "perf_smoke: 500n/2000e serve qps cache-off=$off cache-on=$on (must be strictly higher)"
+awk -v off="$off" -v on="$on" 'BEGIN {
+  if (on <= off) {
+    printf "perf_smoke: FAIL — serve cache-on qps %.3f <= cache-off %.3f\n", on, off
+    exit 1
+  }
+  printf "perf_smoke: OK serve cache (%.2fx of cache-off)\n", on / off
 }'

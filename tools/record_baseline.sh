@@ -16,6 +16,11 @@
 #     sinks (bench_multi_sink, dirq.msink.v1): the 4-sink-vs-1-sink wall
 #     ratio perf_smoke.sh guards, plus the per-sink ledgers and energy
 #     spread for admission vs round-robin.
+#   * serve_500n.json — the serve plane's 500-node fast-field grid
+#     (bench_serve_throughput, dirq.serve_bench.v1): rate x sinks x cache
+#     cells; the cache-on-vs-cache-off qps invariant perf_smoke.sh guards
+#     is self-relative, but the checked-in rows document the sustained
+#     qps / tail-latency surface the serve tier is expected to hold.
 #
 #   tools/record_baseline.sh [build-dir]     (run from the repo root,
 #                                             against a Release build)
@@ -31,6 +36,7 @@ SCALE_OUT=bench/baselines/scale_500n_2000e.json
 FAST_OUT=bench/baselines/scale_500n_fast.json
 MT_OUT=bench/baselines/scale_2000n_fast_mt.json
 MSINK_OUT=bench/baselines/msink_500n.json
+SERVE_OUT=bench/baselines/serve_500n.json
 
 mkdir -p bench/baselines
 "$BUILD_DIR/tools/dirqsim" sweep \
@@ -55,3 +61,7 @@ echo "parallel-epoch scale baseline written to $MT_OUT"
 "$BUILD_DIR/bench/bench_multi_sink" --nodes 500 --sinks 1,4 --epochs 2000 \
   --json "$MSINK_OUT"
 echo "multi-sink baseline written to $MSINK_OUT"
+
+"$BUILD_DIR/bench/bench_serve_throughput" --nodes 500 --rates 20,100 \
+  --sinks 1,4 --duration 2000 --json "$SERVE_OUT"
+echo "serve baseline written to $SERVE_OUT"
