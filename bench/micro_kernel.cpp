@@ -6,6 +6,7 @@
 #include <map>
 
 #include "core/experiment.hpp"
+#include "core/gate_scan.hpp"
 #include "core/network.hpp"
 #include "core/range_table.hpp"
 #include "data/fast_field.hpp"
@@ -260,6 +261,63 @@ void BM_FullEpochLoop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullEpochLoop);
+
+void BM_ParallelEpochShardScaling(benchmark::State& state) {
+  // Tree-sharded multi-sink epochs: 4 sinks == 4 shards over 500 nodes on
+  // the fast backend, Arg = worker count. The alignas(64) EpochShardCtx
+  // keeps shard ledgers off each other's cache lines; on a multi-core
+  // host 1 -> 2 -> 4 threads should show wall-clock scaling (the guarded
+  // check lives in tools/perf_smoke.sh — this bench is for profiling it).
+  sim::Rng rng(42);
+  net::Topology topo = net::random_connected(net::scaled_placement(500), rng);
+  data::FastEnvironment env(topo, 4, rng.substream("env"));
+  core::NetworkConfig ncfg;
+  core::DirqNetwork net(topo, {0, 125, 250, 375}, ncfg);
+  net.set_threads(static_cast<unsigned>(state.range(0)));
+  std::int64_t epoch = -1;
+  for (auto _ : state) {
+    ++epoch;
+    env.advance_to(epoch);
+    net.process_epoch(env, epoch);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(topo.size()));
+}
+BENCHMARK(BM_ParallelEpochShardScaling)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_GateScan(benchmark::State& state) {
+  // The sampling-gate sweep at plan scale (4096 slots, ~half due):
+  // range(0) == 0 is the two-pass branch-light path (gate_scan_mask is
+  // the loop gcc auto-vectorizes at -O3 even on baseline SSE2 — verify
+  // with `g++ -O3 -fopt-info-vec` on any TU including gate_scan.hpp);
+  // range(0) == 1 is the branchy scalar reference gate_filter_ref.
+  const bool branchy = state.range(0) == 1;
+  constexpr std::size_t kN = 4096;
+  std::vector<std::int64_t> due(kN);
+  std::vector<NodeId> nodes(kN);
+  sim::Rng rng(7);
+  for (std::size_t j = 0; j < kN; ++j) {
+    due[j] = rng.uniform_int(0, 20);
+    nodes[j] = static_cast<NodeId>(j);
+  }
+  std::vector<std::uint8_t> mask(kN);
+  std::vector<NodeId> out(kN);
+  const std::int64_t epoch = 10;
+  for (auto _ : state) {
+    std::size_t m = 0;
+    if (branchy) {
+      m = core::gate_filter_ref(due.data(), nodes.data(), 0, kN, epoch,
+                                out.data());
+    } else {
+      core::gate_scan_mask(due.data(), kN, epoch, mask.data());
+      m = core::gate_compact(nodes.data(), mask.data(), 0, kN, out.data());
+    }
+    benchmark::DoNotOptimize(m);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_GateScan)->Arg(0)->Arg(1);
 
 void BM_Flooding50Nodes(benchmark::State& state) {
   sim::Rng rng(42);

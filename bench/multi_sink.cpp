@@ -5,13 +5,16 @@
 // (per-sink energy balance) on the scaled topologies.
 //
 //   bench_multi_sink [--nodes LIST] [--sinks LIST] [--epochs N]
-//                    [--json FILE]
+//                    [--threads LIST] [--json FILE]
 //
-// For each (nodes, sinks, routing) cell: one full fixed-theta experiment,
-// wall-clock, the global ledger, the per-sink ledgers, and the energy
-// spread ((max-min)/mean of per-sink totals — 0 is perfectly balanced).
-// Routing only matters with >= 2 sinks, so the 1-sink cell runs once and
-// serves as the baseline for both policies.
+// For each (nodes, sinks, routing, threads) cell: one full fixed-theta
+// experiment, wall-clock, the global ledger, the per-sink ledgers, and the
+// energy spread ((max-min)/mean of per-sink totals — 0 is perfectly
+// balanced). Routing only matters with >= 2 sinks, so the 1-sink cell runs
+// once and serves as the baseline for both policies. --threads values are
+// worker counts for the tree-sharded epoch engine (0 = all cores; results
+// are byte-identical across the axis, only run_seconds moves — the rows
+// feed tools/perf_smoke.sh's self-relative speedup guard).
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -31,6 +34,7 @@ struct MsinkRow {
   std::int64_t epochs = 0;
   std::size_t sinks = 1;
   std::string routing;  // "admission", "roundrobin", or "-" for 1 sink
+  unsigned threads = 1;  // effective worker count (requested, resolved)
   double run_seconds = 0.0;
   double epochs_per_sec = 0.0;
   std::int64_t queries = 0;
@@ -42,7 +46,7 @@ struct MsinkRow {
 };
 
 MsinkRow run_cell(std::size_t nodes, std::int64_t epochs, std::size_t sinks,
-                  core::RoutingPolicy routing) {
+                  core::RoutingPolicy routing, unsigned threads) {
   MsinkRow row;
   row.nodes = nodes;
   row.epochs = epochs;
@@ -60,6 +64,8 @@ MsinkRow run_cell(std::size_t nodes, std::int64_t epochs, std::size_t sinks,
   cfg.keep_records = false;
   cfg.sink_count = sinks;
   cfg.routing = routing;
+  cfg.threads = threads;
+  row.threads = core::Experiment::effective_threads(cfg);
 
   const auto start = Clock::now();
   const core::ExperimentResults res = core::Experiment(cfg).run();
@@ -96,7 +102,8 @@ void write_json(const std::string& path, const std::vector<MsinkRow>& rows) {
     const MsinkRow& r = rows[i];
     out << "    {\"nodes\": " << r.nodes << ", \"epochs\": " << r.epochs
         << ", \"sinks\": " << r.sinks << ", \"routing\": \"" << r.routing
-        << "\", \"run_seconds\": " << r.run_seconds
+        << "\", \"threads\": " << r.threads
+        << ", \"run_seconds\": " << r.run_seconds
         << ", \"epochs_per_sec\": " << r.epochs_per_sec
         << ", \"queries\": " << r.queries
         << ", \"dirq_total\": " << r.dirq_total
@@ -133,6 +140,7 @@ std::vector<std::size_t> parse_list(const char* flag, const char* value,
 int main(int argc, char** argv) {
   std::vector<std::size_t> node_counts{500, 1000, 2000};
   std::vector<std::size_t> sink_counts{1, 2, 4, 8};
+  std::vector<std::size_t> thread_counts{1};
   std::int64_t epochs = 2000;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
@@ -144,6 +152,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--sinks" && next != nullptr) {
       sink_counts = parse_list("--sinks", next, 1);
       ++i;
+    } else if (arg == "--threads" && next != nullptr) {
+      // 0 is meaningful: all hardware threads (resolved into the row).
+      thread_counts = parse_list("--threads", next, 0);
+      ++i;
     } else if (arg == "--epochs" && next != nullptr) {
       epochs = bench::parse_count("bench_multi_sink", "--epochs", next);
       ++i;
@@ -152,7 +164,7 @@ int main(int argc, char** argv) {
       ++i;
     } else {
       std::cerr << "usage: bench_multi_sink [--nodes LIST] [--sinks LIST]"
-                   " [--epochs N] [--json FILE]\n";
+                   " [--epochs N] [--threads LIST] [--json FILE]\n";
       return 2;
     }
   }
@@ -164,29 +176,38 @@ int main(int argc, char** argv) {
   std::vector<MsinkRow> rows;
   for (std::size_t n : node_counts) {
     for (std::size_t s : sink_counts) {
-      if (s < 2) {
-        rows.push_back(run_cell(n, epochs, s, core::RoutingPolicy::Admission));
-        std::cerr << "  " << n << "n x " << s << " sink done ("
-                  << dirq::metrics::fmt(rows.back().run_seconds) << " s)\n";
-        continue;
-      }
-      for (const core::RoutingPolicy policy :
-           {core::RoutingPolicy::Admission, core::RoutingPolicy::RoundRobin}) {
-        rows.push_back(run_cell(n, epochs, s, policy));
-        std::cerr << "  " << n << "n x " << s << " sinks ("
-                  << rows.back().routing << ") done ("
-                  << dirq::metrics::fmt(rows.back().run_seconds) << " s)\n";
+      for (std::size_t th : thread_counts) {
+        const auto threads = static_cast<unsigned>(th);
+        if (s < 2) {
+          rows.push_back(
+              run_cell(n, epochs, s, core::RoutingPolicy::Admission, threads));
+          std::cerr << "  " << n << "n x " << s << " sink x "
+                    << rows.back().threads << "t done ("
+                    << dirq::metrics::fmt(rows.back().run_seconds) << " s)\n";
+          continue;
+        }
+        for (const core::RoutingPolicy policy :
+             {core::RoutingPolicy::Admission,
+              core::RoutingPolicy::RoundRobin}) {
+          rows.push_back(run_cell(n, epochs, s, policy, threads));
+          std::cerr << "  " << n << "n x " << s << " sinks ("
+                    << rows.back().routing << ") x " << rows.back().threads
+                    << "t done ("
+                    << dirq::metrics::fmt(rows.back().run_seconds) << " s)\n";
+        }
       }
     }
   }
 
   dirq::metrics::TsvBlock tsv(
       "multi-sink tier: overlay cost + energy balance",
-      {"nodes", "epochs", "sinks", "routing", "run_s", "epochs_per_s",
-       "queries", "dirq_total", "xtree_overhead", "energy_spread"});
+      {"nodes", "epochs", "sinks", "routing", "threads", "run_s",
+       "epochs_per_s", "queries", "dirq_total", "xtree_overhead",
+       "energy_spread"});
   for (const MsinkRow& r : rows) {
     tsv.add_row({std::to_string(r.nodes), std::to_string(r.epochs),
                  std::to_string(r.sinks), r.routing,
+                 std::to_string(r.threads),
                  dirq::metrics::fmt(r.run_seconds, 3),
                  dirq::metrics::fmt(r.epochs_per_sec, 1),
                  std::to_string(r.queries), std::to_string(r.dirq_total),

@@ -49,8 +49,25 @@ void DirqNode::sample(SensorType type, double reading, std::int64_t epoch) {
   }
 }
 
+void DirqNode::sample_slot(TreeId tree, SensorType type, double reading,
+                           std::int64_t epoch) {
+  if (!std::binary_search(sensors_.begin(), sensors_.end(), type)) {
+    return;  // not our sensor: ignore (same guard as sample())
+  }
+  TreeSlot& slot = slots_.at(tree);
+  slot.controller->on_reading(type, reading);
+  RangeTable& t = slot.tables[type];
+  if (t.observe(reading, slot.controller->theta(type))) {
+    maybe_send_update(tree, type, epoch);
+  }
+}
+
 void DirqNode::end_epoch(std::int64_t epoch) {
   for (TreeSlot& slot : slots_) slot.controller->on_epoch(epoch);
+}
+
+void DirqNode::end_epoch_slot(TreeId tree, std::int64_t epoch) {
+  slots_.at(tree).controller->on_epoch(epoch);
 }
 
 void DirqNode::maybe_send_update(TreeId tree, SensorType type,
@@ -72,7 +89,7 @@ void DirqNode::maybe_send_update(TreeId tree, SensorType type,
   } else {
     u.has_range = false;  // retraction: type left this subtree
   }
-  ++updates_sent_;
+  ++slot.updates_sent;
   slot.controller->on_update_sent(type, epoch);
   if (send_) send_(id_, slot.parent, Message{u});
 }
@@ -265,7 +282,7 @@ void DirqNode::force_reannounce(TreeId tree, std::int64_t epoch) {
     u.min = agg->min;
     u.max = agg->max;
     u.has_range = true;
-    ++updates_sent_;
+    ++slot.updates_sent;
     slot.controller->on_update_sent(type, epoch);
     if (send_) send_(id_, slot.parent, Message{u});
   }

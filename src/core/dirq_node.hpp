@@ -96,8 +96,19 @@ class DirqNode {
   /// aggregate moved beyond its theta.
   void sample(SensorType type, double reading, std::int64_t epoch);
 
+  /// One slot's share of sample(): observes the reading in `tree` only.
+  /// The tree-sharded parallel engine calls this once per tree from the
+  /// shard that owns the tree; calling it for every slot in ascending
+  /// TreeId order is equivalent to one sample() call, because slots share
+  /// no mutable state (per-slot update counters included).
+  void sample_slot(TreeId tree, SensorType type, double reading,
+                   std::int64_t epoch);
+
   /// End-of-epoch hook: drives every slot's threshold controller.
   void end_epoch(std::int64_t epoch);
+
+  /// One slot's share of end_epoch() (see sample_slot).
+  void end_epoch_slot(TreeId tree, std::int64_t epoch);
 
   // --- message handling ----------------------------------------------------
 
@@ -192,7 +203,13 @@ class DirqNode {
   }
 
   /// Update Messages this node transmitted (origin + relay, all trees).
-  [[nodiscard]] std::int64_t updates_sent() const noexcept { return updates_sent_; }
+  /// The counter lives per slot so concurrent tree shards never share a
+  /// cache line through it; this accessor sums the slots.
+  [[nodiscard]] std::int64_t updates_sent() const noexcept {
+    std::int64_t total = 0;
+    for (const TreeSlot& slot : slots_) total += slot.updates_sent;
+    return total;
+  }
 
   /// EHr rounds seen (flood dedup state), exposed for tests.
   [[nodiscard]] std::int64_t last_ehr_round() const noexcept {
@@ -215,6 +232,7 @@ class DirqNode {
     bool box_sent = false;
     std::unique_ptr<ThetaController> controller;
     std::int64_t last_ehr_round = -1;
+    std::int64_t updates_sent = 0;
   };
 
   /// Emits an update/retraction for `type` in `tree` if the slot's table
@@ -245,7 +263,6 @@ class DirqNode {
   SendFn send_;
   MulticastFn multicast_;
   BroadcastFn broadcast_;
-  std::int64_t updates_sent_ = 0;
 };
 
 }  // namespace dirq::core

@@ -19,9 +19,18 @@
 
 namespace dirq::core {
 
+const char* Experiment::thread_clamp_reason(const ExperimentConfig& cfg) {
+  if (cfg.transport == TransportKind::Lmac) {
+    return "lmac transport delivers in slot order";
+  }
+  if (cfg.loss_rate > 0.0) {
+    return "lossy channel consumes rng in delivery order";
+  }
+  return nullptr;
+}
+
 unsigned Experiment::effective_threads(const ExperimentConfig& cfg) {
-  if (cfg.transport == TransportKind::Lmac || cfg.loss_rate > 0.0) return 1;
-  if (cfg.resolved_sink_count() > 1) return 1;
+  if (thread_clamp_reason(cfg) != nullptr) return 1;
   return sim::ThreadPool::resolve(cfg.threads);
 }
 

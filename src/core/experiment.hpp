@@ -88,9 +88,11 @@ struct ExperimentConfig {
   bool keep_records = true;
   /// Intra-run worker count for the epoch loop (DirqNetwork::set_threads):
   /// 1 (default) is the exact sequential path — the only golden
-  /// configuration; 0 means all hardware threads. Order-sensitive
-  /// backends (Lmac transport, loss_rate > 0) always run with 1 thread
-  /// regardless of this value — see Experiment::effective_threads.
+  /// configuration; 0 means all hardware threads. Single-sink runs shard
+  /// by root-child subtree, multi-sink runs by spanning tree; both are
+  /// byte-identical to 1 thread. Order-sensitive backends (Lmac
+  /// transport, loss_rate > 0) always run with 1 thread regardless of
+  /// this value — see Experiment::effective_threads.
   unsigned threads = 1;
   TransportKind transport = TransportKind::Instant;
   /// Frame geometry when transport == Lmac. The default (32 slots x 32
@@ -249,11 +251,17 @@ class Experiment {
   /// The worker count a config actually runs with: cfg.threads resolved
   /// (0 → hardware concurrency), clamped to 1 on order-sensitive backends
   /// — the LMAC transport (slot-synchronous deliveries interleave with
-  /// the walk), lossy channels (the drop RNG is consumed in delivery
-  /// order), and multi-sink deployments (the shard partition is a
-  /// single-tree property). Exposed so the CLI can report the fallback
-  /// instead of silently pretending to parallelise.
+  /// the walk) and lossy channels (the drop RNG is consumed in delivery
+  /// order). Multi-sink deployments parallelise via tree shards and are
+  /// not clamped. Exposed so the CLI can report the fallback instead of
+  /// silently pretending to parallelise.
   [[nodiscard]] static unsigned effective_threads(const ExperimentConfig& cfg);
+
+  /// Why a config is forced sequential, or nullptr when cfg.threads is
+  /// honoured as requested. The CLI prints this next to the effective
+  /// thread count.
+  [[nodiscard]] static const char* thread_clamp_reason(
+      const ExperimentConfig& cfg);
 
   [[nodiscard]] const ExperimentConfig& config() const noexcept { return cfg_; }
 

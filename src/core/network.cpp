@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/cost_model.hpp"
+#include "core/gate_scan.hpp"
 #include "sim/logging.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -13,12 +14,19 @@ namespace dirq::core {
 
 /// Shard-local accounting for one parallel consume pass. Every message a
 /// shard's nodes emit is charged here instead of the shared transport
-/// ledger; root-bound deliveries are deferred so the root — the only node
-/// reachable from more than one shard — is touched by exactly one thread.
-/// Merged into the real ledger/counters in shard-index order after the
-/// join, which keeps the totals equal to the sequential pass (they are
-/// sums of the same per-message charges).
-struct EpochShardCtx {
+/// ledger, and per-node tx/rx attribution lands in shard-local dense
+/// delta arrays (in tree-shard mode the same node transmits in several
+/// shards, so direct writes to the shared counters would race). In
+/// subtree mode root-bound deliveries are deferred so the root — the only
+/// node reachable from more than one shard — is touched by exactly one
+/// thread. Merged into the real ledger/counters in shard-index order
+/// after the join, which keeps the totals equal to the sequential pass
+/// (they are sums of the same per-message charges).
+///
+/// alignas(64): each shard's hot merge state gets its own cache line(s);
+/// without it neighbouring shards' ledgers share lines and every charge
+/// bounces the line between cores (see BM_ParallelEpochShardScaling).
+struct alignas(64) EpochShardCtx {
   std::size_t index = 0;
   CostLedger ledger;
   std::int64_t update_msgs = 0;  // wire-level UpdateMessage transmissions
@@ -26,6 +34,10 @@ struct EpochShardCtx {
   // Per-type walk cursors (resized to the plan's type count each epoch).
   std::vector<std::size_t> plan_cur;
   std::vector<std::size_t> val_cur;
+  // Per-node tx/rx deltas for this shard's pass (cleared each epoch,
+  // merged in shard-index order).
+  std::vector<CostUnits> tx_delta;
+  std::vector<CostUnits> rx_delta;
 };
 
 namespace {
@@ -54,27 +66,55 @@ void accumulate(CostLedger& into, const CostLedger& from) {
 
 /// The parallel epoch engine: a persistent pool plus the cached shard plan.
 ///
-/// The plan is the sequential walk, re-sorted shard-major: shard s is the
-/// s-th root child's subtree in leaves-first (reversed cached-BFS) order,
-/// and for every sensor type t, plan_nodes[t] lists the nodes carrying t
-/// in that same shard-major walk order with the root's sensors at the
-/// tail (the root is processed serially, last, exactly as the reversed
-/// global order does). plan_seg[t] holds shards.size() + 2 offsets:
-/// segment s is [seg[s], seg[s+1]) and the root segment is the final one.
+/// Two shard geometries share the machinery:
+///
+/// * Subtree mode (one tree): shard s is the s-th root child's subtree in
+///   leaves-first (reversed cached-BFS) order, and for every sensor type
+///   t, plan_nodes[t] lists the nodes carrying t in that same shard-major
+///   walk order with the root's sensors at the tail (the root is
+///   processed serially, last, exactly as the reversed global order
+///   does). plan_seg[t] holds shards.size() + 2 offsets: segment s is
+///   [seg[s], seg[s+1]) and the root segment is the final one.
+///
+/// * Tree-shard mode (several sinks): shard k IS spanning tree k. Every
+///   shard walks the same reversed union order, but only advances its own
+///   tree's slot on each node (DirqNode::sample_slot / end_epoch_slot) —
+///   slots share no mutable state, so the shards are write-disjoint by
+///   construction and no root pass is needed (each tree's cascade,
+///   including into its own root, stays inside its shard). Shard 0
+///   additionally owns the shared sampling gate: it performs the
+///   on_skip/on_sample/count_sample bookkeeping inline, exactly where the
+///   sequential walk does (the gate reads the tree-0 controller's theta,
+///   which only shard 0 mutates). plan_nodes[t] is the full reversed
+///   union walk per type; plan_seg is unused.
+///
 /// next_due mirrors the sampling gate per plan slot (struct-of-arrays, so
-/// the per-epoch gate filter is a flat int64 scan instead of a FlatMap
-/// lookup per sensor); the consume pass writes a slot back right after
-/// on_sample, and each slot belongs to exactly one shard.
+/// the per-epoch gate filter is a flat int64 scan — gate_scan.hpp — over
+/// a dense array instead of a FlatMap lookup per sensor); shard 0 (or the
+/// owning subtree shard) writes a slot back right after on_sample. In
+/// gated epochs due_mask[t] holds the per-slot decision byte computed
+/// before the shards run, so every shard branches on the same snapshot.
 struct DirqNetwork::ParallelEngine {
   explicit ParallelEngine(unsigned threads) : pool(threads) {}
 
   static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
 
+  /// One readings() call: a contiguous slice of type t's batch. Splitting
+  /// below whole types is only done when the source advertises
+  /// concurrent_intra_type_chunks().
+  struct FetchTask {
+    SensorType type = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
   sim::ThreadPool pool;
   bool plan_dirty = true;
+  bool tree_mode = false;      // shard per tree instead of per subtree
   std::size_t plan_alive = 0;  // cheap staleness guard vs the topology
 
-  std::vector<std::vector<NodeId>> shards;  // leaves-first per root child
+  std::vector<std::vector<NodeId>> shards;  // subtree mode: leaves-first
+  std::vector<NodeId> walk;                 // tree mode: shared walk order
   std::vector<std::size_t> claim_order;     // largest shard first
   std::vector<std::size_t> shard_of;        // per node, kNoShard if none
   bool gated = false;                       // sampling suppression on?
@@ -85,9 +125,11 @@ struct DirqNetwork::ParallelEngine {
 
   // Per-epoch scratch, reused so the hot loop never allocates.
   std::vector<EpochShardCtx> ctx;
+  std::vector<std::vector<std::uint8_t>> due_mask;  // gated: 0/1 per slot
   std::vector<std::vector<NodeId>> filt_nodes;  // gated: nodes due this epoch
   std::vector<std::vector<std::size_t>> filt_seg;
   std::vector<std::vector<double>> values;
+  std::vector<FetchTask> fetch_tasks;
   std::vector<std::size_t> root_plan_cur, root_val_cur;
   std::vector<SensorType> active_types;  // non-empty batches this epoch
 
@@ -161,13 +203,6 @@ DirqNetwork::DirqNetwork(net::Topology& topo, std::vector<NodeId> roots,
 DirqNetwork::~DirqNetwork() = default;
 
 void DirqNetwork::set_threads(unsigned threads) {
-  if (trees_.count() > 1) {
-    // The shard partition is the root's child subtrees of ONE tree; with
-    // several overlapping trees the shards are not write-disjoint. Stay
-    // sequential — the experiment layer reports effective_threads == 1.
-    par_.reset();
-    return;
-  }
   const unsigned n = sim::ThreadPool::resolve(threads);
   if (n <= 1) {
     par_.reset();
@@ -200,10 +235,11 @@ void DirqNetwork::wire_node(DirqNode& n) {
     if (EpochShardCtx* ctx = tls_shard) {
       // Parallel consume pass: charge the shard, not the shared ledger;
       // the update hook is replayed (same epoch, same count) at merge,
-      // and the shard ledger is merged into the tree-0 mirror (the
-      // parallel path only runs single-tree).
+      // and the shard ledger is merged into the message's tree mirror.
+      // Per-node attribution goes through the shard's delta array — in
+      // tree-shard mode `from` transmits in several shards at once.
       if (std::holds_alternative<UpdateMessage>(msg)) ++ctx->update_msgs;
-      node_tx_.at(from) += 1;  // `from` belongs to this shard
+      ctx->tx_delta.at(from) += 1;
       parallel_unicast(*ctx, from, to, msg);
       return;
     }
@@ -295,8 +331,7 @@ void DirqNetwork::rebuild_union_walk() {
 void DirqNetwork::process_epoch(const data::ReadingSource& env,
                                 std::int64_t epoch) {
   current_epoch_ = epoch;
-  if (par_ != nullptr && transport_ == instant_.get() && !audit_active_ &&
-      trees_.count() == 1) {
+  if (par_ != nullptr && transport_ == instant_.get() && !audit_active_) {
     process_epoch_parallel(env, epoch);
     return;
   }
@@ -392,6 +427,63 @@ void DirqNetwork::process_epoch(const data::ReadingSource& env,
 
 void DirqNetwork::rebuild_parallel_plan() {
   ParallelEngine& pe = *par_;
+  pe.tree_mode = trees_.count() > 1;
+  if (pe.tree_mode) {
+    // Tree-shard mode: shard k is tree k. Every shard repeats the full
+    // reversed union walk (the sequential multi-sink order), advancing
+    // only its own tree's slot per node; plan_nodes[t] is that walk
+    // restricted to nodes carrying t, which is exactly the sequential
+    // gather order, so batches — and therefore readings — are identical.
+    const std::size_t S = trees_.count();
+    pe.shards.clear();
+    pe.shard_of.clear();
+    pe.walk.clear();
+    const std::vector<NodeId>& order = epoch_walk_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      if (topo_.is_alive(*it)) pe.walk.push_back(*it);
+    }
+    pe.claim_order.resize(S);
+    std::iota(pe.claim_order.begin(), pe.claim_order.end(), std::size_t{0});
+
+    std::size_t type_count = 0;
+    for (NodeId u : pe.walk) {
+      for (SensorType t : topo_.node(u).sensors) {
+        type_count = std::max<std::size_t>(type_count, t + 1);
+      }
+    }
+    pe.plan_nodes.assign(type_count, {});
+    pe.plan_seg.clear();
+    for (NodeId u : pe.walk) {
+      for (SensorType t : topo_.node(u).sensors) pe.plan_nodes[t].push_back(u);
+    }
+
+    pe.gated = cfg_.sampling.enabled;
+    if (pe.gated) {
+      pe.next_due.assign(type_count, {});
+      for (std::size_t t = 0; t < type_count; ++t) {
+        pe.next_due[t].resize(pe.plan_nodes[t].size());
+        for (std::size_t j = 0; j < pe.plan_nodes[t].size(); ++j) {
+          pe.next_due[t][j] = samplers_[pe.plan_nodes[t][j]].next_due(
+              static_cast<SensorType>(t));
+        }
+      }
+    } else {
+      pe.next_due.clear();
+    }
+
+    pe.ctx.resize(S);
+    for (EpochShardCtx& ctx : pe.ctx) {
+      ctx.tx_delta.assign(topo_.size(), 0);
+      ctx.rx_delta.assign(topo_.size(), 0);
+    }
+    pe.due_mask.assign(type_count, {});
+    pe.filt_nodes.assign(type_count, {});
+    pe.filt_seg.clear();
+    pe.values.resize(type_count);
+    pe.plan_alive = topo_.alive_count();
+    pe.plan_dirty = false;
+    return;
+  }
   const net::SpanningTree& tree0 = trees_.tree(0);
   pe.shards = tree0.subtree_partition();
   // Leaves-first within each shard: the same relative order the reversed
@@ -459,6 +551,11 @@ void DirqNetwork::rebuild_parallel_plan() {
   }
 
   pe.ctx.resize(S);
+  for (EpochShardCtx& ctx : pe.ctx) {
+    ctx.tx_delta.assign(topo_.size(), 0);
+    ctx.rx_delta.assign(topo_.size(), 0);
+  }
+  pe.due_mask.assign(type_count, {});
   pe.filt_nodes.assign(type_count, {});
   pe.filt_seg.assign(type_count, std::vector<std::size_t>(S + 2, 0));
   pe.values.resize(type_count);
@@ -469,13 +566,25 @@ void DirqNetwork::rebuild_parallel_plan() {
 void DirqNetwork::parallel_unicast(EpochShardCtx& ctx, NodeId from, NodeId to,
                                    const Message& msg) {
   // Mirrors InstantTransport::unicast against the shard ledger (same
-  // classification helpers, same lost/out-of-range semantics); root-bound
-  // deliveries are deferred to the serial merge.
+  // classification helpers, same lost/out-of-range semantics); in subtree
+  // mode root-bound deliveries are deferred to the serial merge.
   InstantTransport::charge_tx(ctx.ledger, msg);
   if (to >= topo_.size() || !topo_.is_alive(to)) return;  // lost
   const auto nbrs = topo_.neighbors(from);
   if (!std::binary_search(nbrs.begin(), nbrs.end(), to)) return;
   InstantTransport::charge_rx(ctx.ledger, msg);
+  if (par_->tree_mode) {
+    // Shard k owns tree k: the receiver's slot k is only ever touched by
+    // this thread (DirqNode::handle dispatches on the message's tree tag),
+    // so delivery is inline — roots included.
+    if (message_tree(msg) != static_cast<TreeId>(ctx.index)) {
+      throw std::logic_error(
+          "DirqNetwork: cross-tree message during a tree-sharded epoch");
+    }
+    ctx.rx_delta[to] += 1;
+    nodes_[to].handle(msg, from, current_epoch_);
+    return;
+  }
   if (to == root_) {
     ctx.to_root.emplace_back(from, msg);
     return;
@@ -485,7 +594,7 @@ void DirqNetwork::parallel_unicast(EpochShardCtx& ctx, NodeId from, NodeId to,
         "DirqNetwork: cross-shard delivery — node parent state diverged "
         "from the spanning tree");
   }
-  node_rx_[to] += 1;  // `to` belongs to this shard: no other thread writes it
+  ctx.rx_delta[to] += 1;
   nodes_[to].handle(msg, from, current_epoch_);
 }
 
@@ -516,7 +625,7 @@ void DirqNetwork::run_shard_consume(std::size_t shard, std::int64_t epoch) {
     } else {
       for (SensorType t : info.sensors) {
         const std::size_t j = ctx.plan_cur[t]++;
-        if (epoch < pe.next_due[t][j]) {
+        if (!pe.due_mask[t][j]) {
           gate.on_skip(t);
           continue;
         }
@@ -530,57 +639,159 @@ void DirqNetwork::run_shard_consume(std::size_t shard, std::int64_t epoch) {
   }
 }
 
+void DirqNetwork::run_tree_shard_consume(std::size_t shard,
+                                         std::int64_t epoch) {
+  ParallelEngine& pe = *par_;
+  EpochShardCtx& ctx = pe.ctx[shard];
+  const TlsShardGuard guard(&ctx);
+  const TreeId tree = static_cast<TreeId>(shard);
+  // Shard 0 owns the shared sampling gate: it does the predictor
+  // bookkeeping inline, exactly where the sequential walk does, and it is
+  // also the shard that mutates the tree-0 controller whose theta the
+  // gate reads — so its interleaving matches the sequential pass. The
+  // other shards branch on the due_mask snapshot instead of touching the
+  // gate at all.
+  const bool lead = shard == 0;
+  const std::size_t type_count = pe.plan_nodes.size();
+  ctx.plan_cur.assign(type_count, 0);
+  ctx.val_cur.assign(type_count, 0);
+  for (NodeId u : pe.walk) {
+    if (!topo_.is_alive(u)) {
+      throw std::logic_error(
+          "DirqNetwork: aliveness changed without tree repair during a "
+          "parallel run");
+    }
+    const net::Node& info = topo_.node(u);
+    SamplingController& gate = samplers_[u];
+    if (!pe.gated) {
+      for (SensorType t : info.sensors) {
+        nodes_[u].sample_slot(tree, t, pe.values[t][ctx.val_cur[t]++], epoch);
+        if (lead) gate.count_sample();
+      }
+    } else {
+      for (SensorType t : info.sensors) {
+        const std::size_t j = ctx.plan_cur[t]++;
+        if (!pe.due_mask[t][j]) {
+          if (lead) gate.on_skip(t);
+          continue;
+        }
+        const double reading = pe.values[t][ctx.val_cur[t]++];
+        nodes_[u].sample_slot(tree, t, reading, epoch);
+        if (lead) {
+          gate.on_sample(t, reading, nodes_[u].controller().theta(t), epoch);
+          pe.next_due[t][j] = gate.next_due(t);  // only shard 0 writes
+        }
+      }
+    }
+    nodes_[u].end_epoch_slot(tree, epoch);
+  }
+}
+
 void DirqNetwork::process_epoch_parallel(const data::ReadingSource& env,
                                          std::int64_t epoch) {
   ParallelEngine& pe = *par_;
-  if (pe.plan_dirty || pe.plan_alive != topo_.alive_count()) {
-    rebuild_parallel_plan();
-  }
-  const std::size_t S = pe.shards.size();
+  const bool rebuilt = pe.plan_dirty || pe.plan_alive != topo_.alive_count();
+  if (rebuilt) rebuild_parallel_plan();
+  const std::size_t S = pe.tree_mode ? pe.ctx.size() : pe.shards.size();
   const std::size_t type_count = pe.plan_nodes.size();
 
-  // Gather: with the gate off (the paper's configuration) the cached plan
-  // lists *are* the batches — zero per-epoch work. With it on, the gate
-  // is one flat scan per type over the next_due mirror; slots only change
-  // through on_sample, so this filter branches exactly like the
-  // sequential should_sample walk.
-  if (pe.gated) {
+  // Intra-type chunking needs the source's lazy node adoption settled
+  // before chunks of one type run concurrently (FastField grows its
+  // per-node cache on first sight of a node id). One serial probe of the
+  // highest planned node per type — readings are pure, so this has no
+  // observable effect — guarantees every chunk only reads adopted state.
+  const bool chunked_fetch = env.concurrent_type_batches() &&
+                             env.concurrent_intra_type_chunks();
+  if (rebuilt && chunked_fetch) {
     for (std::size_t t = 0; t < type_count; ++t) {
-      pe.filt_nodes[t].clear();
-      const std::vector<NodeId>& pn = pe.plan_nodes[t];
-      const std::vector<std::int64_t>& due = pe.next_due[t];
-      for (std::size_t s = 0; s <= S; ++s) {
-        pe.filt_seg[t][s] = pe.filt_nodes[t].size();
-        for (std::size_t j = pe.plan_seg[t][s]; j < pe.plan_seg[t][s + 1];
-             ++j) {
-          if (epoch >= due[j]) pe.filt_nodes[t].push_back(pn[j]);
-        }
-      }
-      pe.filt_seg[t][S + 1] = pe.filt_nodes[t].size();
+      if (pe.plan_nodes[t].empty() || t >= env.type_count()) continue;
+      const NodeId mx =
+          *std::max_element(pe.plan_nodes[t].begin(), pe.plan_nodes[t].end());
+      (void)env.reading(mx, static_cast<SensorType>(t));
     }
   }
 
-  // Readings: one batch per sensor type; types run concurrently when the
-  // source's per-type state is disjoint (both synthetic backends), else
-  // serially — either way the same values, since readings are pure at a
-  // fixed epoch.
+  // Gather: with the gate off (the paper's configuration) the cached plan
+  // lists *are* the batches — zero per-epoch work. With it on, the gate
+  // is a branch-light two-pass sweep per type over the next_due mirror
+  // (gate_scan.hpp: a vectorizable compare pass into due_mask, then an
+  // unconditional-store compaction); slots only change through on_sample,
+  // so the mask branches exactly like the sequential should_sample walk.
+  if (pe.gated) {
+    for (std::size_t t = 0; t < type_count; ++t) {
+      const std::vector<NodeId>& pn = pe.plan_nodes[t];
+      const std::vector<std::int64_t>& due = pe.next_due[t];
+      const std::size_t n = pn.size();
+      pe.due_mask[t].resize(n);
+      gate_scan_mask(due.data(), n, epoch, pe.due_mask[t].data());
+      pe.filt_nodes[t].resize(n);
+      if (pe.tree_mode) {
+        const std::size_t m = gate_compact(pn.data(), pe.due_mask[t].data(),
+                                           0, n, pe.filt_nodes[t].data());
+        pe.filt_nodes[t].resize(m);
+      } else {
+        std::size_t m = 0;
+        for (std::size_t s = 0; s <= S; ++s) {
+          pe.filt_seg[t][s] = m;
+          m += gate_compact(pn.data(), pe.due_mask[t].data(),
+                            pe.plan_seg[t][s], pe.plan_seg[t][s + 1],
+                            pe.filt_nodes[t].data() + m);
+        }
+        pe.filt_seg[t][S + 1] = m;
+        pe.filt_nodes[t].resize(m);
+      }
+    }
+  }
+
+  // Readings: batched per sensor type; types run concurrently when the
+  // source's per-type state is disjoint (both synthetic backends), and a
+  // single type's batch additionally splits into chunks when the source
+  // supports it (FastField's per-thread cell scratch) — either way the
+  // same values, since readings are pure at a fixed epoch.
   pe.active_types.clear();
+  pe.fetch_tasks.clear();
+  std::size_t total_batch = 0;
   for (std::size_t t = 0; t < type_count; ++t) {
     const std::vector<NodeId>& batch = pe.batch(t);
     pe.values[t].resize(batch.size());
+    total_batch += batch.size();
     if (!batch.empty()) pe.active_types.push_back(static_cast<SensorType>(t));
   }
+  // Chunk size depends only on the plan and the pool width, never on
+  // timing, so the task list — and every readings() argument — is
+  // deterministic.
+  constexpr std::size_t kMinChunk = 128;
+  const std::size_t target =
+      chunked_fetch
+          ? std::max(kMinChunk,
+                     total_batch / (static_cast<std::size_t>(pe.pool.size()) * 2))
+          : 0;
+  for (SensorType t : pe.active_types) {
+    const std::size_t n = pe.batch(t).size();
+    if (!chunked_fetch || n <= target) {
+      pe.fetch_tasks.push_back({t, 0, n});
+      continue;
+    }
+    for (std::size_t b = 0; b < n; b += target) {
+      pe.fetch_tasks.push_back({t, b, std::min(b + target, n)});
+    }
+  }
   const auto fetch = [&](std::size_t k) {
-    const SensorType t = pe.active_types[k];
-    env.readings(t, pe.batch(t), pe.values[t]);
+    const ParallelEngine::FetchTask& ft = pe.fetch_tasks[k];
+    const std::vector<NodeId>& batch = pe.batch(ft.type);
+    env.readings(ft.type,
+                 std::span<const NodeId>(batch).subspan(ft.begin,
+                                                        ft.end - ft.begin),
+                 std::span<double>(pe.values[ft.type])
+                     .subspan(ft.begin, ft.end - ft.begin));
   };
   if (env.concurrent_type_batches()) {
-    pe.pool.parallel_for(pe.active_types.size(), fetch);
+    pe.pool.parallel_for(pe.fetch_tasks.size(), fetch);
   } else {
-    for (std::size_t k = 0; k < pe.active_types.size(); ++k) fetch(k);
+    for (std::size_t k = 0; k < pe.fetch_tasks.size(); ++k) fetch(k);
   }
 
-  // Consume: one task per shard.
+  // Consume: one task per shard (per tree in tree-shard mode).
   for (std::size_t s = 0; s < S; ++s) {
     EpochShardCtx& ctx = pe.ctx[s];
     ctx.index = s;
@@ -588,28 +799,41 @@ void DirqNetwork::process_epoch_parallel(const data::ReadingSource& env,
     ctx.update_msgs = 0;
     ctx.to_root.clear();
   }
-  pe.pool.parallel_for(S, [this, &pe, epoch](std::size_t k) {
-    run_shard_consume(pe.claim_order[k], epoch);
-  });
+  if (pe.tree_mode) {
+    pe.pool.parallel_for(S, [this, epoch](std::size_t k) {
+      run_tree_shard_consume(k, epoch);
+    });
+  } else {
+    pe.pool.parallel_for(S, [this, &pe, epoch](std::size_t k) {
+      run_shard_consume(pe.claim_order[k], epoch);
+    });
+  }
 
   // Merge, in shard-index order (deterministic): ledgers and counters are
   // sums, so totals equal the sequential pass; the update hook fires once
   // per transmission with the same epoch, so recorded series are
-  // identical. The shard ledgers also merge into the tree-0 mirror — the
-  // parallel path is single-tree, so every charge belongs to it. Then the
-  // deferred root deliveries — the root's tables are keyed per child
-  // (FlatMap, key-sorted) and the root never forwards updates, so its
-  // final state is independent of shard arrival order.
+  // identical. Each shard's ledger also merges into its tree's mirror —
+  // in tree-shard mode shard k carries exactly tree k's traffic (asserted
+  // in parallel_unicast), in subtree mode everything belongs to tree 0.
+  // Per-node tx/rx deltas merge (and reset) in the same fixed order.
   CostLedger& ledger = instant_->mutable_costs();
   for (std::size_t s = 0; s < S; ++s) {
-    const EpochShardCtx& ctx = pe.ctx[s];
+    EpochShardCtx& ctx = pe.ctx[s];
     accumulate(ledger, ctx.ledger);
-    accumulate(tree_ledgers_[0], ctx.ledger);
+    accumulate(tree_ledgers_[pe.tree_mode ? s : 0], ctx.ledger);
     updates_transmitted_ += ctx.update_msgs;
     if (update_hook_) {
       for (std::int64_t i = 0; i < ctx.update_msgs; ++i) update_hook_(epoch);
     }
+    const std::size_t n = std::min(ctx.tx_delta.size(), node_tx_.size());
+    for (std::size_t u = 0; u < n; ++u) {
+      node_tx_[u] += ctx.tx_delta[u];
+      node_rx_[u] += ctx.rx_delta[u];
+      ctx.tx_delta[u] = 0;
+      ctx.rx_delta[u] = 0;
+    }
   }
+  if (pe.tree_mode) return;  // no deferred deliveries, no serial root pass
   merging_parallel_ = true;
   for (std::size_t s = 0; s < S; ++s) {
     for (const auto& [from, msg] : pe.ctx[s].to_root) {
@@ -641,7 +865,7 @@ void DirqNetwork::process_epoch_parallel(const data::ReadingSource& env,
     } else {
       for (SensorType t : info.sensors) {
         const std::size_t j = pe.root_plan_cur[t]++;
-        if (epoch < pe.next_due[t][j]) {
+        if (!pe.due_mask[t][j]) {
           gate.on_skip(t);
           continue;
         }

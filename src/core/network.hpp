@@ -126,17 +126,20 @@ class DirqNetwork final : public MessageSink {
   /// exact sequential code path — the only configuration goldens are
   /// recorded against; 0 means all hardware threads. With more than one
   /// thread, epochs on the built-in instant transport shard the consume
-  /// pass by root-child subtree (all update traffic is up-tree unicast,
-  /// so shards only interact at the root, whose ledger/counter/FlatMap
-  /// state is order-independent) and run per-type reading batches
-  /// concurrently when the source allows — byte-identical summaries to
-  /// the sequential path on both synthetic backends. Epochs on a swapped
-  /// transport (LMAC, lossy) or inside an open query audit silently run
-  /// the sequential path. The shard partition is a single-tree property,
-  /// so a multi-sink network ignores set_threads and stays sequential
-  /// (Experiment::effective_threads reports 1 accordingly). Callers that
-  /// mutate topology aliveness or sensors must route through the handle_*
-  /// entry points (as always) so the cached shard plan is invalidated.
+  /// pass — by root-child subtree for one sink (all update traffic is
+  /// up-tree unicast, so shards only interact at the root, whose
+  /// ledger/counter/FlatMap state is order-independent), and by spanning
+  /// tree for several sinks (each shard advances only its own tree's
+  /// per-node slot, so the shards are write-disjoint; shard 0 owns the
+  /// shared sampling gate) — and run reading batches concurrently, split
+  /// below whole types when the source allows. Summaries are
+  /// byte-identical to the sequential path on both synthetic backends,
+  /// single- and multi-sink. Epochs on a swapped transport (LMAC, lossy)
+  /// or inside an open query audit silently run the sequential path
+  /// (Experiment::effective_threads reports 1 for those configs). Callers
+  /// that mutate topology aliveness or sensors must route through the
+  /// handle_* entry points (as always) so the cached shard plan is
+  /// invalidated.
   void set_threads(unsigned threads);
   [[nodiscard]] unsigned threads() const noexcept;
 
@@ -295,6 +298,7 @@ class DirqNetwork final : public MessageSink {
   void process_epoch_parallel(const data::ReadingSource& env,
                               std::int64_t epoch);
   void run_shard_consume(std::size_t shard, std::int64_t epoch);
+  void run_tree_shard_consume(std::size_t shard, std::int64_t epoch);
   void parallel_unicast(EpochShardCtx& ctx, NodeId from, NodeId to,
                         const Message& msg);
 

@@ -1,6 +1,8 @@
 #include "data/fast_field.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <numbers>
@@ -113,6 +115,8 @@ FastField::FastField(SensorType type, FieldParams params,
   node_stream_ = crng_.substream("node-noise").stream();
   node_cache_.assign(geo_.node_count(), NodeCache{});
   cell_cache_.assign(geo_.cell_count(), CellCache{});
+  static std::atomic<std::uint64_t> next_instance_id{1};
+  instance_id_ = next_instance_id.fetch_add(1, std::memory_order_relaxed);
   init_node_cache(0);
   advance_derived();
   refresh_bumps();
@@ -200,8 +204,7 @@ double FastField::bumps_now(double x, double y) const {
   return v;
 }
 
-double FastField::regional_value(std::size_t cell) const {
-  CellCache& c = cell_cache_[cell];
+double FastField::regional_value_in(CellCache& c, std::size_t cell) const {
   if (c.block != regional_block_) {
     const std::uint64_t stream = sim::counter_hash(regional_stream_, cell);
     // Sequential advance reuses the high anchor as the new low one (the
@@ -248,7 +251,43 @@ void FastField::init_node_cache(std::size_t from) const {
   }
 }
 
+std::vector<FastField::CellCache>& FastField::tls_cell_scratch() const {
+  // A small per-thread LRU keyed by the process-unique instance id: the
+  // epoch loop touches a handful of fields (one per sensor type), so
+  // each worker settles into a steady slot per field. An evicted or new
+  // slot starts cold (invalid blocks) and re-derives anchors on first
+  // touch — pure recomputation, identical bits.
+  struct Slot {
+    std::uint64_t id = 0;
+    std::uint64_t tick = 0;
+    std::vector<CellCache> cells;
+  };
+  thread_local std::array<Slot, 8> slots;
+  thread_local std::uint64_t clock = 0;
+  ++clock;
+  Slot* victim = &slots[0];
+  for (Slot& s : slots) {
+    if (s.id == instance_id_) {
+      s.tick = clock;
+      if (s.cells.size() != cell_cache_.size()) {
+        s.cells.assign(cell_cache_.size(), CellCache{});
+      }
+      return s.cells;
+    }
+    if (s.tick < victim->tick) victim = &s;
+  }
+  victim->id = instance_id_;
+  victim->tick = clock;
+  victim->cells.assign(cell_cache_.size(), CellCache{});
+  return victim->cells;
+}
+
 double FastField::reading(NodeId node) const {
+  return reading_in(cell_cache_, node);
+}
+
+double FastField::reading_in(std::vector<CellCache>& cells,
+                             NodeId node) const {
   if (node >= geo_.node_count()) {
     adopt_new_nodes();
     if (node >= geo_.node_count()) {
@@ -280,14 +319,21 @@ double FastField::reading(NodeId node) const {
   }
   return base_diurnal_ + c.gradient +
          c.bump_lo + (c.bump_hi - c.bump_lo) * terrain_frac_ +
-         regional_value(c.cell) +
+         regional_value_in(cells[c.cell], c.cell) +
          c.noise_lo + (c.noise_hi - c.noise_lo) * node_frac_;
 }
 
 void FastField::readings(std::span<const NodeId> nodes,
                          std::span<double> out) const {
+  // The batch path goes through the per-thread cell scratch so that
+  // disjoint chunks of one batch can run on several workers at once
+  // (concurrent_intra_type_chunks): node entries are disjoint across any
+  // node partition, and each thread derives regional anchors privately.
+  // Anchors are pure functions of (seed, cell, block), so the values stay
+  // bit-identical to the shared-cache per-node path.
+  std::vector<CellCache>& cells = tls_cell_scratch();
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    out[i] = reading(nodes[i]);
+    out[i] = reading_in(cells, nodes[i]);
   }
 }
 

@@ -138,7 +138,20 @@ class FastField {
   void advance_derived();
   [[nodiscard]] double anchor_sum(const NoiseProcess& p, std::uint64_t stream,
                                   std::int64_t anchor) const;
-  [[nodiscard]] double regional_value(std::size_t cell) const;
+  [[nodiscard]] double regional_value(std::size_t cell) const {
+    return regional_value_in(cell_cache_[cell], cell);
+  }
+  [[nodiscard]] double regional_value_in(CellCache& c, std::size_t cell) const;
+  [[nodiscard]] double reading_in(std::vector<CellCache>& cells,
+                                  NodeId node) const;
+  /// This thread's regional-anchor scratch for this field instance — what
+  /// makes same-type batch chunks safe to run concurrently (the per-node
+  /// cache is node-disjoint across chunks; the per-cell memo is not, so
+  /// the batch path re-derives cell anchors into thread-local storage
+  /// instead of sharing cell_cache_). Anchors are pure, so every copy
+  /// holds the same bits; the scratch persists across epochs per worker,
+  /// keeping the per-block amortisation.
+  [[nodiscard]] std::vector<CellCache>& tls_cell_scratch() const;
   [[nodiscard]] double bumps_at_epoch(double x, double y,
                                       std::int64_t epoch) const;
   [[nodiscard]] double bumps_now(double x, double y) const;
@@ -174,6 +187,10 @@ class FastField {
   std::uint64_t node_stream_ = 0;      // + node index
   mutable std::vector<NodeCache> node_cache_;
   mutable std::vector<CellCache> cell_cache_;
+  /// Process-unique (never reused) key for the thread-local cell scratch:
+  /// an address could be recycled by a new field with a different seed,
+  /// so identity cannot key on `this`.
+  std::uint64_t instance_id_ = 0;
 
   // Per-epoch derived state (advance_to): block indices, interpolation
   // fractions, and the base + diurnal sum, so the per-reading hot path is
@@ -202,6 +219,13 @@ class FastEnvironment final : public ReadingSource {
   // Each type is its own FastField with its own memo caches — per-type
   // batches touch disjoint state.
   [[nodiscard]] bool concurrent_type_batches() const noexcept override {
+    return true;
+  }
+  // Within one type, the batch path keeps per-cell anchors in per-thread
+  // scratch (FastField::tls_cell_scratch) and per-node state is disjoint
+  // across any node partition, so disjoint chunks of one batch may run
+  // concurrently too (see ReadingSource for the adoption precondition).
+  [[nodiscard]] bool concurrent_intra_type_chunks() const noexcept override {
     return true;
   }
   [[nodiscard]] std::size_t type_count() const noexcept override {

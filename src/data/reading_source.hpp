@@ -43,10 +43,22 @@ class ReadingSource {
   /// backends qualify — each type is an independent field object, so even
   /// their mutable memo caches are disjoint per type — but the default is
   /// false so an unknown source (trace replay, user subclass) is never
-  /// raced by the parallel epoch engine. Concurrent calls for the *same*
-  /// type are never made: a field's per-cell memo cache is shared across
-  /// the nodes in a cell.
+  /// raced by the parallel epoch engine.
   [[nodiscard]] virtual bool concurrent_type_batches() const noexcept {
+    return false;
+  }
+
+  /// True when `readings` calls for disjoint node slices of the *same*
+  /// sensor type may also run concurrently, letting the engine chunk one
+  /// large type's batch across the pool instead of serializing behind the
+  /// per-type fan-out. Requires concurrent_type_batches() and is a
+  /// stronger claim: per-node memo state must be node-disjoint and any
+  /// cell/region-shared memo must be thread-private (FastField keeps a
+  /// per-thread cell scratch). Callers must also have settled lazy node
+  /// adoption first — one serial reading() of the highest node id a batch
+  /// will name is enough. Default false: sources with cross-node shared
+  /// state (the pinned Environment's per-cell memo) must never be split.
+  [[nodiscard]] virtual bool concurrent_intra_type_chunks() const noexcept {
     return false;
   }
 

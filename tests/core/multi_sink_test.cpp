@@ -1,7 +1,8 @@
 // Multi-sink query plane, driver level: single-sink equivalence, 1-vs-N
 // determinism, per-sink ledger parity against the global ledger on every
 // transport backend, admission-vs-roundrobin behaviour, config
-// validation, and the parallel-pool clamp.
+// validation, and the thread-clamp policy (multi-sink is no longer
+// clamped — see parallel_multi_sink_test.cpp for the engine itself).
 #include <gtest/gtest.h>
 
 #include <stdexcept>
@@ -134,14 +135,20 @@ TEST(MultiSink, AdmissionBalancesEnergyAtLeastAsWellAsRoundRobin) {
   EXPECT_LE(a.sink_energy_spread(), r.sink_energy_spread());
 }
 
-TEST(MultiSink, EffectiveThreadsClampsToSequential) {
+TEST(MultiSink, EffectiveThreadsHonoursMultiSinkRequests) {
+  // The tree-sharded engine parallelises multi-sink runs: no clamp, no
+  // clamp reason. Only order-sensitive backends still force sequential.
   ExperimentConfig cfg = small_config(4);
-  cfg.threads = 0;  // "all hardware threads" — still clamped
+  cfg.threads = 4;
+  EXPECT_EQ(Experiment::effective_threads(cfg), 4u);
+  EXPECT_EQ(Experiment::thread_clamp_reason(cfg), nullptr);
+  cfg.transport = TransportKind::Lmac;
   EXPECT_EQ(Experiment::effective_threads(cfg), 1u);
-  cfg.sink_count = 1;
-  // Single sink keeps the parallel path available (threads 0 = all cores;
-  // resolve() >= 1 in every environment).
-  EXPECT_GE(Experiment::effective_threads(cfg), 1u);
+  EXPECT_NE(Experiment::thread_clamp_reason(cfg), nullptr);
+  cfg.transport = TransportKind::Instant;
+  cfg.loss_rate = 0.1;
+  EXPECT_EQ(Experiment::effective_threads(cfg), 1u);
+  EXPECT_NE(Experiment::thread_clamp_reason(cfg), nullptr);
 }
 
 TEST(MultiSink, ValidateRejectsBadSinkConfigs) {

@@ -1036,11 +1036,17 @@ int main(int argc, char** argv) {
   if (cfg.loss_rate > 0.0) {
     t.add_row({"loss rate", metrics::fmt(cfg.loss_rate, 2)});
   }
-  // Only shown when the run actually parallelised: the default (and any
-  // forced fallback to the sequential path) keeps the table byte-stable
-  // against every recorded golden.
-  if (const unsigned eff = core::Experiment::effective_threads(cfg); eff != 1) {
-    t.add_row({"threads", std::to_string(eff)});
+  // Only shown when threads were explicitly requested: the default
+  // (--threads 1) keeps the table byte-stable against every recorded
+  // golden. The row reports the *effective* count — and names the reason
+  // when an order-sensitive backend forces the sequential path — so a
+  // clamped run never silently pretends to parallelise.
+  if (cfg.threads != 1) {
+    std::string cell = std::to_string(core::Experiment::effective_threads(cfg));
+    if (const char* why = core::Experiment::thread_clamp_reason(cfg)) {
+      cell += std::string(" (forced sequential: ") + why + ")";
+    }
+    t.add_row({"threads", cell});
   }
   // Multi-sink block: every row here is conditional on an explicitly
   // non-default sink/mix configuration, so default output stays byte-stable

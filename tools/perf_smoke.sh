@@ -18,6 +18,13 @@
 #     the update/flood planes but share one sensing plane, so a healthy
 #     run lands well under 3x and a per-query rebuild or an O(N^2)
 #     cross-tree scan shows up immediately.
+#   * multi-sink parallel 500n/2000e: the 4-sink admission cell at
+#     --threads 0 vs --threads 1 from the SAME bench_multi_sink run —
+#     self-relative again. The tree-sharded epoch engine must make the
+#     all-cores row STRICTLY faster than the sequential row on any
+#     multi-core runner (skipped on 1-core hosts, where --threads 0
+#     resolves to 1 and the comparison is vacuous); a serialised pool or
+#     a merge path that re-does the shards' work shows up immediately.
 #   * serve 500n/2000e: cache-on vs cache-off qps from the SAME
 #     bench_serve_throughput run — self-relative and on the virtual
 #     clock, so machine speed divides out entirely. Cache-on must answer
@@ -117,6 +124,35 @@ awk -v one="$one" -v four="$four" 'BEGIN {
   }
   printf "perf_smoke: OK multi-sink (%.2fx of 1-sink)\n", four / one
 }'
+
+# Parallel multi-sink guard cell: the 4-sink admission cell at 1 worker vs
+# all cores, from one bench run. The "threads" key records the EFFECTIVE
+# count, so the parallel row is "the admission row whose threads != 1".
+if [ "$(nproc 2>/dev/null || echo 1)" -gt 1 ]; then
+  "$BUILD_DIR/bench/bench_multi_sink" --nodes 500 --sinks 4 --epochs 2000 \
+    --threads 1,0 --json "$OUT" >/dev/null
+  seq_s=$(grep '"run_seconds"' "$OUT" | grep '"routing": "admission"' |
+    grep '"threads": 1,' | head -n 1 |
+    sed 's/.*"run_seconds": \([0-9.eE+-]*\),.*/\1/')
+  par_s=$(grep '"run_seconds"' "$OUT" | grep '"routing": "admission"' |
+    grep -v '"threads": 1,' | head -n 1 |
+    sed 's/.*"run_seconds": \([0-9.eE+-]*\),.*/\1/')
+  if [ -z "$seq_s" ] || [ -z "$par_s" ]; then
+    echo "perf_smoke: could not extract parallel multi-sink run_seconds" \
+         "(threads-1='$seq_s' threads-N='$par_s')" >&2
+    exit 2
+  fi
+  echo "perf_smoke: 500n/2000e 4-sink run_seconds threads-1=$seq_s threads-N=$par_s (parallel must win)"
+  awk -v seq="$seq_s" -v par="$par_s" 'BEGIN {
+    if (par >= seq) {
+      printf "perf_smoke: FAIL — 4-sink parallel %.3fs not faster than sequential %.3fs\n", par, seq
+      exit 1
+    }
+    printf "perf_smoke: OK parallel multi-sink (%.2fx speedup)\n", seq / par
+  }'
+else
+  echo "perf_smoke: SKIP parallel multi-sink guard (single-core host)"
+fi
 
 # Serve guard cell: one bench run covering the cache-off and cache-on
 # cells at rate 20 / 1 sink (dirq.serve_bench.v1 rows); the invariant is

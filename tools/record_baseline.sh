@@ -13,9 +13,12 @@
 #     parallelism guard cell. The row's "threads" key records the count
 #     the recording host actually resolved.
 #   * msink_500n.json — the multi-sink tier's 500-node cells at 1 and 4
-#     sinks (bench_multi_sink, dirq.msink.v1): the 4-sink-vs-1-sink wall
-#     ratio perf_smoke.sh guards, plus the per-sink ledgers and energy
-#     spread for admission vs round-robin.
+#     sinks x 1 worker and all cores (bench_multi_sink, dirq.msink.v1):
+#     the 4-sink-vs-1-sink wall ratio and the self-relative
+#     parallel-vs-sequential 4-sink guard perf_smoke.sh checks, plus the
+#     per-sink ledgers and energy spread for admission vs round-robin.
+#     Ledgers are byte-identical across the threads axis (the tree-sharded
+#     engine's contract); only run_seconds differs between the rows.
 #   * serve_500n.json — the serve plane's 500-node fast-field grid
 #     (bench_serve_throughput, dirq.serve_bench.v1): rate x sinks x cache
 #     cells; the cache-on-vs-cache-off qps invariant perf_smoke.sh guards
@@ -59,7 +62,7 @@ echo "fast-field scale baseline written to $FAST_OUT"
 echo "parallel-epoch scale baseline written to $MT_OUT"
 
 "$BUILD_DIR/bench/bench_multi_sink" --nodes 500 --sinks 1,4 --epochs 2000 \
-  --json "$MSINK_OUT"
+  --threads 1,0 --json "$MSINK_OUT"
 echo "multi-sink baseline written to $MSINK_OUT"
 
 "$BUILD_DIR/bench/bench_serve_throughput" --nodes 500 --rates 20,100 \
