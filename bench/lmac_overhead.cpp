@@ -3,7 +3,7 @@
 // paper's §5 cost model counts data-section messages only, and this bench
 // quantifies what the TDMA schedule itself spends underneath them).
 //
-//   bench_lmac_overhead [--epochs N] [--json FILE]
+//   bench_lmac_overhead [--epochs N] [--threads LIST] [--json FILE]
 //
 // Each cell runs the full experiment on the Lmac transport and reports:
 //   * mac_ctl_total     — LMAC control-section tx+rx (slot schedules,
@@ -15,6 +15,11 @@
 //   * the per-epoch normalisations and the standing share
 //     mac_ctl / (mac_ctl + dirq) — how much of the radio's energy the
 //     schedule keeps for itself.
+//
+// --threads adds a worker-count axis (0 = all hardware threads): the
+// chunk-sharded LMAC epoch engine keeps every cell's ledger byte-identical
+// across the axis, so only wall_seconds moves — the row pairs are the
+// partial-parallelism speedup surface.
 //
 // Rows are emitted through the sweep result sinks; --json writes the
 // dirq.sweep.v1 document (whose metrics block carries mac_control_total).
@@ -31,6 +36,7 @@ int main(int argc, char** argv) {
   using namespace dirq;
 
   std::int64_t epochs = 2000;
+  std::vector<unsigned> thread_counts{1};
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -38,11 +44,26 @@ int main(int argc, char** argv) {
     if (arg == "--epochs" && next != nullptr) {
       epochs = bench::parse_count("bench_lmac_overhead", "--epochs", next);
       ++i;
+    } else if (arg == "--threads" && next != nullptr) {
+      thread_counts.clear();
+      std::string item;
+      for (const char* p = next;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          thread_counts.push_back(static_cast<unsigned>(bench::parse_count(
+              "bench_lmac_overhead", "--threads", item, /*min=*/0)));
+          item.clear();
+          if (*p == '\0') break;
+        } else {
+          item.push_back(*p);
+        }
+      }
+      ++i;
     } else if (arg == "--json" && next != nullptr) {
       json_path = next;
       ++i;
     } else {
-      std::cerr << "usage: bench_lmac_overhead [--epochs N] [--json FILE]\n";
+      std::cerr << "usage: bench_lmac_overhead [--epochs N] [--threads LIST]"
+                   " [--json FILE]\n";
       return 2;
     }
   }
@@ -60,6 +81,14 @@ int main(int argc, char** argv) {
   }());
   plan.axis(sweep::theta_axis({sweep::atc(), sweep::fixed_theta(5.0)}))
       .axis(sweep::nodes_axis({30, 50}));
+  {
+    std::vector<sweep::AxisValue> workers;
+    for (unsigned t : thread_counts) {
+      workers.push_back({std::to_string(t),
+                         [t](core::ExperimentConfig& cfg) { cfg.threads = t; }});
+    }
+    plan.axis(sweep::custom_axis("threads", std::move(workers)));
+  }
 
   const std::vector<sweep::CellResult> results =
       sweep::require_ok(sweep::SweepRunner().run(plan));
@@ -72,6 +101,7 @@ int main(int argc, char** argv) {
     return std::vector<std::string>{
         *r.cell.coordinate("theta"),
         *r.cell.coordinate("nodes"),
+        *r.cell.coordinate("threads"),
         std::to_string(res.mac_control_total),
         std::to_string(res.ledger.total()),
         metrics::fmt(mac_ctl / e, 1),
@@ -82,8 +112,8 @@ int main(int argc, char** argv) {
 
   const sweep::SweepHeader header{
       "LMAC standing cost vs DirQ data cost", plan.name(),
-      {"mode", "nodes", "mac_ctl_total", "dirq_total", "mac_ctl_per_epoch",
-       "dirq_per_epoch", "standing_share_%"}};
+      {"mode", "nodes", "threads", "mac_ctl_total", "dirq_total",
+       "mac_ctl_per_epoch", "dirq_per_epoch", "standing_share_%"}};
 
   sweep::ConsoleTableSink console(std::cout);
   std::ofstream json_file;

@@ -5,7 +5,7 @@
 //
 //   bench_scale_topology [--nodes LIST] [--epochs N] [--json FILE]
 //                        [--field pinned|fast|both] [--threads LIST]
-//                        [--no-burst]
+//                        [--loss LIST] [--no-burst]
 //
 // For each node count: placement/topology build wall-clock (grid-indexed
 // link construction), a full fixed-theta experiment run, epoch throughput,
@@ -45,6 +45,7 @@ struct ScaleRow {
   std::string workload;  // "smooth" or "burst L/G"
   std::string field;     // environment backend: "pinned" or "fast"
   unsigned threads = 1;  // intra-run workers (1 = sequential golden path)
+  double loss = 0.0;     // channel drop probability (0 = paper's lossless)
   double build_seconds = 0.0;
   double run_seconds = 0.0;
   double epochs_per_sec = 0.0;
@@ -65,10 +66,12 @@ core::ExperimentConfig scale_config(std::size_t nodes, std::int64_t epochs) {
 
 ScaleRow run_cell(std::size_t nodes, std::int64_t epochs,
                   std::int64_t burst_length, std::int64_t burst_gap,
-                  data::EnvironmentBackend field, unsigned threads) {
+                  data::EnvironmentBackend field, unsigned threads,
+                  double loss) {
   ScaleRow row;
   row.nodes = nodes;
   row.epochs = epochs;
+  row.loss = loss;
   row.workload = burst_length > 0 ? "burst " + std::to_string(burst_length) +
                                         "/" + std::to_string(burst_gap)
                                   : "smooth";
@@ -79,6 +82,7 @@ ScaleRow run_cell(std::size_t nodes, std::int64_t epochs,
   cfg.burst_gap_epochs = burst_gap;
   cfg.field_backend = field;
   cfg.threads = threads;
+  cfg.loss_rate = loss;
   row.threads = core::Experiment::effective_threads(cfg);
 
   {
@@ -114,6 +118,7 @@ void write_json(const std::string& path, const std::vector<ScaleRow>& rows) {
         << ", \"workload\": \"" << r.workload << "\""
         << ", \"field\": \"" << r.field << "\""
         << ", \"threads\": " << r.threads
+        << ", \"loss\": " << r.loss
         << ", \"build_seconds\": " << r.build_seconds
         << ", \"run_seconds\": " << r.run_seconds
         << ", \"epochs_per_sec\": " << r.epochs_per_sec
@@ -133,6 +138,7 @@ int main(int argc, char** argv) {
   std::vector<data::EnvironmentBackend> fields{
       data::EnvironmentBackend::Pinned, data::EnvironmentBackend::Fast};
   std::vector<unsigned> thread_counts{1};
+  std::vector<double> loss_rates{0.0};
   bool burst_rows = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -188,6 +194,31 @@ int main(int argc, char** argv) {
         }
       }
       ++i;
+    } else if (arg == "--loss" && next != nullptr) {
+      // Channel drop probabilities, list-valued like --nodes. Each rate is
+      // an extra pass over the grid; non-zero rates exercise the
+      // counter-keyed loss channel on the parallel epoch engine, so the
+      // lossy cells are the ones the lossy perf guard reads.
+      loss_rates.clear();
+      std::string item;
+      for (const char* p = next;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          char* end = nullptr;
+          const double rate = std::strtod(item.c_str(), &end);
+          if (item.empty() || end == nullptr || *end != '\0' ||
+              !(rate >= 0.0 && rate < 1.0)) {
+            std::cerr << "bench_scale_topology: --loss rates must be in"
+                         " [0, 1), got: '" << item << "'\n";
+            return 2;
+          }
+          loss_rates.push_back(rate);
+          item.clear();
+          if (*p == '\0') break;
+        } else {
+          item.push_back(*p);
+        }
+      }
+      ++i;
     } else if (arg == "--no-burst") {
       // Skip the bursty-arrival rows: the perf-smoke guards only read the
       // smooth cells, so CI need not pay for rows it ignores.
@@ -195,7 +226,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: bench_scale_topology [--nodes LIST] [--epochs N]"
                    " [--json FILE] [--field pinned|fast|both]"
-                   " [--threads LIST] [--no-burst]\n";
+                   " [--threads LIST] [--loss LIST] [--no-burst]\n";
       return 2;
     }
   }
@@ -208,10 +239,13 @@ int main(int argc, char** argv) {
   for (std::size_t n : node_counts) {
     for (data::EnvironmentBackend f : fields) {
       for (unsigned t : thread_counts) {
-        rows.push_back(run_cell(n, epochs, 0, 0, f, t));
-        std::cerr << "  " << n << " nodes (" << data::backend_name(f) << ", "
-                  << rows.back().threads << " thread(s)) done ("
-                  << dirq::metrics::fmt(rows.back().run_seconds) << " s)\n";
+        for (double l : loss_rates) {
+          rows.push_back(run_cell(n, epochs, 0, 0, f, t, l));
+          std::cerr << "  " << n << " nodes (" << data::backend_name(f) << ", "
+                    << rows.back().threads << " thread(s), loss "
+                    << dirq::metrics::fmt(l, 2) << ") done ("
+                    << dirq::metrics::fmt(rows.back().run_seconds) << " s)\n";
+        }
       }
     }
   }
@@ -220,7 +254,7 @@ int main(int argc, char** argv) {
   // Always sequential: the row tracks the rate predictor, not the pool.
   if (burst_rows) {
     for (data::EnvironmentBackend f : fields) {
-      rows.push_back(run_cell(500, epochs, 200, 600, f, 1));
+      rows.push_back(run_cell(500, epochs, 200, 600, f, 1, 0.0));
       std::cerr << "  500-node burst row (" << data::backend_name(f)
                 << ") done\n";
     }
@@ -228,11 +262,12 @@ int main(int argc, char** argv) {
 
   dirq::metrics::TsvBlock tsv(
       "scale tier: epoch throughput",
-      {"nodes", "epochs", "workload", "field", "threads", "build_s", "run_s",
-       "epochs_per_s", "updates", "peak_rss_so_far_kib"});
+      {"nodes", "epochs", "workload", "field", "threads", "loss", "build_s",
+       "run_s", "epochs_per_s", "updates", "peak_rss_so_far_kib"});
   for (const ScaleRow& r : rows) {
     tsv.add_row({std::to_string(r.nodes), std::to_string(r.epochs), r.workload,
                  r.field, std::to_string(r.threads),
+                 dirq::metrics::fmt(r.loss, 2),
                  dirq::metrics::fmt(r.build_seconds, 3),
                  dirq::metrics::fmt(r.run_seconds, 3),
                  dirq::metrics::fmt(r.epochs_per_sec, 1),

@@ -13,18 +13,23 @@
 #include "data/field_model.hpp"
 #include "query/rate_predictor.hpp"
 #include "query/workload.hpp"
+#include "sim/counter_rng.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace dirq::core {
 
-const char* Experiment::thread_clamp_reason(const ExperimentConfig& cfg) {
+const char* Experiment::thread_clamp_reason(const ExperimentConfig& /*cfg*/) {
+  // No clamped backends remain: lossy channels decide drops through
+  // order-independent counter-keyed verdicts (core/lossy.hpp), and LMAC
+  // chunk-parallelises the epoch walk around the sequential slot loop.
+  return nullptr;
+}
+
+const char* Experiment::thread_mode_note(const ExperimentConfig& cfg) {
   if (cfg.transport == TransportKind::Lmac) {
-    return "lmac transport delivers in slot order";
-  }
-  if (cfg.loss_rate > 0.0) {
-    return "lossy channel consumes rng in delivery order";
+    return "epoch phases parallel; slot delivery stays sequential";
   }
   return nullptr;
 }
@@ -122,29 +127,31 @@ ExperimentResults Experiment::run() {
 
   // Backend plumbing. The constructor's bootstrap announce wave ran on the
   // network's built-in instant transport (deployment happens before the
-  // channel model / MAC applies); whichever transport is swapped in carries
-  // that ledger over so cost is continuous across the swap.
+  // channel model / MAC applies); the LMAC transport carries that ledger
+  // over so cost is continuous across the swap.
   const bool use_lmac = cfg_.transport == TransportKind::Lmac;
-  std::optional<LossySink> lossy;
-  std::optional<InstantTransport> lossy_transport;
+  std::optional<LossChannel> loss;
   std::optional<sim::Scheduler> sched;
   std::optional<mac::LmacNetwork> mac;
   std::optional<LmacTransport> lmac_transport;
   std::int64_t current_epoch = 0;
   std::set<NodeId> mac_repaired;  // nodes already handled by tree repair
 
-  MessageSink* sink = &network;
   if (cfg_.loss_rate > 0.0) {
-    lossy.emplace(network, cfg_.loss_rate, rng.substream("loss"));
-    lossy->set_drop_hook([&network](NodeId to, NodeId, const Message& msg) {
-      network.note_dropped_rx(to, msg);
-    });
-    sink = &*lossy;
+    // The CRC-loss model lives inside DirqNetwork::deliver (not a sink
+    // wrapper): every drop verdict is a pure function of (seed, tree,
+    // from, to, per-pair delivery counter) on the seed's dedicated "loss"
+    // substream, so the parallel epoch engine evaluates drops inside its
+    // shards and any transport — instant or LMAC — sees the same channel.
+    // Installed after construction: the bootstrap announce wave models
+    // deployment, before the channel applies.
+    loss.emplace(cfg_.loss_rate, sim::CounterRng(cfg_.seed).substream("loss"));
+    network.set_loss(&*loss);
   }
   if (use_lmac) {
     sched.emplace();
     mac.emplace(*sched, topo, cfg_.lmac);
-    lmac_transport.emplace(*mac, *sink);
+    lmac_transport.emplace(*mac, network);
     lmac_transport->mutable_costs() = network.costs();
     network.use_transport(*lmac_transport);
     // Cross-layer path (§4.2): LMAC's timeout-based death detection drives
@@ -157,15 +164,12 @@ ExperimentResults Experiment::run() {
           }
         });
     mac->start();
-  } else if (cfg_.loss_rate > 0.0) {
-    lossy_transport.emplace(topo, *lossy);
-    lossy_transport->mutable_costs() = network.costs();
-    network.use_transport(*lossy_transport);
   }
 
   // Intra-run parallelism: a pool only exists when the resolved count is
-  // > 1 (never on LMAC/lossy — effective_threads falls back to the exact
-  // sequential path those order-sensitive backends require).
+  // > 1. Every backend honours it now — lossy runs evaluate their
+  // order-independent drop verdicts in-shard, LMAC runs chunk the epoch
+  // walk around the sequential slot loop.
   const unsigned threads = effective_threads(cfg_);
   if (threads > 1) network.set_threads(threads);
 

@@ -88,11 +88,12 @@ struct ExperimentConfig {
   bool keep_records = true;
   /// Intra-run worker count for the epoch loop (DirqNetwork::set_threads):
   /// 1 (default) is the exact sequential path — the only golden
-  /// configuration; 0 means all hardware threads. Single-sink runs shard
-  /// by root-child subtree, multi-sink runs by spanning tree; both are
-  /// byte-identical to 1 thread. Order-sensitive backends (Lmac
-  /// transport, loss_rate > 0) always run with 1 thread regardless of
-  /// this value — see Experiment::effective_threads.
+  /// configuration; 0 means all hardware threads. Single-sink instant
+  /// runs shard by root-child subtree, multi-sink instant runs by
+  /// spanning tree, LMAC runs chunk the epoch walk around the (still
+  /// sequential) slot loop, and lossy channels evaluate their
+  /// counter-keyed drop verdicts inside the shards; every combination is
+  /// byte-identical to 1 thread — see Experiment::effective_threads.
   unsigned threads = 1;
   TransportKind transport = TransportKind::Instant;
   /// Frame geometry when transport == Lmac. The default (32 slots x 32
@@ -249,18 +250,28 @@ class Experiment {
   ExperimentResults run();
 
   /// The worker count a config actually runs with: cfg.threads resolved
-  /// (0 → hardware concurrency), clamped to 1 on order-sensitive backends
-  /// — the LMAC transport (slot-synchronous deliveries interleave with
-  /// the walk) and lossy channels (the drop RNG is consumed in delivery
-  /// order). Multi-sink deployments parallelise via tree shards and are
-  /// not clamped. Exposed so the CLI can report the fallback instead of
-  /// silently pretending to parallelise.
+  /// (0 → hardware concurrency). No backend clamps any more: lossy
+  /// channels use order-independent counter-keyed drop verdicts
+  /// (core/lossy.hpp) and LMAC runs its epoch walk in parallel chunks
+  /// around the still-sequential slot loop — every transport is
+  /// byte-identical to --threads 1. Exposed so the CLI reports the
+  /// resolved count.
   [[nodiscard]] static unsigned effective_threads(const ExperimentConfig& cfg);
 
   /// Why a config is forced sequential, or nullptr when cfg.threads is
-  /// honoured as requested. The CLI prints this next to the effective
-  /// thread count.
+  /// honoured as requested. Always nullptr today — the last clamped
+  /// backends (LMAC, lossy) were unclamped when drop verdicts became
+  /// order-independent and the LMAC walk chunk-parallel — but the seam
+  /// stays: the CLI prints it next to the effective thread count whenever
+  /// a future backend needs the exact sequential path again.
   [[nodiscard]] static const char* thread_clamp_reason(
+      const ExperimentConfig& cfg);
+
+  /// A short note on *how* a config parallelises when that needs saying —
+  /// LMAC reports partial parallelism (the slot-ordered delivery loop is
+  /// the MAC's contract and stays sequential; sampling, gating, and
+  /// update preparation fan out). nullptr when there is nothing to add.
+  [[nodiscard]] static const char* thread_mode_note(
       const ExperimentConfig& cfg);
 
   [[nodiscard]] const ExperimentConfig& config() const noexcept { return cfg_; }

@@ -7,6 +7,7 @@
 
 #include "analysis/cost_model.hpp"
 #include "core/gate_scan.hpp"
+#include "core/lossy.hpp"
 #include "sim/logging.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -38,6 +39,14 @@ struct alignas(64) EpochShardCtx {
   // merged in shard-index order).
   std::vector<CostUnits> tx_delta;
   std::vector<CostUnits> rx_delta;
+  // Lossy-channel totals for this shard's pass (the verdicts themselves
+  // are order-independent; only these tallies need the ordered merge).
+  std::int64_t loss_offered = 0;
+  std::int64_t loss_dropped = 0;
+  // Chunk mode only: per-tree tx mirror — a chunk carries several trees'
+  // messages when multiple sinks ride a deferred transport, so the
+  // shard's single ledger cannot be attributed to one tree at merge.
+  std::vector<CostLedger> tree_delta;
 };
 
 namespace {
@@ -66,7 +75,7 @@ void accumulate(CostLedger& into, const CostLedger& from) {
 
 /// The parallel epoch engine: a persistent pool plus the cached shard plan.
 ///
-/// Two shard geometries share the machinery:
+/// Three shard geometries share the machinery:
 ///
 /// * Subtree mode (one tree): shard s is the s-th root child's subtree in
 ///   leaves-first (reversed cached-BFS) order, and for every sensor type
@@ -87,6 +96,21 @@ void accumulate(CostLedger& into, const CostLedger& from) {
 ///   sequential walk does (the gate reads the tree-0 controller's theta,
 ///   which only shard 0 mutates). plan_nodes[t] is the full reversed
 ///   union walk per type; plan_seg is unused.
+///
+/// * Chunk mode (deferred-delivery transport, i.e. LMAC): shard s is a
+///   contiguous chunk of the reversed epoch walk, each node fully
+///   processed — all tree slots — inside its chunk. This is safe for any
+///   sink count because sends on a deferred transport only enqueue into
+///   the *sender's* per-node MAC queue (mac::LmacNetwork::send is a pure
+///   push), so nothing crosses chunks during the walk; the slot-ordered
+///   transmit/deliver loop — the MAC's ordering contract — runs later,
+///   sequentially, in the scheduler. plan_seg carries the chunk segments
+///   with an empty serial-root segment (the root sits inside a chunk,
+///   which is fine precisely because no deliveries happen). Sends charge
+///   the shard ledger plus a per-tree tree_delta mirror, both merged in
+///   shard order. An open query audit does not force chunk-mode epochs
+///   sequential: the audit arrays and the query-cost baseline only move
+///   on deliveries and query traffic, neither of which the walk produces.
 ///
 /// next_due mirrors the sampling gate per plan slot (struct-of-arrays, so
 /// the per-epoch gate filter is a flat int64 scan — gate_scan.hpp — over
@@ -111,6 +135,7 @@ struct DirqNetwork::ParallelEngine {
   sim::ThreadPool pool;
   bool plan_dirty = true;
   bool tree_mode = false;      // shard per tree instead of per subtree
+  bool mac_mode = false;       // chunk shards over a deferred transport
   std::size_t plan_alive = 0;  // cheap staleness guard vs the topology
 
   std::vector<std::vector<NodeId>> shards;  // subtree mode: leaves-first
@@ -216,6 +241,14 @@ unsigned DirqNetwork::threads() const noexcept {
   return par_ ? par_->pool.size() : 1;
 }
 
+void DirqNetwork::set_loss(LossChannel* loss) {
+  loss_ = loss;
+  // Pre-size the counter planes so parallel shards never grow the outer
+  // vectors (their per-(tree, from) cells stay shard-owned); kept sized
+  // across churn by retarget_trees.
+  if (loss_ != nullptr) loss_->configure(trees_.count(), topo_.size());
+}
+
 void DirqNetwork::charge_tree_tx(const Message& msg) {
   const TreeId t = message_tree(msg);
   if (t < tree_ledgers_.size()) {
@@ -240,6 +273,19 @@ void DirqNetwork::wire_node(DirqNode& n) {
       // tree-shard mode `from` transmits in several shards at once.
       if (std::holds_alternative<UpdateMessage>(msg)) ++ctx->update_msgs;
       ctx->tx_delta.at(from) += 1;
+      if (par_->mac_mode) {
+        // Chunk mode: the send only enqueues into `from`'s own MAC queue
+        // (single-writer — this shard owns `from`). Charge the shard
+        // ledger and the message's per-tree mirror locally; both merge in
+        // shard order after the join.
+        InstantTransport::charge_tx(ctx->ledger, msg);
+        const TreeId t = message_tree(msg);
+        if (t < ctx->tree_delta.size()) {
+          InstantTransport::charge_tx(ctx->tree_delta[t], msg);
+        }
+        transport_->unicast_uncharged(from, to, msg);
+        return;
+      }
       parallel_unicast(*ctx, from, to, msg);
       return;
     }
@@ -288,6 +334,15 @@ void DirqNetwork::deliver(NodeId to, NodeId from, const Message& msg) {
   if (!merging_parallel_) charge_tree_rx(msg);
   if (to >= node_rx_.size()) node_rx_.resize(topo_.size(), 0);
   node_rx_[to] += 1;
+  // CRC loss: the radio has paid its rx (ledger, tree mirror, per-node) —
+  // the protocol never sees the frame. Skipped while replaying deferred
+  // root deliveries at the parallel merge: those already survived their
+  // in-shard verdict (parallel_unicast).
+  if (loss_ != nullptr && !merging_parallel_) {
+    const bool dropped = loss_->next_drop(message_tree(msg), from, to);
+    loss_->note(dropped);
+    if (dropped) return;
+  }
   if (to >= nodes_.size()) return;  // heard, but not yet integrated
   if (audit_active_) {
     if (const auto* qm = std::get_if<QueryMessage>(&msg);
@@ -331,13 +386,26 @@ void DirqNetwork::rebuild_union_walk() {
 void DirqNetwork::process_epoch(const data::ReadingSource& env,
                                 std::int64_t epoch) {
   current_epoch_ = epoch;
-  if (par_ != nullptr && transport_ == instant_.get() && !audit_active_) {
-    process_epoch_parallel(env, epoch);
-    return;
+  if (par_ != nullptr) {
+    if (transport_ == instant_.get()) {
+      // Instant transport: deliveries happen inline during the walk, so
+      // an open audit (whose received/believed arrays are only written in
+      // deliver()) forces the sequential path.
+      if (!audit_active_) {
+        process_epoch_parallel(env, epoch);
+        return;
+      }
+    } else if (transport_->deferred_delivery()) {
+      // Deferred transport (LMAC): the walk performs no deliveries — it
+      // only enqueues into per-sender queues — so chunk-mode epochs are
+      // safe even inside an open (asynchronous) audit.
+      process_epoch_parallel(env, epoch);
+      return;
+    }
   }
-  // Sequential fallback (swapped transport or open audit) while a pool
-  // exists: node state advances outside the plan, so the gate mirror is
-  // stale for the next parallel epoch.
+  // Sequential fallback (audited instant epoch, or a custom synchronous
+  // transport) while a pool exists: node state advances outside the plan,
+  // so the gate mirror is stale for the next parallel epoch.
   if (par_ != nullptr) par_->plan_dirty = true;
   // Leaves-first (reverse BFS) ordering makes the within-epoch update
   // cascade settle in a single pass with the instant transport; any order
@@ -427,7 +495,84 @@ void DirqNetwork::process_epoch(const data::ReadingSource& env,
 
 void DirqNetwork::rebuild_parallel_plan() {
   ParallelEngine& pe = *par_;
-  pe.tree_mode = trees_.count() > 1;
+  pe.mac_mode = transport_ != instant_.get();
+  pe.tree_mode = !pe.mac_mode && trees_.count() > 1;
+  if (pe.mac_mode) {
+    // Chunk mode: contiguous chunks of the reversed (alive-filtered)
+    // epoch walk, concatenating to exactly the sequential order — so each
+    // per-type batch stays one contiguous segment per shard and the
+    // existing plan_seg/offsets machinery applies, with an empty
+    // serial-root segment.
+    pe.walk.clear();
+    const std::vector<NodeId>& order = epoch_walk_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      if (topo_.is_alive(*it)) pe.walk.push_back(*it);
+    }
+    const std::size_t S = std::max<std::size_t>(
+        1, std::min<std::size_t>(pe.pool.size(), pe.walk.size()));
+    pe.shards.assign(S, {});
+    pe.shard_of.assign(nodes_.size(), ParallelEngine::kNoShard);
+    for (std::size_t s = 0; s < S; ++s) {
+      const std::size_t b = s * pe.walk.size() / S;
+      const std::size_t e = (s + 1) * pe.walk.size() / S;
+      pe.shards[s].assign(pe.walk.begin() + b, pe.walk.begin() + e);
+      for (NodeId u : pe.shards[s]) pe.shard_of[u] = s;
+    }
+    pe.claim_order.resize(S);
+    std::iota(pe.claim_order.begin(), pe.claim_order.end(), std::size_t{0});
+
+    std::size_t type_count = 0;
+    for (NodeId u : pe.walk) {
+      for (SensorType t : topo_.node(u).sensors) {
+        type_count = std::max<std::size_t>(type_count, t + 1);
+      }
+    }
+    pe.plan_nodes.assign(type_count, {});
+    pe.plan_seg.assign(type_count, std::vector<std::size_t>(S + 2, 0));
+    for (std::size_t s = 0; s < S; ++s) {
+      for (std::size_t t = 0; t < type_count; ++t) {
+        pe.plan_seg[t][s] = pe.plan_nodes[t].size();
+      }
+      for (NodeId u : pe.shards[s]) {
+        for (SensorType t : topo_.node(u).sensors) {
+          pe.plan_nodes[t].push_back(u);
+        }
+      }
+    }
+    for (std::size_t t = 0; t < type_count; ++t) {
+      // The root is inside a chunk; the serial-root segment is empty.
+      pe.plan_seg[t][S] = pe.plan_nodes[t].size();
+      pe.plan_seg[t][S + 1] = pe.plan_nodes[t].size();
+    }
+
+    pe.gated = cfg_.sampling.enabled;
+    if (pe.gated) {
+      pe.next_due.assign(type_count, {});
+      for (std::size_t t = 0; t < type_count; ++t) {
+        pe.next_due[t].resize(pe.plan_nodes[t].size());
+        for (std::size_t j = 0; j < pe.plan_nodes[t].size(); ++j) {
+          pe.next_due[t][j] = samplers_[pe.plan_nodes[t][j]].next_due(
+              static_cast<SensorType>(t));
+        }
+      }
+    } else {
+      pe.next_due.clear();
+    }
+
+    pe.ctx.resize(S);
+    for (EpochShardCtx& ctx : pe.ctx) {
+      ctx.tx_delta.assign(topo_.size(), 0);
+      ctx.rx_delta.assign(topo_.size(), 0);
+      ctx.tree_delta.assign(trees_.count(), CostLedger{});
+    }
+    pe.due_mask.assign(type_count, {});
+    pe.filt_nodes.assign(type_count, {});
+    pe.filt_seg.assign(type_count, std::vector<std::size_t>(S + 2, 0));
+    pe.values.resize(type_count);
+    pe.plan_alive = topo_.alive_count();
+    pe.plan_dirty = false;
+    return;
+  }
   if (pe.tree_mode) {
     // Tree-shard mode: shard k is tree k. Every shard repeats the full
     // reversed union walk (the sequential multi-sink order), advancing
@@ -573,6 +718,20 @@ void DirqNetwork::parallel_unicast(EpochShardCtx& ctx, NodeId from, NodeId to,
   const auto nbrs = topo_.neighbors(from);
   if (!std::binary_search(nbrs.begin(), nbrs.end(), to)) return;
   InstantTransport::charge_rx(ctx.ledger, msg);
+  // CRC loss, decided inside the shard: the verdict is a pure function of
+  // (tree, from, to, per-key seq) and this shard owns the key — tree-shard
+  // mode owns the whole tree plane, subtree mode owns the sender — so it
+  // equals the sequential verdict. The radio paid (rx charged above +
+  // rx_delta here, mirroring note_dropped_rx); the frame goes no further
+  // — root-bound drops are never deferred.
+  if (loss_ != nullptr) {
+    ++ctx.loss_offered;
+    if (loss_->next_drop(message_tree(msg), from, to)) {
+      ++ctx.loss_dropped;
+      ctx.rx_delta[to] += 1;
+      return;
+    }
+  }
   if (par_->tree_mode) {
     // Shard k owns tree k: the receiver's slot k is only ever touched by
     // this thread (DirqNode::handle dispatches on the message's tree tag),
@@ -690,7 +849,9 @@ void DirqNetwork::run_tree_shard_consume(std::size_t shard,
 void DirqNetwork::process_epoch_parallel(const data::ReadingSource& env,
                                          std::int64_t epoch) {
   ParallelEngine& pe = *par_;
-  const bool rebuilt = pe.plan_dirty || pe.plan_alive != topo_.alive_count();
+  const bool want_mac = transport_ != instant_.get();
+  const bool rebuilt = pe.plan_dirty || pe.plan_alive != topo_.alive_count() ||
+                       pe.mac_mode != want_mac;
   if (rebuilt) rebuild_parallel_plan();
   const std::size_t S = pe.tree_mode ? pe.ctx.size() : pe.shards.size();
   const std::size_t type_count = pe.plan_nodes.size();
@@ -798,6 +959,9 @@ void DirqNetwork::process_epoch_parallel(const data::ReadingSource& env,
     ctx.ledger = CostLedger{};
     ctx.update_msgs = 0;
     ctx.to_root.clear();
+    ctx.loss_offered = 0;
+    ctx.loss_dropped = 0;
+    if (pe.mac_mode) ctx.tree_delta.assign(trees_.count(), CostLedger{});
   }
   if (pe.tree_mode) {
     pe.pool.parallel_for(S, [this, epoch](std::size_t k) {
@@ -814,13 +978,24 @@ void DirqNetwork::process_epoch_parallel(const data::ReadingSource& env,
   // per transmission with the same epoch, so recorded series are
   // identical. Each shard's ledger also merges into its tree's mirror —
   // in tree-shard mode shard k carries exactly tree k's traffic (asserted
-  // in parallel_unicast), in subtree mode everything belongs to tree 0.
-  // Per-node tx/rx deltas merge (and reset) in the same fixed order.
-  CostLedger& ledger = instant_->mutable_costs();
+  // in parallel_unicast), in subtree mode everything belongs to tree 0,
+  // and in chunk mode the shard carried its own per-tree tree_delta
+  // mirror. Lossy-channel offered/dropped tallies merge in the same fixed
+  // order. Per-node tx/rx deltas merge (and reset) likewise.
+  CostLedger& ledger = transport_->mutable_costs();
   for (std::size_t s = 0; s < S; ++s) {
     EpochShardCtx& ctx = pe.ctx[s];
     accumulate(ledger, ctx.ledger);
-    accumulate(tree_ledgers_[pe.tree_mode ? s : 0], ctx.ledger);
+    if (pe.mac_mode) {
+      for (std::size_t t = 0; t < ctx.tree_delta.size(); ++t) {
+        accumulate(tree_ledgers_[t], ctx.tree_delta[t]);
+      }
+    } else {
+      accumulate(tree_ledgers_[pe.tree_mode ? s : 0], ctx.ledger);
+    }
+    if (loss_ != nullptr) {
+      loss_->add_counts(ctx.loss_offered, ctx.loss_dropped);
+    }
     updates_transmitted_ += ctx.update_msgs;
     if (update_hook_) {
       for (std::int64_t i = 0; i < ctx.update_msgs; ++i) update_hook_(epoch);
@@ -833,7 +1008,10 @@ void DirqNetwork::process_epoch_parallel(const data::ReadingSource& env,
       ctx.rx_delta[u] = 0;
     }
   }
-  if (pe.tree_mode) return;  // no deferred deliveries, no serial root pass
+  // Tree-shard and chunk modes: no deferred deliveries, no serial root
+  // pass (each tree's cascade stayed inside its shard / the root sat
+  // inside its chunk).
+  if (pe.tree_mode || pe.mac_mode) return;
   merging_parallel_ = true;
   for (std::size_t s = 0; s < S; ++s) {
     for (const auto& [from, msg] : pe.ctx[s].to_root) {
@@ -982,6 +1160,9 @@ QueryOutcome DirqNetwork::inject(TreeId tree, const query::MultiQuery& q,
 void DirqNetwork::retarget_trees(NodeId changed, std::int64_t epoch) {
   const std::vector<TreeId> rebuilt = trees_.rebuild_affected(topo_, changed);
   if (par_ != nullptr) par_->plan_dirty = true;
+  // Keep the lossy counter planes sized to the (possibly grown) topology
+  // before the next parallel epoch.
+  if (loss_ != nullptr) loss_->configure(trees_.count(), topo_.size());
   if (nodes_.size() < topo_.size()) {
     // Brand-new node slots appended by Topology::add_node.
     for (NodeId u = static_cast<NodeId>(nodes_.size()); u < topo_.size(); ++u) {

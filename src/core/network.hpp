@@ -58,6 +58,7 @@ struct NetworkConfig {
 };
 
 struct EpochShardCtx;  // parallel epoch internals (network.cpp)
+class LossChannel;     // counter-keyed CRC-loss model (core/lossy.hpp)
 
 class DirqNetwork final : public MessageSink {
  public:
@@ -83,6 +84,16 @@ class DirqNetwork final : public MessageSink {
   void use_transport(Transport& t) { transport_ = &t; }
   [[nodiscard]] Transport& transport() noexcept { return *transport_; }
   [[nodiscard]] const CostLedger& costs() const { return transport_->costs(); }
+
+  /// Installs (or clears, with nullptr) the lossy-channel model: every
+  /// delivery — any transport — rolls a counter-keyed drop verdict after
+  /// the radio's rx has been charged, and dropped frames never reach the
+  /// protocol (the exact LossySink semantics, folded into deliver() so the
+  /// parallel epoch engine can evaluate verdicts inside its shards). The
+  /// channel must outlive the network's use of it; its counter planes are
+  /// pre-sized here and kept sized across churn.
+  void set_loss(LossChannel* loss);
+  [[nodiscard]] const LossChannel* loss() const noexcept { return loss_; }
 
   /// The sink's share of the global ledger: every tx is booked against the
   /// tree its message belongs to at send time, every rx at delivery (or
@@ -132,14 +143,21 @@ class DirqNetwork final : public MessageSink {
   /// tree for several sinks (each shard advances only its own tree's
   /// per-node slot, so the shards are write-disjoint; shard 0 owns the
   /// shared sampling gate) — and run reading batches concurrently, split
-  /// below whole types when the source allows. Summaries are
-  /// byte-identical to the sequential path on both synthetic backends,
-  /// single- and multi-sink. Epochs on a swapped transport (LMAC, lossy)
-  /// or inside an open query audit silently run the sequential path
-  /// (Experiment::effective_threads reports 1 for those configs). Callers
-  /// that mutate topology aliveness or sensors must route through the
-  /// handle_* entry points (as always) so the cached shard plan is
-  /// invalidated.
+  /// below whole types when the source allows. A deferred-delivery
+  /// transport (LMAC) gets a third geometry: contiguous chunks of the
+  /// epoch walk, each node fully processed in one chunk — sends only
+  /// enqueue into the sender's own per-node MAC queue, so the walk is
+  /// write-disjoint and the slot-ordered delivery loop (the MAC's
+  /// contract) stays sequential and untouched. A lossy channel
+  /// (set_loss) no longer forces the sequential path either: drop
+  /// verdicts are pure functions of delivery identity (core/lossy.hpp),
+  /// so shards evaluate them inline. Summaries are byte-identical to the
+  /// sequential path on every transport, single- and multi-sink. Epochs
+  /// inside an open query audit on the instant transport silently run the
+  /// sequential path (chunk-mode epochs perform no deliveries, so audits
+  /// are safe there). Callers that mutate topology aliveness or sensors
+  /// must route through the handle_* entry points (as always) so the
+  /// cached shard plan is invalidated.
   void set_threads(unsigned threads);
   [[nodiscard]] unsigned threads() const noexcept;
 
@@ -238,7 +256,7 @@ class DirqNetwork final : public MessageSink {
   }
 
   /// Accounts the reception energy of a frame the radio received but the
-  /// protocol never saw (CRC failure — a LossySink drop). The transport's
+  /// protocol never saw (CRC failure — a lossy-channel drop). The transport's
   /// ledger already charged this rx; calling it keeps the per-node
   /// distribution reconciled with the ledger (see core/lossy.hpp). Like
   /// deliver(), grows the attribution array when the recipient's topology
@@ -317,6 +335,7 @@ class DirqNetwork final : public MessageSink {
 
   std::unique_ptr<InstantTransport> instant_;
   Transport* transport_ = nullptr;
+  LossChannel* loss_ = nullptr;  // CRC-loss model, nullptr when lossless
 
   /// Present iff set_threads(> 1): the persistent worker pool plus the
   /// cached shard-major walk plan (see network.cpp).

@@ -64,6 +64,26 @@ class Transport {
   virtual void broadcast(NodeId from, const Message& msg) = 0;
 
   [[nodiscard]] virtual const CostLedger& costs() const = 0;
+
+  /// Writable ledger access. The parallel epoch engine merges its
+  /// shard-local ledgers into this, and drivers swapping transports
+  /// mid-run use it to carry accumulated costs over.
+  [[nodiscard]] virtual CostLedger& mutable_costs() noexcept = 0;
+
+  /// True when sends enqueue for later delivery instead of delivering
+  /// synchronously (LMAC: frames ride the slot schedule). The epoch
+  /// engine keys its shard geometry on this — deferred transports see no
+  /// deliveries during the epoch walk, so whole nodes can be processed
+  /// in parallel chunks with delivery order untouched.
+  [[nodiscard]] virtual bool deferred_delivery() const noexcept {
+    return false;
+  }
+
+  /// Enqueues a unicast without charging the shared ledger — the
+  /// parallel engine charges its shard-local ledger instead and merges
+  /// deterministically. Only meaningful on deferred-delivery transports;
+  /// the default throws.
+  virtual void unicast_uncharged(NodeId from, NodeId to, const Message& msg);
 };
 
 /// Synchronous unit-cost transport over the topology graph.
@@ -78,7 +98,9 @@ class InstantTransport final : public Transport {
   void broadcast(NodeId from, const Message& msg) override;
 
   [[nodiscard]] const CostLedger& costs() const override { return ledger_; }
-  CostLedger& mutable_costs() noexcept { return ledger_; }
+  [[nodiscard]] CostLedger& mutable_costs() noexcept override {
+    return ledger_;
+  }
 
   /// Message-kind classification of one charge (query / update / control),
   /// shared with the parallel epoch engine's shard-local ledgers so the

@@ -16,10 +16,15 @@
 // bytes. Wall-clock pacing (`pace_epochs_per_sec`) only throttles how fast
 // virtual time advances; it never leaks into results.
 //
-// The serve plane is instant-transport only: the front-end answers a
-// query at the boundary that injects it, which requires the synchronous
-// audit. LMAC/lossy service would need an asynchronous completion path —
-// validate() rejects those configs rather than quietly mis-measuring.
+// The serve plane is instant-transport and lossless only: the front-end
+// answers a query at the boundary that injects it (needs the synchronous
+// audit), and the result cache's cache-vs-live bitwise contract assumes
+// re-running a query reads identical network state — a lossy channel's
+// per-delivery counters advance on re-injection and would break that.
+// The parallel epoch engine itself handles LMAC and lossy batch runs now
+// (DirqNetwork::set_threads); serving them needs an asynchronous
+// completion path and loss-aware cache invalidation — validate() rejects
+// those configs rather than quietly mis-measuring.
 #pragma once
 
 #include <cstdint>

@@ -10,6 +10,7 @@
 #include "data/field_model.hpp"
 #include "net/placement.hpp"
 #include "query/workload.hpp"
+#include "sim/counter_rng.hpp"
 #include "sim/rng.hpp"
 
 namespace dirq::core {
@@ -26,7 +27,7 @@ struct LossyWorld {
       : topo(make(seed)),
         env(topo, 4, sim::Rng(seed).substream("env")),
         net(topo, 0, cfg()),
-        lossy(net, drop, sim::Rng(seed).substream("loss")),
+        lossy(net, drop, sim::CounterRng(seed).substream("loss")),
         transport(topo, lossy) {
     net.use_transport(transport);
   }
@@ -65,7 +66,7 @@ TEST(LossySink, DropsAtConfiguredRate) {
   struct Null final : MessageSink {
     void deliver(NodeId, NodeId, const Message&) override {}
   } null;
-  LossySink lossy(null, 0.3, sim::Rng(1));
+  LossySink lossy(null, 0.3, sim::CounterRng(1));
   const Message msg{UpdateMessage{}};
   for (int i = 0; i < 10000; ++i) lossy.deliver(0, 1, msg);
   EXPECT_EQ(lossy.offered(), 10000);
@@ -108,7 +109,7 @@ TEST(LossyProtocol, StaleRangesHealAfterChannelRecovers) {
   net::Topology topo = LossyWorld::make(11);
   data::Environment env(topo, 4, sim::Rng(11).substream("env"));
   DirqNetwork net(topo, 0, LossyWorld::cfg());
-  LossySink lossy(net, 0.5, sim::Rng(11).substream("loss"));
+  LossySink lossy(net, 0.5, sim::CounterRng(11).substream("loss"));
   InstantTransport lossy_transport(topo, lossy);
   InstantTransport clean_transport(topo, net);
 

@@ -136,19 +136,22 @@ TEST(MultiSink, AdmissionBalancesEnergyAtLeastAsWellAsRoundRobin) {
 }
 
 TEST(MultiSink, EffectiveThreadsHonoursMultiSinkRequests) {
-  // The tree-sharded engine parallelises multi-sink runs: no clamp, no
-  // clamp reason. Only order-sensitive backends still force sequential.
+  // Every backend honours the requested thread count now: the lossy
+  // channel evaluates counter-mode drops in-shard and LMAC parallelises
+  // its epoch phases, so no configuration clamps back to sequential.
   ExperimentConfig cfg = small_config(4);
   cfg.threads = 4;
   EXPECT_EQ(Experiment::effective_threads(cfg), 4u);
   EXPECT_EQ(Experiment::thread_clamp_reason(cfg), nullptr);
   cfg.transport = TransportKind::Lmac;
-  EXPECT_EQ(Experiment::effective_threads(cfg), 1u);
-  EXPECT_NE(Experiment::thread_clamp_reason(cfg), nullptr);
+  EXPECT_EQ(Experiment::effective_threads(cfg), 4u);
+  EXPECT_EQ(Experiment::thread_clamp_reason(cfg), nullptr);
+  EXPECT_NE(Experiment::thread_mode_note(cfg), nullptr);
   cfg.transport = TransportKind::Instant;
   cfg.loss_rate = 0.1;
-  EXPECT_EQ(Experiment::effective_threads(cfg), 1u);
-  EXPECT_NE(Experiment::thread_clamp_reason(cfg), nullptr);
+  EXPECT_EQ(Experiment::effective_threads(cfg), 4u);
+  EXPECT_EQ(Experiment::thread_clamp_reason(cfg), nullptr);
+  EXPECT_EQ(Experiment::thread_mode_note(cfg), nullptr);
 }
 
 TEST(MultiSink, ValidateRejectsBadSinkConfigs) {

@@ -62,15 +62,19 @@ TEST(ParallelEpoch, SamplingSuppressionSummariesByteIdentical) {
   EXPECT_EQ(run_summary(cfg, 1), run_summary(cfg, 4));
 }
 
-TEST(ParallelEpoch, EffectiveThreadsFallsBackOnOrderSensitiveBackends) {
+TEST(ParallelEpoch, EffectiveThreadsHonoursEveryBackend) {
+  // Historically LMAC and lossy runs clamped to one thread; counter-mode
+  // drop decisions and chunk-sharded LMAC epochs removed both clamps.
   ExperimentConfig cfg;
   cfg.threads = 4;
   EXPECT_EQ(Experiment::effective_threads(cfg), 4u);
   cfg.transport = TransportKind::Lmac;
-  EXPECT_EQ(Experiment::effective_threads(cfg), 1u);  // slot-synchronous
+  EXPECT_EQ(Experiment::effective_threads(cfg), 4u);
+  EXPECT_EQ(Experiment::thread_clamp_reason(cfg), nullptr);
   cfg.transport = TransportKind::Instant;
   cfg.loss_rate = 0.1;
-  EXPECT_EQ(Experiment::effective_threads(cfg), 1u);  // RNG delivery order
+  EXPECT_EQ(Experiment::effective_threads(cfg), 4u);
+  EXPECT_EQ(Experiment::thread_clamp_reason(cfg), nullptr);
   cfg.loss_rate = 0.0;
   cfg.threads = 0;
   EXPECT_GE(Experiment::effective_threads(cfg), 1u);

@@ -45,13 +45,13 @@ constexpr std::int64_t kExpectedQueries =
 const std::vector<LmacCase>& cases() {
   static const std::vector<LmacCase> kCases = {
       {1, 30, 0.00, 1940, 5578, 8732, 99.5132551065, 28.5835351090, 54.4126241964},
-      {1, 30, 0.15, 1760, 4872, 8732, 65.9135779475, 20.5466567331, 36.5867913501},
+      {1, 30, 0.15, 1736, 4866, 8732, 68.4162165518, 20.8757062147, 37.8141437756},
       {1, 50, 0.00, 2974, 8855, 20178, 98.6521388216, 33.8492090076, 54.9636803874},
-      {1, 50, 0.15, 2653, 7461, 20178, 57.1768479617, 20.7387061477, 32.3071601522},
+      {1, 50, 0.15, 2682, 7520, 20178, 60.7141900104, 18.3192329655, 32.8606018679},
       {42, 30, 0.00, 2197, 6230, 7552, 98.8917861799, 28.1971347861, 56.1659848042},
-      {42, 30, 0.15, 1885, 5006, 7552, 55.8420252064, 18.3989880176, 33.0800701344},
+      {42, 30, 0.15, 1900, 5068, 7552, 57.3842118334, 14.9063295462, 31.8527177089},
       {42, 50, 0.00, 3134, 9079, 18762, 99.1848264730, 29.5766699525, 53.5800760982},
-      {42, 50, 0.15, 2833, 7729, 18762, 57.9986888572, 17.9754487713, 31.5807679004},
+      {42, 50, 0.15, 2800, 7795, 18762, 63.6949822469, 18.2957217187, 34.1058457281},
   };
   return kCases;
 }

@@ -49,17 +49,17 @@ constexpr std::int64_t kExpectedQueries =
 const std::vector<ScenarioCase>& cases() {
   static const std::vector<ScenarioCase> kCases = {
       {1, 30, 0.00, 1953, 5609, 8732, 99.7392438070, 28.7247780468, 54.5879602572},
-      {1, 30, 0.15, 1759, 4838, 8732, 64.9748556528, 18.6049543677, 35.5347749854},
+      {1, 30, 0.15, 1731, 4910, 8732, 71.7340286832, 20.4783634445, 39.0999415546},
       {1, 50, 0.00, 3002, 8938, 20178, 99.5843422115, 34.1680144959, 55.4825319958},
-      {1, 50, 0.15, 2668, 7417, 20178, 56.0122277624, 19.3117935859, 31.3040470425},
+      {1, 50, 0.15, 2687, 7592, 20178, 61.7311870149, 20.0167641251, 33.9674852992},
       {42, 30, 0.00, 2215, 6271, 7552, 99.7392438070, 27.6756224002, 56.2828755114},
-      {42, 30, 0.15, 1899, 5013, 7552, 55.8802073633, 14.8665952691, 31.2098188194},
+      {42, 30, 0.15, 1913, 5129, 7552, 56.3217079531, 17.3949990687, 32.4956165985},
       {42, 50, 0.00, 3123, 9021, 18762, 97.8362315650, 28.9369056392, 52.7499135247},
-      {42, 50, 0.15, 2807, 7698, 18762, 61.5496368039, 16.7383329027, 32.5838810100},
+      {42, 50, 0.15, 2798, 7696, 18762, 60.7967026832, 16.9828562496, 32.3417502594},
       {1337, 30, 0.00, 1726, 5114, 11092, 99.8587570621, 26.4481281430, 53.1268264173},
-      {1337, 30, 0.15, 1590, 4505, 11092, 65.0276277395, 17.9595827901, 34.8918760959},
+      {1337, 30, 0.15, 1587, 4500, 11092, 65.0835040666, 17.0919476004, 34.5412039743},
       {1337, 50, 0.00, 3209, 9330, 21948, 99.3260694108, 25.8676351897, 52.7153234175},
-      {1337, 50, 0.15, 2877, 7884, 21948, 57.6272621998, 14.7578692494, 30.3701141474},
+      {1337, 50, 0.15, 2828, 7786, 21948, 57.7215942986, 15.0484261501, 30.5776547907},
   };
   return kCases;
 }

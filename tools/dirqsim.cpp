@@ -68,8 +68,9 @@ namespace {
       "                    L-epoch bursts separated by G silent epochs\n"
       "  --threads N       intra-run worker count for the epoch loop\n"
       "                    (default 1 — the golden sequential path; 0 =\n"
-      "                    all hardware threads; lmac/lossy runs always\n"
-      "                    use 1)\n"
+      "                    all hardware threads; every backend honours it,\n"
+      "                    byte-identical to 1 — lmac keeps slot delivery\n"
+      "                    sequential and parallelises the epoch phases)\n"
       "  --series          print the update-per-100-epoch TSV series\n"
       "  --help            this text\n"
       "\n"
@@ -1038,13 +1039,16 @@ int main(int argc, char** argv) {
   }
   // Only shown when threads were explicitly requested: the default
   // (--threads 1) keeps the table byte-stable against every recorded
-  // golden. The row reports the *effective* count — and names the reason
-  // when an order-sensitive backend forces the sequential path — so a
-  // clamped run never silently pretends to parallelise.
+  // golden. The row reports the *effective* count — plus how the backend
+  // parallelises when that needs saying (LMAC: the slot-ordered delivery
+  // loop stays sequential by contract), or the clamp reason should a
+  // future backend ever force the sequential path again.
   if (cfg.threads != 1) {
     std::string cell = std::to_string(core::Experiment::effective_threads(cfg));
     if (const char* why = core::Experiment::thread_clamp_reason(cfg)) {
       cell += std::string(" (forced sequential: ") + why + ")";
+    } else if (const char* note = core::Experiment::thread_mode_note(cfg)) {
+      cell += std::string(" (") + note + ")";
     }
     t.add_row({"threads", cell});
   }

@@ -12,6 +12,13 @@
 #   * fast  2000n/2000e --threads 0 vs bench/baselines/scale_2000n_fast_mt.json
 #     (the intra-run parallel epoch engine on all cores; also guards the
 #      pool itself — a deadlocked or serialised pool shows up as >2x)
+#   * lossy 500n/2000e: the fast-field 500-node cell at loss 0.15, at
+#     --threads 0 vs --threads 1 from the SAME bench_scale_topology run —
+#     self-relative. The counter-keyed loss channel must not serialise
+#     the parallel epoch engine: the all-cores row must be STRICTLY
+#     faster than the sequential row on any multi-core runner (skipped on
+#     1-core hosts, where --threads 0 resolves to 1 and the comparison is
+#     vacuous).
 #   * multi-sink 500n/2000e: 4 sinks (admission) vs 1 sink from the SAME
 #     bench_multi_sink run — self-relative, so machine speed divides out.
 #     The 3x budget bounds the N-tree overlay's cost: 4 trees quadruple
@@ -98,6 +105,37 @@ check "$FAST_BASELINE" 2000 fast
 # deadlock-adjacent slowdown) does not.
 run_cells 2000 fast 0
 check "$MT_BASELINE" 2000 fast
+
+# Lossy parallel guard cell: the 500-node fast cell at loss 0.15, 1 worker
+# vs all cores, from one bench run (self-relative, machine speed divides
+# out). The "threads" key records the EFFECTIVE count, so the parallel row
+# is "the lossy row whose threads != 1".
+if [ "$(nproc 2>/dev/null || echo 1)" -gt 1 ]; then
+  "$BUILD_DIR/bench/bench_scale_topology" --nodes 500 --epochs 2000 \
+    --field fast --loss 0.15 --threads 1,0 --no-burst --json "$OUT" \
+    >/dev/null
+  seq_s=$(grep '"run_seconds"' "$OUT" | grep '"loss": 0.15' |
+    grep '"threads": 1,' | head -n 1 |
+    sed 's/.*"run_seconds": \([0-9.eE+-]*\),.*/\1/')
+  par_s=$(grep '"run_seconds"' "$OUT" | grep '"loss": 0.15' |
+    grep -v '"threads": 1,' | head -n 1 |
+    sed 's/.*"run_seconds": \([0-9.eE+-]*\),.*/\1/')
+  if [ -z "$seq_s" ] || [ -z "$par_s" ]; then
+    echo "perf_smoke: could not extract lossy run_seconds" \
+         "(threads-1='$seq_s' threads-N='$par_s')" >&2
+    exit 2
+  fi
+  echo "perf_smoke: 500n/2000e lossy run_seconds threads-1=$seq_s threads-N=$par_s (parallel must win)"
+  awk -v seq="$seq_s" -v par="$par_s" 'BEGIN {
+    if (par >= seq) {
+      printf "perf_smoke: FAIL — lossy parallel %.3fs not faster than sequential %.3fs\n", par, seq
+      exit 1
+    }
+    printf "perf_smoke: OK lossy parallel (%.2fx speedup)\n", seq / par
+  }'
+else
+  echo "perf_smoke: SKIP lossy parallel guard (single-core host)"
+fi
 
 # Multi-sink guard cell: one bench run covering the 1-sink and 4-sink
 # cells, compared against each other (dirq.msink.v1 rows).

@@ -12,6 +12,16 @@
 #     --threads 0 (all hardware threads on the epoch loop): the intra-run
 #     parallelism guard cell. The row's "threads" key records the count
 #     the recording host actually resolved.
+#   * scale_500n_lossy.json — the 500-node fast cell at loss 0.15, at 1
+#     worker and all cores: the counter-keyed loss channel riding the
+#     parallel epoch engine. The lossy perf guard in perf_smoke.sh is
+#     self-relative (threads-N vs threads-1 from one run), so these rows
+#     document the surface rather than gate it.
+#   * lmac_overhead_threads.json — the LMAC standing-cost grid at 1 worker
+#     and all cores (bench_lmac_overhead, dirq.sweep.v1): the
+#     chunk-sharded LMAC epoch engine keeps the ledger byte-identical
+#     across the threads axis, so paired rows differ only in
+#     wall_seconds — the partial-parallelism speedup record.
 #   * msink_500n.json — the multi-sink tier's 500-node cells at 1 and 4
 #     sinks x 1 worker and all cores (bench_multi_sink, dirq.msink.v1):
 #     the 4-sink-vs-1-sink wall ratio and the self-relative
@@ -38,6 +48,8 @@ OUT=bench/baselines/reference_50n_20000e.json
 SCALE_OUT=bench/baselines/scale_500n_2000e.json
 FAST_OUT=bench/baselines/scale_500n_fast.json
 MT_OUT=bench/baselines/scale_2000n_fast_mt.json
+LOSSY_OUT=bench/baselines/scale_500n_lossy.json
+LMAC_THR_OUT=bench/baselines/lmac_overhead_threads.json
 MSINK_OUT=bench/baselines/msink_500n.json
 SERVE_OUT=bench/baselines/serve_500n.json
 
@@ -60,6 +72,14 @@ echo "fast-field scale baseline written to $FAST_OUT"
 "$BUILD_DIR/bench/bench_scale_topology" --nodes 2000 --epochs 2000 \
   --field fast --threads 0 --no-burst --json "$MT_OUT"
 echo "parallel-epoch scale baseline written to $MT_OUT"
+
+"$BUILD_DIR/bench/bench_scale_topology" --nodes 500 --epochs 2000 \
+  --field fast --loss 0.15 --threads 1,0 --no-burst --json "$LOSSY_OUT"
+echo "lossy scale baseline written to $LOSSY_OUT"
+
+"$BUILD_DIR/bench/bench_lmac_overhead" --epochs 2000 --threads 1,0 \
+  --json "$LMAC_THR_OUT"
+echo "lmac threads baseline written to $LMAC_THR_OUT"
 
 "$BUILD_DIR/bench/bench_multi_sink" --nodes 500 --sinks 1,4 --epochs 2000 \
   --threads 1,0 --json "$MSINK_OUT"
